@@ -1,0 +1,236 @@
+// Package checkmate is the public API of the Checkmate reproduction: optimal
+// tensor rematerialization for data-flow graphs under a memory budget
+// (Jain et al., "Checkmate: Breaking the Memory Wall with Optimal Tensor
+// Rematerialization", MLSys 2020).
+//
+// The typical pipeline mirrors Figure 2 of the paper:
+//
+//	wl, _ := checkmate.Load("unet", checkmate.Options{Batch: 4})   // user-specified architecture
+//	sched, _ := wl.SolveOptimal(16<<30, checkmate.SolveOptions{})  // LP construction and optimization
+//	plan := sched.Plan                                             // rebuilt static graph / execution plan
+//
+// Use SolveApprox for the polynomial-time two-phase LP rounding
+// (paper Section 5) and Baselines for the prior-work heuristics of Table 1.
+package checkmate
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/autodiff"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/milp"
+	"repro/internal/nets"
+	"repro/internal/schedule"
+)
+
+// Options configure workload construction.
+type Options struct {
+	// Batch is the global batch size (default 1).
+	Batch int
+	// Device selects the hardware cost model preset: "v100" (default),
+	// "tpu", "cpu".
+	Device string
+	// FLOPsCost switches the cost model to static FLOP counting, as the
+	// paper uses for its maximum-batch-size and approximation-ratio
+	// experiments (Sections 6.4–6.5).
+	FLOPsCost bool
+	// CoarseSegments optionally contracts the forward graph to roughly this
+	// many nodes (block granularity) to bound MILP size.
+	CoarseSegments int
+	// Input overrides the model's default input resolution.
+	Input nets.Shape
+}
+
+func (o Options) model() costmodel.Model {
+	if o.FLOPsCost {
+		return costmodel.NewFLOPs()
+	}
+	switch o.Device {
+	case "", "v100":
+		return costmodel.NewRoofline(costmodel.V100())
+	case "tpu":
+		return costmodel.NewRoofline(costmodel.TPUv2Core())
+	case "cpu":
+		return costmodel.NewRoofline(costmodel.CPU())
+	default:
+		return costmodel.NewRoofline(costmodel.V100())
+	}
+}
+
+// Workload is a model ready to be scheduled: the forward network, its
+// differentiated training graph, and memory accounting.
+type Workload struct {
+	Net *nets.Net
+	AD  *autodiff.Result
+	// Graph is the joint forward+backward training DAG the optimizer
+	// schedules.
+	Graph *graph.Graph
+	// Overhead is M_input + 2·M_param (eq. (2)).
+	Overhead int64
+}
+
+// Models lists the available architecture names.
+func Models() []string { return nets.Names() }
+
+// Load builds a named model from the zoo and differentiates it.
+func Load(model string, opt Options) (*Workload, error) {
+	if opt.Batch == 0 {
+		opt.Batch = 1
+	}
+	net, err := nets.ByName(model, nets.Config{
+		Model: opt.model(), Batch: opt.Batch,
+		CoarseSegments: opt.CoarseSegments, Input: opt.Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FromNet(net)
+}
+
+// FromNet wraps an already-built network.
+func FromNet(net *nets.Net) (*Workload, error) {
+	ad, err := net.Training(autodiff.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Net: net, AD: ad, Graph: ad.Graph, Overhead: net.Overhead()}, nil
+}
+
+// FromGraph wraps a raw training DAG (already containing backward nodes)
+// with a constant memory overhead — the fully general entry point.
+func FromGraph(g *graph.Graph, overhead int64) (*Workload, error) {
+	if err := g.Validate(true); err != nil {
+		return nil, err
+	}
+	return &Workload{Graph: g, Overhead: overhead}, nil
+}
+
+// CheckpointAllPeak returns the peak memory of the no-rematerialization
+// policy — the budget above which rematerialization is unnecessary.
+func (w *Workload) CheckpointAllPeak() int64 {
+	return int64(core.CheckpointAll(w.Graph).Peak(w.Graph, w.Overhead))
+}
+
+// MinBudget returns a lower bound on any feasible budget.
+func (w *Workload) MinBudget() int64 {
+	return core.MinBudgetLowerBound(w.Graph, w.Overhead)
+}
+
+// SolveOptions tune the optimal solver.
+type SolveOptions struct {
+	// TimeLimit mirrors the paper's 3600 s solver limit (default 60 s).
+	TimeLimit time.Duration
+	// RelGap is the accepted relative optimality gap (default 1e-6: solve
+	// to proven optimality).
+	RelGap float64
+	// Unpartitioned disables frontier-advancing stages (Appendix A).
+	Unpartitioned bool
+}
+
+// Schedule is a solved rematerialization schedule with its execution plan.
+type Schedule struct {
+	Sched *core.Sched
+	Plan  *schedule.Plan
+	// Cost is the per-iteration compute cost (seconds under the roofline
+	// model, FLOPs under the FLOPs model).
+	Cost float64
+	// IdealCost is the checkpoint-all cost (every node once): Cost/IdealCost
+	// is the paper's "overhead ×" axis.
+	IdealCost float64
+	// PeakBytes is the true peak memory including overhead.
+	PeakBytes int64
+	// Optimal reports whether optimality was proven.
+	Optimal bool
+	// Stats from the solve.
+	SolveTime time.Duration
+	Nodes     int
+	LPVars    int
+	LPRows    int
+}
+
+// Overhead returns the relative execution overhead versus the ideal
+// checkpoint-all policy (1.0 = no recomputation cost).
+func (s *Schedule) Overhead() float64 { return s.Cost / s.IdealCost }
+
+// SolveOptimal solves the MILP of paper Section 4.7 at the given budget.
+// A budget below MinBudget or an over-constrained instance returns an error.
+func (w *Workload) SolveOptimal(budget int64, opt SolveOptions) (*Schedule, error) {
+	if opt.TimeLimit == 0 {
+		opt.TimeLimit = 60 * time.Second
+	}
+	res, err := core.SolveILP(core.Instance{G: w.Graph, Budget: budget, Overhead: w.Overhead}, core.SolveOptions{
+		TimeLimit:     opt.TimeLimit,
+		RelGap:        opt.RelGap,
+		Unpartitioned: opt.Unpartitioned,
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch res.Status {
+	case milp.StatusInfeasible:
+		return nil, fmt.Errorf("checkmate: no schedule fits budget %d (min feasible ≥ %d)", budget, w.MinBudget())
+	case milp.StatusLimit:
+		return nil, fmt.Errorf("checkmate: no feasible schedule found within limits at budget %d", budget)
+	}
+	return w.finish(res.Sched, res.Status == milp.StatusOptimal, res)
+}
+
+// SolveApprox runs the two-phase LP rounding approximation (Section 5) with
+// the ε-search refinement of Appendix D.
+func (w *Workload) SolveApprox(budget int64) (*Schedule, error) {
+	r, err := approx.SolveWithSearch(core.Instance{G: w.Graph, Budget: budget, Overhead: w.Overhead}, approx.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return w.finish(r.Sched, false, nil)
+}
+
+func (w *Workload) finish(s *core.Sched, optimal bool, res *core.Result) (*Schedule, error) {
+	plan, err := schedule.Generate(w.Graph, s)
+	if err != nil {
+		return nil, err
+	}
+	plan = schedule.MoveDeallocationsEarlier(w.Graph, plan)
+	sim, err := schedule.Simulate(w.Graph, plan, w.Overhead)
+	if err != nil {
+		return nil, err
+	}
+	out := &Schedule{
+		Sched:     s,
+		Plan:      plan,
+		Cost:      s.Cost(w.Graph),
+		IdealCost: w.Graph.TotalCost(),
+		PeakBytes: sim.PeakBytes,
+		Optimal:   optimal,
+	}
+	if res != nil {
+		out.SolveTime = res.SolveTime
+		out.Nodes = res.Nodes
+		out.LPVars = res.Vars
+		out.LPRows = res.Rows
+	}
+	return out, nil
+}
+
+// BaselineTarget adapts the workload for package baselines.
+func (w *Workload) BaselineTarget() (*baselines.Target, error) {
+	if w.AD == nil {
+		return nil, fmt.Errorf("checkmate: baselines need a forward graph (use Load or FromNet)")
+	}
+	return &baselines.Target{AD: w.AD, Fwd: w.Net.Fwd, Overhead: w.Overhead}, nil
+}
+
+// MemoryTrace simulates the schedule and returns memory-in-use after every
+// plan statement (the Figure 1 curve).
+func (w *Workload) MemoryTrace(s *Schedule) ([]int64, error) {
+	sim, err := schedule.Simulate(w.Graph, s.Plan, w.Overhead)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Trace, nil
+}

@@ -1,0 +1,138 @@
+package checkmate
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/nets"
+)
+
+func TestLoadUnknownModel(t *testing.T) {
+	if _, err := Load("not-a-model", Options{}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestModelsListed(t *testing.T) {
+	if len(Models()) < 10 {
+		t.Fatalf("model registry too small: %v", Models())
+	}
+}
+
+func TestEndToEndSmallModel(t *testing.T) {
+	wl, err := Load("linear32", Options{Batch: 2, CoarseSegments: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := wl.CheckpointAllPeak()
+	minB := wl.MinBudget()
+	if minB >= peak {
+		t.Fatalf("degenerate workload: min %d >= peak %d", minB, peak)
+	}
+	budget := minB + (peak-minB)*2/3
+	sched, err := wl.SolveOptimal(budget, SolveOptions{TimeLimit: 30 * time.Second, RelGap: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.PeakBytes > budget {
+		t.Fatalf("peak %d over budget %d", sched.PeakBytes, budget)
+	}
+	if sched.Overhead() < 1 {
+		t.Fatalf("overhead %v < 1 is impossible", sched.Overhead())
+	}
+	trace, err := wl.MemoryTrace(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty memory trace")
+	}
+}
+
+func TestApproxPipeline(t *testing.T) {
+	wl, err := Load("linear32", Options{Batch: 2, CoarseSegments: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := wl.CheckpointAllPeak()
+	sched, err := wl.SolveApprox(peak * 3 / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Optimal {
+		t.Fatal("approximation must not claim optimality")
+	}
+	if sched.PeakBytes > peak*3/4 {
+		t.Fatalf("approx peak %d over budget %d", sched.PeakBytes, peak*3/4)
+	}
+}
+
+func TestInfeasibleBudgetErrors(t *testing.T) {
+	wl, err := Load("linear32", Options{Batch: 1, CoarseSegments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl.SolveOptimal(1, SolveOptions{TimeLimit: 10 * time.Second}); err == nil {
+		t.Fatal("budget of 1 byte accepted")
+	}
+}
+
+func TestFromGraphValidation(t *testing.T) {
+	g := graph.New(2)
+	g.AddNode(graph.Node{Cost: 1, Mem: 1})
+	g.AddNode(graph.Node{Cost: 1, Mem: 1})
+	// Two sinks: invalid.
+	if _, err := FromGraph(g, 0); err == nil {
+		t.Fatal("multi-sink graph accepted")
+	}
+	g.MustEdge(0, 1)
+	wl, err := FromGraph(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.MinBudget() != 7 {
+		t.Fatalf("min budget %d want 7", wl.MinBudget())
+	}
+}
+
+func TestBaselineTarget(t *testing.T) {
+	wl, err := Load("linear32", Options{Batch: 1, CoarseSegments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := wl.BaselineTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.Fwd.Len() == 0 {
+		t.Fatal("empty baseline target")
+	}
+	// FromGraph workloads cannot provide baseline targets.
+	g := nets.Shape{}
+	_ = g
+	raw := graph.New(1)
+	raw.AddNode(graph.Node{Cost: 1, Mem: 1})
+	wl2, err := FromGraph(raw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wl2.BaselineTarget(); err == nil {
+		t.Fatal("baseline target without forward graph accepted")
+	}
+}
+
+func TestDevicePresetsChangeSchedules(t *testing.T) {
+	// Hardware awareness: costs must differ across devices.
+	a, err := Load("vgg16", Options{Batch: 2, Device: "v100", CoarseSegments: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("vgg16", Options{Batch: 2, Device: "cpu", CoarseSegments: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.TotalCost() == b.Graph.TotalCost() {
+		t.Fatal("v100 and cpu cost models indistinguishable")
+	}
+}

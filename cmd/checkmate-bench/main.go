@@ -1,0 +1,105 @@
+// Command checkmate-bench regenerates the paper's tables and figures
+// (Section 6 and appendices). Each experiment prints the same rows/series
+// the paper reports; see EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Example:
+//
+//	checkmate-bench -experiment fig5 -model unet -batch 4
+//	checkmate-bench -experiment all -timelimit 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "one of: fig1, fig3, table1, fig5, fig6, table2, fig7, fig8, appendixA, all")
+		model    = flag.String("model", "", "model for fig5 (default runs the paper's three panels)")
+		batch    = flag.Int("batch", 0, "batch size for fig5 (0 = paper panel defaults, scaled)")
+		segments = flag.Int("segments", 0, "coarse block count (0 = default 12)")
+		points   = flag.Int("points", 0, "budget points per curve (0 = default 5)")
+		limit    = flag.Duration("timelimit", 0, "ILP time limit per solve (0 = default 45s)")
+		gap      = flag.Float64("gap", 0, "accepted ILP gap (0 = default 0.02)")
+	)
+	flag.Parse()
+	sc := experiments.Scale{Segments: *segments, BudgetPoints: *points, TimeLimit: *limit, RelGap: *gap}
+	w := os.Stdout
+
+	run := func(name string, f func() error) {
+		fmt.Fprintf(w, "\n==== %s ====\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "checkmate-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(%s took %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("table1", func() error { experiments.Table1(w); return nil })
+	}
+	if want("fig3") {
+		run("fig3", func() error { return experiments.Fig3(w, sc) })
+	}
+	if want("fig1") {
+		run("fig1", func() error { return experiments.Fig1(w, sc) })
+	}
+	if want("fig5") {
+		panels := [][2]any{{"vgg16", 8}, {"mobilenet", 16}, {"unet", 2}}
+		if *model != "" {
+			b := *batch
+			if b == 0 {
+				b = 4
+			}
+			panels = [][2]any{{*model, b}}
+		}
+		for _, p := range panels {
+			m, b := p[0].(string), p[1].(int)
+			run("fig5/"+m, func() error {
+				_, err := experiments.Fig5(w, m, b, sc)
+				return err
+			})
+		}
+	}
+	if want("fig6") {
+		run("fig6", func() error {
+			var models []string
+			if *model != "" {
+				models = strings.Split(*model, ",")
+			}
+			_, err := experiments.Fig6(w, models, sc)
+			return err
+		})
+	}
+	if want("table2") {
+		run("table2", func() error {
+			var models []string
+			if *model != "" {
+				models = strings.Split(*model, ",")
+			}
+			_, err := experiments.Table2(w, models, sc)
+			return err
+		})
+	}
+	if want("fig7") {
+		run("fig7", func() error { return experiments.Fig7(w, sc) })
+	}
+	if want("fig8") {
+		run("fig8", func() error { return experiments.Fig8(w, nil, sc) })
+	}
+	if want("appendixA") {
+		run("appendixA", func() error {
+			_, err := experiments.AppendixA(w, sc)
+			return err
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Command checkmate-profile prints the per-layer cost/memory profile the
+// optimizer consumes (paper Section 4.10: "costs are determined prior to
+// MILP construction by profiling network layers on target hardware").
+// With no GPU available the profile comes from the analytic roofline model;
+// this tool makes the resulting C_i and M_i inspectable.
+//
+// Example:
+//
+//	checkmate-profile -model vgg19 -batch 32 -device v100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/checkmate"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "vgg19", "model name")
+		batch  = flag.Int("batch", 32, "batch size")
+		device = flag.String("device", "v100", "v100 | tpu | cpu")
+		flops  = flag.Bool("flops", false, "report static FLOPs instead of roofline seconds")
+		bwd    = flag.Bool("backward", false, "include gradient nodes")
+	)
+	flag.Parse()
+	wl, err := checkmate.Load(*model, checkmate.Options{Batch: *batch, Device: *device, FLOPsCost: *flops})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkmate-profile:", err)
+		os.Exit(1)
+	}
+	g := wl.Graph
+	unit := "ms"
+	scale := 1e3
+	if *flops {
+		unit, scale = "GFLOP", 1e-9
+	}
+	fmt.Printf("# %s batch=%d on %s — per-node profile\n", *model, *batch, *device)
+	fmt.Printf("%-4s %-28s %12s %12s %6s\n", "id", "name", "cost("+unit+")", "out-mem", "deps")
+	var totC float64
+	var totM int64
+	minC, maxC := 1e300, 0.0
+	for v := 0; v < g.Len(); v++ {
+		n := g.Node(graph.NodeID(v))
+		if n.Backward && !*bwd {
+			continue
+		}
+		fmt.Printf("%-4d %-28s %12.4f %12s %6d\n", v, n.Name, n.Cost*scale, fmtBytes(n.Mem), len(g.Deps(graph.NodeID(v))))
+		totC += n.Cost
+		totM += n.Mem
+		if n.Cost < minC {
+			minC = n.Cost
+		}
+		if n.Cost > maxC {
+			maxC = n.Cost
+		}
+	}
+	fmt.Printf("\ntotal cost %.4f%s, total activations %s, cost spread %.0fx\n",
+		totC*scale, unit, fmtBytes(totM), maxC/minC)
+	fmt.Printf("constant overhead (input + 2x params): %s\n", fmtBytes(wl.Overhead))
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,143 @@
+// Command checkmate-solve optimizes a single rematerialization instance:
+// pick a model, batch size, and memory budget; get back the optimal (or
+// approximate) schedule, its overhead, and optionally the full execution
+// plan.
+//
+// Example:
+//
+//	checkmate-solve -model unet -batch 4 -budget 16GiB -segments 12
+//	checkmate-solve -model vgg16 -batch 16 -budget 0.8 -approx -plan
+//
+// A fractional -budget (0 < b ≤ 1) is interpreted as a fraction of the
+// checkpoint-all peak.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/checkmate"
+	"repro/internal/nets"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "vgg16", "model name ("+strings.Join(checkmate.Models(), ", ")+")")
+		batch    = flag.Int("batch", 4, "batch size")
+		budget   = flag.String("budget", "16GiB", "memory budget (e.g. 16GiB, 4GB, 1073741824) or fraction (0..1] of the schedulable range between the minimum feasible budget and the checkpoint-all peak")
+		segments = flag.Int("segments", 12, "coarse block count for the forward graph (0 = full layer granularity)")
+		device   = flag.String("device", "v100", "cost model device: v100, tpu, cpu")
+		flops    = flag.Bool("flops", false, "use static FLOP costs instead of the roofline model")
+		useApx   = flag.Bool("approx", false, "use two-phase LP rounding instead of the exact ILP")
+		limit    = flag.Duration("timelimit", 60*time.Second, "ILP time limit")
+		gap      = flag.Float64("gap", 0.01, "accepted relative optimality gap")
+		showPlan = flag.Bool("plan", false, "print the generated execution plan")
+		res      = flag.String("input", "", "override input resolution as CxHxW, e.g. 3x416x608")
+	)
+	flag.Parse()
+
+	opts := checkmate.Options{Batch: *batch, Device: *device, FLOPsCost: *flops, CoarseSegments: *segments}
+	if *res != "" {
+		shape, err := parseShape(*res)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Input = shape
+	}
+	wl, err := checkmate.Load(*model, opts)
+	if err != nil {
+		fatal(err)
+	}
+	peak := wl.CheckpointAllPeak()
+	minB := wl.MinBudget()
+	bud, err := parseBudget(*budget, minB, peak)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model=%s batch=%d graph: %d nodes, %d edges\n", *model, *batch, wl.Graph.Len(), wl.Graph.NumEdges())
+	fmt.Printf("checkpoint-all peak %s, minimum feasible budget %s, solving at %s\n",
+		fmtBytes(peak), fmtBytes(minB), fmtBytes(bud))
+
+	var sched *checkmate.Schedule
+	if *useApx {
+		sched, err = wl.SolveApprox(bud)
+	} else {
+		sched, err = wl.SolveOptimal(bud, checkmate.SolveOptions{TimeLimit: *limit, RelGap: *gap})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cost %.6g (overhead %.3fx vs ideal), peak %s, optimal=%v\n",
+		sched.Cost, sched.Overhead(), fmtBytes(sched.PeakBytes), sched.Optimal)
+	if sched.Nodes > 0 {
+		fmt.Printf("solve: %v, %d branch-and-bound nodes, MILP %d vars × %d rows\n",
+			sched.SolveTime.Round(time.Millisecond), sched.Nodes, sched.LPVars, sched.LPRows)
+	}
+	fmt.Printf("plan: %d statements, %d recomputations\n", len(sched.Plan.Stmts), sched.Sched.Recomputations())
+	if *showPlan {
+		fmt.Print(sched.Plan.String())
+	}
+}
+
+func parseShape(s string) (nets.Shape, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return nets.Shape{}, fmt.Errorf("bad shape %q, want CxHxW", s)
+	}
+	var dims [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nets.Shape{}, fmt.Errorf("bad shape %q", s)
+		}
+		dims[i] = v
+	}
+	return nets.Shape{C: dims[0], H: dims[1], W: dims[2]}, nil
+}
+
+func parseBudget(s string, minB, peak int64) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	up := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(up, "GIB"):
+		mult, s = 1<<30, s[:len(s)-3]
+	case strings.HasSuffix(up, "MIB"):
+		mult, s = 1<<20, s[:len(s)-3]
+	case strings.HasSuffix(up, "GB"):
+		mult, s = 1e9, s[:len(s)-2]
+	case strings.HasSuffix(up, "MB"):
+		mult, s = 1e6, s[:len(s)-2]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad budget %q", s)
+	}
+	if mult == 1 && v > 0 && v <= 1 {
+		// Fractions interpolate the schedulable range: 0 = minimum feasible
+		// budget, 1 = checkpoint-all peak (absolute bytes below the minimum
+		// are never useful).
+		return minB + int64(v*float64(peak-minB)), nil
+	}
+	return int64(v * float64(mult)), nil
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/float64(1<<20))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checkmate-solve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Maxbatch: how much larger can the batch get? Reproduces the headline
+// experiment of paper Figure 6 for one model: binary-search the largest
+// batch size that fits a 16 GiB accelerator when total compute may exceed
+// the ideal by at most one extra forward pass (paper eq. (10)).
+//
+// Run with:
+//
+//	go run ./examples/maxbatch
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	rows, err := experiments.Fig6(os.Stdout, []string{"mobilenet"}, experiments.Scale{
+		Segments: 10,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maxbatch:", err)
+		os.Exit(1)
+	}
+	r := rows[0]
+	fmt.Println()
+	if r.CheckpointAll > 0 && r.Checkmate > 0 {
+		fmt.Printf("checkmate trains %s at batch %d — %.2fx the framework default (%d)\n",
+			r.Model, r.Checkmate, float64(r.Checkmate)/float64(r.CheckpointAll), r.CheckpointAll)
+	}
+	fmt.Println("(the paper reports up to 5.1x on MobileNet with full-size graphs and a 1-day Gurobi budget)")
+}

@@ -1,0 +1,62 @@
+// Quickstart: solve an optimal rematerialization schedule for a VGG16
+// training iteration that must fit in half of the memory it would normally
+// need, then inspect the schedule.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/checkmate"
+)
+
+func main() {
+	// 1. Load a model from the zoo. CoarseSegments contracts the forward
+	//    graph to block granularity so the MILP stays small.
+	wl, err := checkmate.Load("vgg16", checkmate.Options{Batch: 8, CoarseSegments: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training graph: %d nodes, %d edges\n", wl.Graph.Len(), wl.Graph.NumEdges())
+
+	// 2. How much memory would the framework default (retain everything)
+	//    need?
+	peak := wl.CheckpointAllPeak()
+	fmt.Printf("checkpoint-all peak: %.2f GiB (floor: %.2f GiB)\n", gib(peak), gib(wl.MinBudget()))
+
+	// 3. Ask for an optimal schedule halfway between the smallest budget any
+	//    schedule can satisfy (parameters and the largest working set are
+	//    incompressible) and the checkpoint-all peak.
+	minB := wl.MinBudget()
+	budget := minB + (peak-minB)/2
+	sched, err := wl.SolveOptimal(budget, checkmate.SolveOptions{
+		TimeLimit: 60 * time.Second,
+		RelGap:    0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solved in %v (%d branch-and-bound nodes, %d vars × %d rows)\n",
+		sched.SolveTime.Round(time.Millisecond), sched.Nodes, sched.LPVars, sched.LPRows)
+	fmt.Printf("schedule: peak %.2f GiB (budget %.2f GiB), overhead %.2f%% extra compute\n",
+		gib(sched.PeakBytes), gib(budget), 100*(sched.Overhead()-1))
+	fmt.Printf("the plan recomputes %d values across %d statements\n",
+		sched.Sched.Recomputations(), len(sched.Plan.Stmts))
+
+	// 4. The first few statements of the concrete execution plan:
+	fmt.Println("plan preview:")
+	for i, st := range sched.Plan.Stmts {
+		if i >= 8 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println("  " + st.String())
+	}
+}
+
+func gib(b int64) float64 { return float64(b) / float64(1<<30) }

@@ -1,0 +1,94 @@
+// Train-MLP: end-to-end proof that rematerialization does not change the
+// math. A real tanh MLP with mean-squared-error loss is trained for one step
+// twice — once with the framework-default retain-everything plan, once with
+// an optimal rematerialization plan at ~60% of the memory — and the weight
+// gradients are compared bit for bit (paper Section 3: rematerialization "is
+// mathematically equivalent to rematerialization-free training").
+//
+// Run with:
+//
+//	go run ./examples/train-mlp
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/schedule"
+)
+
+func main() {
+	mlp := exec.NewMLP([]int{32, 64, 64, 64, 64, 64, 10}, 96, 7)
+	machine := mlp.Machine()
+	fmt.Printf("MLP training graph: %d nodes (%d activations, %d gradients, %d weight grads)\n",
+		machine.G.Len(), len(mlp.Act), len(mlp.ActGrad), len(mlp.WGrad))
+
+	// Baseline: retain everything.
+	retain := core.CheckpointAll(machine.G)
+	basePlan, err := schedule.Generate(machine.G, retain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseSim, err := schedule.Simulate(machine.G, basePlan, machine.Overhead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseVals, err := machine.Execute(basePlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retain-all: peak %s, %d computes\n", kib(baseSim.PeakBytes), baseSim.Computes)
+
+	// Optimal rematerialization at a reduced budget. MinBudgetLowerBound is
+	// only a bound, so probe upward until a schedule exists.
+	minB := core.MinBudgetLowerBound(machine.G, machine.Overhead)
+	var res *core.Result
+	var budget int64
+	for _, frac := range []float64{0.25, 0.4, 0.55, 0.7, 0.85} {
+		budget = minB + int64(float64(baseSim.PeakBytes-minB)*frac)
+		r, err := core.SolveILP(core.Instance{G: machine.G, Budget: budget, Overhead: machine.Overhead},
+			core.SolveOptions{TimeLimit: 60 * time.Second})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.Sched != nil {
+			res = r
+			break
+		}
+	}
+	if res == nil {
+		log.Fatal("no reduced budget admits a schedule")
+	}
+	plan, err := schedule.Generate(machine.G, res.Sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan = schedule.MoveDeallocationsEarlier(machine.G, plan)
+	sim, err := schedule.Simulate(machine.G, plan, machine.Overhead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rematerialized: peak %s (budget %s), %d computes (%d extra)\n",
+		kib(sim.PeakBytes), kib(budget), sim.Computes, sim.Computes-baseSim.Computes)
+
+	rematVals, err := machine.Execute(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare every weight gradient bit for bit.
+	for i, wg := range mlp.WGrad {
+		a, b := baseVals[wg], rematVals[wg]
+		for j := range a {
+			if a[j] != b[j] {
+				log.Fatalf("layer %d gradient differs at %d: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+	fmt.Println("all weight gradients are bit-identical: rematerialization changed memory use, not math ✓")
+}
+
+func kib(b int64) string { return fmt.Sprintf("%.1fKiB", float64(b)/1024) }

@@ -1,0 +1,156 @@
+// Package approx implements the paper's polynomial-time approximation
+// algorithm (Section 5): solve the LP relaxation of the rematerialization
+// MILP, round the fractional checkpoint matrix S*, and complete it with the
+// conditionally-optimal computation matrix R (two-phase rounding,
+// Algorithm 2).
+//
+// Because rounding ignores the memory constraint, the LP is solved against a
+// deflated budget (1−ε)·M_budget (Section 5.3); the paper finds ε = 0.1 to
+// work well, and Appendix D notes a search over ε can recover tighter
+// schedules — implemented here as SolveWithSearch.
+package approx
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Options configure the approximation.
+type Options struct {
+	// Epsilon is the budget allowance of Section 5.3 (default 0.1).
+	Epsilon float64
+	// Threshold for deterministic rounding of S* (default 0.5).
+	Threshold float64
+	// Randomized switches to randomized rounding: S_int ~ Bernoulli(S*),
+	// sampled Samples times with the given seed; the best feasible sample
+	// wins (Appendix D / Figure 8).
+	Randomized bool
+	Samples    int
+	Seed       int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	if o.Samples == 0 {
+		o.Samples = 50
+	}
+	return o
+}
+
+// Result is an approximation outcome.
+type Result struct {
+	Sched *core.Sched
+	// Cost is the schedule cost; LPObj is the relaxation objective (a lower
+	// bound on the optimal integral cost).
+	Cost  float64
+	LPObj float64
+	// PeakBytes is the schedule's peak memory including overhead.
+	PeakBytes float64
+	// Feasible records whether the schedule fits the original budget.
+	Feasible bool
+}
+
+// Solve runs two-phase rounding once at the configured ε.
+func Solve(inst core.Instance, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	deflated := inst
+	deflated.Budget = int64(float64(inst.Budget) * (1 - opt.Epsilon))
+	fs, lpObj, err := core.SolveRelaxation(deflated, false)
+	if err != nil {
+		return nil, fmt.Errorf("approx: %w", err)
+	}
+	if opt.Randomized {
+		return bestRandomized(inst, fs, lpObj, opt)
+	}
+	s := core.TwoPhaseRound(inst.G, fs, opt.Threshold, nil)
+	return finish(inst, s, lpObj), nil
+}
+
+// SolveWithSearch sweeps ε over [0, 0.5] and returns the cheapest schedule
+// feasible at the true budget (the refinement suggested in Appendix D).
+func SolveWithSearch(inst core.Instance, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	var best *Result
+	for _, eps := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5} {
+		o := opt
+		o.Epsilon = eps
+		r, err := Solve(inst, o)
+		if err != nil {
+			continue
+		}
+		if !r.Feasible {
+			continue
+		}
+		if best == nil || r.Cost < best.Cost {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("approx: no feasible rounding found at any ε (budget %d)", inst.Budget)
+	}
+	return best, nil
+}
+
+func bestRandomized(inst core.Instance, fs *core.FractionalSched, lpObj float64, opt Options) (*Result, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var best *Result
+	var bestAny *Result
+	for s := 0; s < opt.Samples; s++ {
+		sched := core.TwoPhaseRound(inst.G, fs, 0, rng.Float64)
+		r := finish(inst, sched, lpObj)
+		if bestAny == nil || r.Cost < bestAny.Cost {
+			bestAny = r
+		}
+		if r.Feasible && (best == nil || r.Cost < best.Cost) {
+			best = r
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	// No sample fit the budget; report the cheapest anyway with Feasible
+	// false so callers can widen ε (mirrors the paper's observation that
+	// randomized rounding rarely finds feasible points, Section 5.1).
+	return bestAny, nil
+}
+
+// Samples generates sample points for the rounding-comparison experiment
+// (Figure 8): every randomized-rounding sample plus the deterministic
+// rounding, each reported as (cost, peak memory).
+func Samples(inst core.Instance, opt Options) (det *Result, rnd []*Result, err error) {
+	opt = opt.withDefaults()
+	deflated := inst
+	deflated.Budget = int64(float64(inst.Budget) * (1 - opt.Epsilon))
+	fs, lpObj, err := core.SolveRelaxation(deflated, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	det = finish(inst, core.TwoPhaseRound(inst.G, fs, opt.Threshold, nil), lpObj)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for s := 0; s < opt.Samples; s++ {
+		sched := core.TwoPhaseRound(inst.G, fs, 0, rng.Float64)
+		rnd = append(rnd, finish(inst, sched, lpObj))
+	}
+	return det, rnd, nil
+}
+
+func finish(inst core.Instance, s *core.Sched, lpObj float64) *Result {
+	peak := s.Peak(inst.G, inst.Overhead)
+	return &Result{
+		Sched:     s,
+		Cost:      s.Cost(inst.G),
+		LPObj:     lpObj,
+		PeakBytes: peak,
+		Feasible:  peak <= float64(inst.Budget),
+	}
+}
+
+var _ = graph.NodeID(0)

@@ -1,0 +1,176 @@
+// Package autodiff constructs the joint forward+backward training graph from
+// a forward data-flow graph by static reverse-mode differentiation.
+//
+// Checkmate (Section 6.2) extracts "the forward and backward computation
+// graph" from TensorFlow; this package plays that role. Given a forward DAG
+// G_fwd with a single output (the loss, or a node we attach a loss to), it
+// emits a training DAG containing every forward node plus one gradient node
+// per forward node, wired with the standard reverse-mode dependency
+// structure:
+//
+//	grad(v) depends on { grad(u) : u ∈ Users(v) }   (chain rule accumulation)
+//	grad(v) depends on Deps(v) and on v itself       (local Jacobian inputs)
+//
+// The gradient of the terminal node (loss) depends only on the terminal
+// node. The final node of the training graph is the gradient of the first
+// forward node, which acts as the terminal "training step complete" node the
+// MILP's covering constraint (1e)/(8a) targets.
+//
+// Gradient nodes are marked Backward and by default cost twice their forward
+// counterpart (the usual 2x flop estimate for a backward op: one matmul for
+// the input gradient, one for the weight gradient) and produce a value the
+// same size as the forward activation they differentiate.
+package autodiff
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Options controls backward-graph construction.
+type Options struct {
+	// GradCostFactor scales forward cost to backward cost. The conventional
+	// estimate is 2.0. Zero means 2.0.
+	GradCostFactor float64
+	// GradMemFactor scales forward output size to gradient size. Gradients
+	// of activations have exactly the activation's shape, so the default
+	// (zero means 1.0) is almost always right.
+	GradMemFactor float64
+	// UnitCost forces every node (forward and backward) to unit cost and
+	// unit memory, reproducing the idealized setting of Griewank & Walther
+	// and the Appendix A integrality-gap instance.
+	UnitCost bool
+}
+
+func (o Options) gradCost(c float64) float64 {
+	f := o.GradCostFactor
+	if f == 0 {
+		f = 2
+	}
+	return c * f
+}
+
+func (o Options) gradMem(m int64) int64 {
+	f := o.GradMemFactor
+	if f == 0 {
+		f = 1
+	}
+	return int64(float64(m) * f)
+}
+
+// Result maps between the forward graph and the joint training graph.
+type Result struct {
+	// Graph is the joint forward+backward DAG, topologically ID-ordered.
+	Graph *graph.Graph
+	// Fwd[i] is the training-graph ID of forward node i.
+	Fwd []graph.NodeID
+	// Grad[i] is the training-graph ID of the gradient node of forward node i.
+	Grad []graph.NodeID
+}
+
+// IsForward reports whether training-graph node v is a forward node.
+func (r *Result) IsForward(v graph.NodeID) bool { return !r.Graph.Node(v).Backward }
+
+// ForwardCost returns the total cost of one forward pass.
+func (r *Result) ForwardCost() float64 {
+	var c float64
+	for _, id := range r.Fwd {
+		c += r.Graph.Node(id).Cost
+	}
+	return c
+}
+
+// BackwardCost returns the total cost of one backward pass.
+func (r *Result) BackwardCost() float64 {
+	var c float64
+	for _, id := range r.Grad {
+		c += r.Graph.Node(id).Cost
+	}
+	return c
+}
+
+// Differentiate builds the joint training graph for fwd. The forward graph
+// must be a DAG with IDs in topological order and a single sink (attach a
+// loss node first if necessary; see AttachLoss).
+func Differentiate(fwd *graph.Graph, opt Options) (*Result, error) {
+	if !fwd.IsTopoSorted() {
+		return nil, fmt.Errorf("autodiff: forward graph IDs are not topologically sorted")
+	}
+	sinks := fwd.Sinks()
+	if len(sinks) != 1 {
+		return nil, fmt.Errorf("autodiff: forward graph must have exactly one sink, found %d", len(sinks))
+	}
+	n := fwd.Len()
+	out := graph.New(2 * n)
+	res := &Result{
+		Fwd:  make([]graph.NodeID, n),
+		Grad: make([]graph.NodeID, n),
+	}
+
+	// Forward nodes keep their IDs 0..n-1.
+	for v := 0; v < n; v++ {
+		node := fwd.Node(graph.NodeID(v))
+		if opt.UnitCost {
+			node.Cost, node.Mem = 1, 1
+		}
+		res.Fwd[v] = out.AddNode(node)
+	}
+	for _, e := range fwd.Edges() {
+		out.MustEdge(res.Fwd[e[0]], res.Fwd[e[1]])
+	}
+
+	// Gradient nodes in reverse topological order of the forward graph, so
+	// the joint graph IDs remain topologically sorted: grad(sink) first.
+	for v := n - 1; v >= 0; v-- {
+		fn := fwd.Node(graph.NodeID(v))
+		node := graph.Node{
+			Name:     "grad:" + fn.Name,
+			Cost:     opt.gradCost(fn.Cost),
+			Mem:      opt.gradMem(fn.Mem),
+			Backward: true,
+			Stage:    fn.Stage,
+		}
+		if opt.UnitCost {
+			node.Cost, node.Mem = 1, 1
+		}
+		res.Grad[v] = out.AddNode(node)
+	}
+	for v := 0; v < n; v++ {
+		gv := res.Grad[v]
+		users := fwd.Users(graph.NodeID(v))
+		if len(users) == 0 {
+			// Loss node: its gradient is seeded from the loss value itself.
+			out.MustEdge(res.Fwd[v], gv)
+			continue
+		}
+		for _, u := range users {
+			out.MustEdge(res.Grad[u], gv)
+		}
+		// Local Jacobian needs the op inputs and output.
+		for _, d := range fwd.Deps(graph.NodeID(v)) {
+			out.MustEdge(res.Fwd[d], gv)
+		}
+		out.MustEdge(res.Fwd[v], gv)
+	}
+	res.Graph = out
+	if !out.IsTopoSorted() {
+		return nil, fmt.Errorf("autodiff: internal error, joint graph not topologically sorted")
+	}
+	if err := out.Validate(false); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// AttachLoss appends a scalar loss node depending on every current sink of g
+// and returns its ID. Loss nodes are cheap (cost = lossCost) and tiny
+// (4 bytes). Builders call this so Differentiate sees a single sink.
+func AttachLoss(g *graph.Graph, lossCost float64) graph.NodeID {
+	sinks := g.Sinks()
+	loss := g.AddNode(graph.Node{Name: "loss", Cost: lossCost, Mem: 4})
+	for _, s := range sinks {
+		g.MustEdge(s, loss)
+	}
+	return loss
+}

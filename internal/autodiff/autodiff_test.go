@@ -1,0 +1,161 @@
+package autodiff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func chain(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Node{Name: "f", Cost: float64(i + 1), Mem: int64(10 * (i + 1))})
+	}
+	for i := 1; i < n; i++ {
+		g.MustEdge(graph.NodeID(i-1), graph.NodeID(i))
+	}
+	return g
+}
+
+func TestDifferentiateChainShape(t *testing.T) {
+	fwd := chain(4)
+	res, err := Differentiate(fwd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if g.Len() != 8 {
+		t.Fatalf("joint graph has %d nodes, want 8", g.Len())
+	}
+	// The paper's n for an L-layer linear net is 2L+1 when a loss is
+	// attached; without loss it's 2L. Check ID layout: fwd 0..3, grad 4..7
+	// with grad(3)=4 ... grad(0)=7.
+	if res.Grad[3] != 4 || res.Grad[0] != 7 {
+		t.Fatalf("grad IDs %v", res.Grad)
+	}
+	if !g.IsTopoSorted() {
+		t.Fatal("joint graph not topo sorted")
+	}
+	// Terminal node must be grad of the first forward node.
+	sinks := g.Sinks()
+	if len(sinks) != 1 || sinks[0] != res.Grad[0] {
+		t.Fatalf("sinks=%v, want [%d]", sinks, res.Grad[0])
+	}
+	// grad(2) depends on grad(3), fwd(1) (its dep), fwd(2) (itself).
+	deps := g.Deps(res.Grad[2])
+	want := map[graph.NodeID]bool{res.Grad[3]: true, res.Fwd[1]: true, res.Fwd[2]: true}
+	if len(deps) != len(want) {
+		t.Fatalf("grad(2) deps=%v", deps)
+	}
+	for _, d := range deps {
+		if !want[d] {
+			t.Fatalf("unexpected dep %d", d)
+		}
+	}
+}
+
+func TestGradCostAndMemFactors(t *testing.T) {
+	fwd := chain(2)
+	res, err := Differentiate(fwd, Options{GradCostFactor: 3, GradMemFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gnode := res.Graph.Node(res.Grad[1])
+	if gnode.Cost != 6 { // fwd cost 2 * 3
+		t.Fatalf("grad cost=%v", gnode.Cost)
+	}
+	if gnode.Mem != 10 { // fwd mem 20 * 0.5
+		t.Fatalf("grad mem=%v", gnode.Mem)
+	}
+	if !gnode.Backward {
+		t.Fatal("grad node not marked Backward")
+	}
+}
+
+func TestUnitCostOption(t *testing.T) {
+	fwd := chain(3)
+	res, err := Differentiate(fwd, Options{UnitCost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < res.Graph.Len(); v++ {
+		n := res.Graph.Node(graph.NodeID(v))
+		if n.Cost != 1 || n.Mem != 1 {
+			t.Fatalf("node %d cost=%v mem=%v", v, n.Cost, n.Mem)
+		}
+	}
+	if res.ForwardCost() != 3 || res.BackwardCost() != 3 {
+		t.Fatal("pass costs wrong under unit cost")
+	}
+}
+
+func TestDifferentiateRejectsMultiSink(t *testing.T) {
+	g := graph.New(3)
+	g.AddNode(graph.Node{})
+	g.AddNode(graph.Node{})
+	g.AddNode(graph.Node{})
+	g.MustEdge(0, 1)
+	g.MustEdge(0, 2)
+	if _, err := Differentiate(g, Options{}); err == nil {
+		t.Fatal("multi-sink graph accepted")
+	}
+}
+
+func TestAttachLoss(t *testing.T) {
+	g := graph.New(3)
+	g.AddNode(graph.Node{Name: "a"})
+	g.AddNode(graph.Node{Name: "b"})
+	g.AddNode(graph.Node{Name: "c"})
+	g.MustEdge(0, 1)
+	g.MustEdge(0, 2)
+	loss := AttachLoss(g, 1)
+	if got := g.Sinks(); len(got) != 1 || got[0] != loss {
+		t.Fatalf("sinks after AttachLoss: %v", got)
+	}
+	if len(g.Deps(loss)) != 2 {
+		t.Fatalf("loss deps: %v", g.Deps(loss))
+	}
+}
+
+// Property: for random forward DAGs, the joint graph is a DAG in topo ID
+// order, has exactly 2n nodes, one sink (= grad of node 0 when node 0 is the
+// unique source feeding everything), and every forward node's gradient
+// depends on the gradients of all its users.
+func TestDifferentiateProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%15) + 2
+		rng := rand.New(rand.NewSource(seed))
+		fwd := graph.New(n)
+		for i := 0; i < n; i++ {
+			fwd.AddNode(graph.Node{Cost: 1 + rng.Float64(), Mem: int64(rng.Intn(50) + 1)})
+		}
+		for i := 1; i < n; i++ {
+			fwd.MustEdge(graph.NodeID(i-1), graph.NodeID(i))
+			if i > 1 && rng.Float64() < 0.3 {
+				fwd.MustEdge(graph.NodeID(rng.Intn(i-1)), graph.NodeID(i))
+			}
+		}
+		res, err := Differentiate(fwd, Options{})
+		if err != nil {
+			return false
+		}
+		g := res.Graph
+		if g.Len() != 2*n || !g.IsTopoSorted() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			for _, u := range fwd.Users(graph.NodeID(v)) {
+				if !g.HasEdge(res.Grad[u], res.Grad[v]) {
+					return false
+				}
+			}
+		}
+		sinks := g.Sinks()
+		return len(sinks) == 1 && sinks[0] == res.Grad[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Revolve implements Griewank & Walther's REVOLVE (Algorithm 799): optimal
+// binomial checkpointing for linear-chain graphs with unit step treatment —
+// the "Griewank & Walther log n" baseline of Table 1. slots is the number of
+// checkpoint slots s; memory grows with s while recomputation shrinks.
+//
+// The optimal forward-evaluation count is computed by a dynamic program over
+// (segment length l, spare slots c, topStored), where topStored records
+// whether the segment's top activation is already resident as a checkpoint
+// (DNN adjoints consume both the input and the output activation of a step,
+// so a retained top saves one evaluation):
+//
+//	rev(1, c, true)  = 0
+//	rev(1, c, false) = 1
+//	rev(l, 0, top)   = (l − [top]) + l(l−1)/2
+//	rev(l, c, top)   = min_{1≤k<l} k + rev(l−k, c−1, top) + rev(k, c, true)
+//
+// whose optimum is achieved by REVOLVE's binomial splits. The recursion is
+// replayed into the paper's (R, S) stage matrices so every strategy shares
+// one accounting path.
+func Revolve(t *Target, slots int) (Point, error) {
+	if !t.Fwd.IsLinear() {
+		return Point{}, fmt.Errorf("baselines: REVOLVE requires a linear graph")
+	}
+	L := len(t.AD.Fwd)
+	if slots < 1 {
+		slots = 1
+	}
+	pl := newRevolvePlanner(L)
+	pl.sim(0, L, slots, false)
+	s, err := pl.toSched(t)
+	if err != nil {
+		return Point{}, err
+	}
+	return t.point("griewank-logn", fmt.Sprintf("s=%d", slots), s), nil
+}
+
+// RevolveSweep evaluates REVOLVE across checkpoint-slot counts, returning
+// Pareto-optimal points.
+func RevolveSweep(t *Target, maxSlots int) ([]Point, error) {
+	L := len(t.AD.Fwd)
+	if maxSlots <= 0 || maxSlots > L {
+		maxSlots = L
+	}
+	var out []Point
+	for s := 1; s <= maxSlots; s++ {
+		p, err := Revolve(t, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return paretoFilter(out), nil
+}
+
+// RevolveAdvances exposes the DP optimum (total forward evaluations for the
+// whole schedule, initial sweep included) for tests.
+func RevolveAdvances(l, c int) int {
+	return newRevolvePlanner(l).rev(l, c, false)
+}
+
+type revEventKind int8
+
+const (
+	evFwd   revEventKind = iota // forward evaluation of step j (computes f_j)
+	evAdj                       // adjoint evaluation of step j (computes g_j)
+	evStore                     // store checkpoint of f_j
+)
+
+type revEvent struct {
+	kind revEventKind
+	j    int
+}
+
+type revolvePlanner struct {
+	L      int
+	memo   map[[3]int]int
+	splitK map[[3]int]int
+	events []revEvent
+}
+
+func newRevolvePlanner(l int) *revolvePlanner {
+	return &revolvePlanner{L: l, memo: map[[3]int]int{}, splitK: map[[3]int]int{}}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// rev computes the DP value: forward evaluations to adjoint l steps given
+// the entry state resident, c spare checkpoint slots, and the segment's top
+// activation already resident iff top.
+func (p *revolvePlanner) rev(l, c int, top bool) int {
+	if l <= 0 {
+		return 0
+	}
+	if l == 1 {
+		return 1 - b2i(top)
+	}
+	if c <= 0 {
+		return (l - b2i(top)) + l*(l-1)/2
+	}
+	key := [3]int{l, c, b2i(top)}
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	best, bestK := math.MaxInt64, 1
+	for k := 1; k < l; k++ {
+		v := k + p.rev(l-k, c-1, top) + p.rev(k, c, true)
+		if v < best {
+			best, bestK = v, k
+		}
+	}
+	p.memo[key] = best
+	p.splitK[key] = bestK
+	return best
+}
+
+// sim replays the optimal recursion, emitting events. Preconditions: the
+// state entering step b (f_{b-1}, or the network input for b = 0) is
+// resident; if top, f_{e-1} is resident as a checkpoint.
+func (p *revolvePlanner) sim(b, e, c int, top bool) {
+	l := e - b
+	if l <= 0 {
+		return
+	}
+	if l == 1 {
+		if !top {
+			p.events = append(p.events, revEvent{evFwd, b})
+		}
+		p.events = append(p.events, revEvent{evAdj, b})
+		return
+	}
+	if c <= 0 {
+		// No spare slots: replay the prefix for every adjoint.
+		hi := e - 2
+		if !top {
+			hi = e - 1
+		}
+		for i := b; i <= hi; i++ {
+			p.events = append(p.events, revEvent{evFwd, i})
+		}
+		p.events = append(p.events, revEvent{evAdj, e - 1})
+		for j := e - 2; j >= b; j-- {
+			for i := b; i <= j; i++ {
+				p.events = append(p.events, revEvent{evFwd, i})
+			}
+			p.events = append(p.events, revEvent{evAdj, j})
+		}
+		return
+	}
+	p.rev(l, c, top)
+	k := p.splitK[[3]int{l, c, b2i(top)}]
+	for i := b; i < b+k; i++ {
+		p.events = append(p.events, revEvent{evFwd, i})
+	}
+	// Store f_{b+k-1}, the state entering step b+k; it doubles as the left
+	// segment's resident top and is finally consumed by adjoint b+k-1.
+	p.events = append(p.events, revEvent{evStore, b + k - 1})
+	p.sim(b+k, e, c-1, top)
+	p.sim(b, b+k, c, true)
+}
+
+// toSched converts the event stream into the paper's stage matrices.
+func (p *revolvePlanner) toSched(t *Target) (*core.Sched, error) {
+	g := t.AD.Graph
+	L := p.L
+	n := g.Len()
+	s := core.NewSched(n, g.NumEdges())
+	fwdID := func(j int) int { return int(t.AD.Fwd[j]) }
+	gradID := func(j int) int { return int(t.AD.Grad[j]) }
+
+	// Stage of each event: the first forward evaluation of f_j happens at
+	// stage fwdID(j); recomputations and adjoints at the stage of the next
+	// adjoint event in the stream.
+	stages := make([]int, len(p.events))
+	nextAdj := -1
+	firstDone := make([]bool, L)
+	for i := len(p.events) - 1; i >= 0; i-- {
+		if p.events[i].kind == evAdj {
+			nextAdj = gradID(p.events[i].j)
+		}
+		stages[i] = nextAdj
+	}
+
+	resident := map[int]bool{}
+	checkpoints := map[int]bool{}
+	curStage := -1
+	openStage := func(st int) {
+		for t2 := curStage + 1; t2 <= st; t2++ {
+			for id := range resident {
+				if id < t2 {
+					s.S[t2][id] = true
+				}
+			}
+			s.R[t2][t2] = true
+		}
+		if st > curStage {
+			curStage = st
+		}
+	}
+	head, prevKept := -1, -1
+	for i, ev := range p.events {
+		switch ev.kind {
+		case evFwd:
+			id := fwdID(ev.j)
+			if !firstDone[ev.j] {
+				firstDone[ev.j] = true
+				openStage(id) // frontier stage computes it via R[t][t]
+			} else {
+				openStage(stages[i])
+				s.R[curStage][id] = true
+			}
+			// Every adjoint is immediately preceded by the forward eval of
+			// its step; that adjoint consumes both this value (f_j) and its
+			// input (f_{j-1}, the previous head or a checkpoint), so the
+			// input must survive until the adjoint runs.
+			feedsAdjoint := i+1 < len(p.events) && p.events[i+1].kind == evAdj && p.events[i+1].j == ev.j
+			if head >= 0 && head != id && !checkpoints[head] {
+				if feedsAdjoint {
+					prevKept = head
+				} else {
+					delete(resident, head)
+				}
+			}
+			resident[id] = true
+			head = id
+		case evStore:
+			checkpoints[fwdID(ev.j)] = true
+			resident[fwdID(ev.j)] = true
+		case evAdj:
+			id := gradID(ev.j)
+			openStage(id)
+			// g_j consumes g_{j+1}, f_j (its own activation — final use, so
+			// even a checkpointed copy is released here) and f_{j-1}.
+			if ev.j+1 < L {
+				delete(resident, gradID(ev.j+1))
+			}
+			fj := fwdID(ev.j)
+			delete(resident, fj)
+			delete(checkpoints, fj)
+			if prevKept >= 0 && !checkpoints[prevKept] {
+				delete(resident, prevKept)
+			}
+			head, prevKept = -1, -1
+			resident[id] = true
+		}
+	}
+	openStage(n - 1)
+	s.ComputeFree(g)
+	if err := s.Validate(g, true); err != nil {
+		return nil, fmt.Errorf("baselines: revolve schedule invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/milp"
+)
+
+// SolveOptions tune the optimal (MILP) solve.
+type SolveOptions struct {
+	// TimeLimit bounds wall-clock time, mirroring the paper's 3600 s solver
+	// limit (Section 6.2). Zero means no limit.
+	TimeLimit time.Duration
+	// MaxNodes bounds branch-and-bound nodes (0 = solver default).
+	MaxNodes int
+	// RelGap is the relative optimality gap for early termination.
+	RelGap float64
+	// Unpartitioned disables frontier-advancing stages (Section 4.6),
+	// yielding the much harder form measured in Appendix A.
+	Unpartitioned bool
+	// Seed optionally provides a feasible schedule as the initial incumbent.
+	Seed *Sched
+	// DisableRounding turns off the two-phase-rounding MILP heuristic.
+	DisableRounding bool
+	// CostCap, when positive, bounds total schedule cost (eq. (10)).
+	CostCap float64
+	// AggregatedFree uses the paper's exact big-κ linearization (7c)
+	// instead of the tightened disaggregation (ablation only).
+	AggregatedFree bool
+}
+
+// Result is the outcome of an optimal or approximate solve.
+type Result struct {
+	Sched *Sched
+	// Cost is the schedule cost in the graph's cost units.
+	Cost float64
+	// Status is the underlying MILP status.
+	Status milp.Status
+	// Bound is the proven lower bound on the optimal cost (cost units).
+	Bound float64
+	// RootLPObj is the root LP relaxation objective (cost units); the
+	// integrality gap of Appendix A is Cost/RootLPObj.
+	RootLPObj float64
+	Nodes     int
+	Vars      int
+	Rows      int
+	SolveTime time.Duration
+}
+
+// SolveILP builds and optimizes the complete MILP (9) for the instance,
+// returning the best schedule found. A feasible result is returned even when
+// optimality was not proven within the limits (Status reports which).
+func SolveILP(inst Instance, opt SolveOptions) (*Result, error) {
+	f, err := Build(inst, BuildOptions{FrontierAdvancing: !opt.Unpartitioned, CostCap: opt.CostCap, AggregatedFree: opt.AggregatedFree})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	mopt := milp.Options{
+		TimeLimit: opt.TimeLimit,
+		MaxNodes:  opt.MaxNodes,
+		RelGap:    opt.RelGap,
+	}
+	if !opt.DisableRounding && !opt.Unpartitioned {
+		mopt.Heuristic = RoundingHeuristic(f)
+	}
+	// Seed with the caller's schedule, else try checkpoint-all (feasible
+	// whenever the budget is loose enough to hold every activation).
+	seed := opt.Seed
+	if seed == nil {
+		ca := CheckpointAll(inst.G)
+		if ca.Peak(inst.G, inst.Overhead) <= float64(inst.Budget) {
+			seed = ca
+		}
+	}
+	if seed != nil && opt.CostCap > 0 && seed.Cost(inst.G) > opt.CostCap {
+		seed = nil
+	}
+	if seed != nil {
+		if x, err := f.InjectIncumbent(seed); err == nil {
+			mopt.Incumbent = x
+		}
+	}
+
+	sol := milp.Solve(f.Prob, mopt)
+	res := &Result{
+		Status:    sol.Status,
+		Nodes:     sol.Nodes,
+		SolveTime: time.Since(start),
+		RootLPObj: f.TrueCost(sol.RootLPObj),
+		Bound:     f.TrueCost(sol.Bound),
+	}
+	res.Vars, res.Rows = f.Stats()
+	if sol.Status == milp.StatusOptimal || sol.Status == milp.StatusFeasible {
+		res.Sched = f.ExtractSched(sol.X)
+		res.Cost = res.Sched.Cost(inst.G)
+		if err := res.Sched.Validate(inst.G, !opt.Unpartitioned); err != nil {
+			return nil, fmt.Errorf("core: solver returned invalid schedule: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// SolveRelaxation solves the LP relaxation of problem (9) (Section 5.1),
+// returning the fractional matrices and the relaxation objective in cost
+// units — a lower bound on the optimal integral cost.
+func SolveRelaxation(inst Instance, unpartitioned bool) (*FractionalSched, float64, error) {
+	f, err := Build(inst, BuildOptions{FrontierAdvancing: !unpartitioned})
+	if err != nil {
+		return nil, 0, err
+	}
+	sol := f.Prob.LP.Solve(lp.Options{})
+	if sol.Status != lp.StatusOptimal {
+		return nil, 0, fmt.Errorf("core: LP relaxation: %v", sol.Status)
+	}
+	return f.ExtractFractional(sol.X), f.TrueCost(sol.Obj), nil
+}
+
+// RoundingHeuristic adapts the paper's two-phase rounding (Algorithm 2) into
+// a branch-and-bound incumbent heuristic: every node's LP solution is
+// rounded and repaired; if the repaired schedule fits the hard budget it is
+// offered as an incumbent.
+func RoundingHeuristic(f *Formulation) milp.Heuristic {
+	return func(x []float64) ([]float64, float64, bool) {
+		fs := f.ExtractFractional(x)
+		var best *Sched
+		bestCost := 0.0
+		// Sweep the rounding threshold: low thresholds checkpoint more
+		// (cheaper, more memory), high thresholds checkpoint less. Keep the
+		// cheapest budget-feasible repair.
+		for _, th := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			s := TwoPhaseRound(f.Inst.G, fs, th, nil)
+			if s.Peak(f.Inst.G, f.Inst.Overhead) > float64(f.Inst.Budget) {
+				continue
+			}
+			if f.CostCap > 0 && s.Cost(f.Inst.G) > f.CostCap {
+				continue
+			}
+			if c := s.Cost(f.Inst.G); best == nil || c < bestCost {
+				best, bestCost = s, c
+			}
+		}
+		if best == nil {
+			return nil, 0, false
+		}
+		xi, err := f.InjectIncumbent(best)
+		if err != nil {
+			return nil, 0, false
+		}
+		return xi, bestCost / f.costScale, true
+	}
+}
+
+// TwoPhaseRound implements Algorithm 2: round the fractional checkpoint
+// matrix S* (deterministically at the given threshold, or with randomized
+// rounding when rnd is non-nil: S_int = 1 with probability S*), then solve
+// for the conditionally-optimal computation matrix R and derive FREE by
+// simulation. The result always satisfies the correctness constraints; the
+// caller is responsible for checking the memory budget (Section 5.3).
+func TwoPhaseRound(g *graph.Graph, fs *FractionalSched, threshold float64, rnd func() float64) *Sched {
+	n := fs.N
+	S := boolMat(n, n)
+	for t := 0; t < n; t++ {
+		for i := 0; i < t; i++ { // strictly lower triangular (8b)
+			if rnd != nil {
+				S[t][i] = rnd() < fs.S[t][i]
+			} else {
+				S[t][i] = fs.S[t][i] > threshold
+			}
+		}
+	}
+	return SolveMinR(g, S)
+}

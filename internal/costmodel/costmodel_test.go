@@ -1,0 +1,107 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRooflineDeterministic(t *testing.T) {
+	m := NewRoofline(V100())
+	k := Kernel{FLOPs: 1e9, BytesIn: 1e6, BytesOut: 1e6, BatchSize: 32}
+	if m.Runtime(k) != m.Runtime(k) {
+		t.Fatal("roofline not deterministic")
+	}
+}
+
+func TestRooflineMonotoneInFLOPs(t *testing.T) {
+	m := NewRoofline(V100())
+	f := func(a, b uint32) bool {
+		fa, fb := float64(a)+1, float64(b)+1
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		ka := Kernel{FLOPs: fa * 1e6, BytesIn: 1e6, BytesOut: 1e6, BatchSize: 8}
+		kb := Kernel{FLOPs: fb * 1e6, BytesIn: 1e6, BytesOut: 1e6, BatchSize: 8}
+		return m.Runtime(ka) <= m.Runtime(kb)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRooflineMemoryBound(t *testing.T) {
+	m := NewRoofline(V100())
+	// Elementwise op: almost no FLOPs per byte — runtime must be set by
+	// bandwidth, not compute.
+	k := Kernel{FLOPs: 1e6, BytesIn: 4e9, BytesOut: 4e9, BatchSize: 64}
+	want := 8e9 / V100().MemBandwidth
+	got := m.Runtime(k)
+	if got < want || got > want*1.5 {
+		t.Fatalf("memory-bound runtime %v, want ≈%v", got, want)
+	}
+}
+
+func TestRooflineBatchEfficiency(t *testing.T) {
+	// Section 4.10: per-item time falls as batch grows.
+	m := NewRoofline(V100())
+	perItem := func(b int) float64 {
+		k := Kernel{FLOPs: 1e9 * float64(b), BytesIn: 1e6 * float64(b), BytesOut: 1e6 * float64(b), BatchSize: b}
+		return m.Runtime(k) / float64(b)
+	}
+	if perItem(64) >= perItem(1) {
+		t.Fatalf("per-item time should drop with batch: b1=%v b64=%v", perItem(1), perItem(64))
+	}
+}
+
+func TestRooflineLaunchOverheadFloor(t *testing.T) {
+	m := NewRoofline(V100())
+	if got := m.Runtime(Kernel{}); got != V100().LaunchOverhead {
+		t.Fatalf("empty kernel runtime %v", got)
+	}
+}
+
+func TestFLOPsModel(t *testing.T) {
+	m := NewFLOPs()
+	if m.Runtime(Kernel{FLOPs: 123}) != 123 {
+		t.Fatal("FLOPs model must charge FLOPs directly")
+	}
+	if m.Runtime(Kernel{BytesIn: 10}) != 10 {
+		t.Fatal("zero-FLOP op must charge bytes")
+	}
+	if m.Runtime(Kernel{}) != 1 {
+		t.Fatal("empty kernel must not be free")
+	}
+}
+
+func TestUnitModel(t *testing.T) {
+	m := NewUnit()
+	if m.Runtime(Kernel{FLOPs: 1e12}) != 1 || m.Runtime(Kernel{}) != 1 {
+		t.Fatal("unit model must always charge 1")
+	}
+}
+
+func TestDevicePresetsSane(t *testing.T) {
+	for _, d := range []Device{V100(), TPUv2Core(), CPU()} {
+		if d.PeakFLOPS <= 0 || d.MemBandwidth <= 0 || d.RAMBytes <= 0 {
+			t.Fatalf("device %s has non-positive specs", d.Name)
+		}
+	}
+	if V100().RAMBytes != 16<<30 {
+		t.Fatal("paper's V100 is the 16 GB part")
+	}
+}
+
+func TestHardwareAwareness(t *testing.T) {
+	// The same kernel must cost differently on different devices — the
+	// property that makes Checkmate's schedules hardware-dependent.
+	k := Kernel{FLOPs: 1e10, BytesIn: 1e7, BytesOut: 1e7, BatchSize: 32}
+	tv := NewRoofline(V100()).Runtime(k)
+	tc := NewRoofline(CPU()).Runtime(k)
+	if math.Abs(tv-tc) < 1e-12 {
+		t.Fatal("devices indistinguishable")
+	}
+	if tc < tv {
+		t.Fatal("CPU should be slower than V100 on a compute-bound kernel")
+	}
+}

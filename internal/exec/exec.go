@@ -1,0 +1,317 @@
+// Package exec is a tensor virtual machine: it executes concrete
+// rematerialization plans (package schedule) on real float32 tensors.
+//
+// The paper's Checkmate system rewrites TensorFlow graphs and relies on the
+// framework to execute them; this package plays that role for the
+// reproduction, and in doing so proves the paper's correctness claim that
+// rematerialization "is mathematically equivalent to rematerialization-free
+// training and incurs no accuracy penalty" (Section 3): a rematerialized
+// plan must produce bit-identical activations and weight gradients to the
+// checkpoint-all plan, because recomputing a deterministic kernel yields the
+// same bits.
+//
+// The VM ships a small real workload — a tanh MLP with mean-squared-error
+// loss and explicit weight-gradient nodes — whose joint forward/backward
+// graph carries true byte sizes and FLOP costs, so the full pipeline
+// (graph → MILP → plan → execution) runs end to end on actual numbers.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/schedule"
+)
+
+// Value is a flat float32 tensor.
+type Value []float32
+
+// Op computes a node's value from its dependency values (ordered by
+// ascending node ID, matching graph.Deps).
+type Op func(deps []Value) Value
+
+// Machine pairs a data-flow graph with executable semantics per node.
+type Machine struct {
+	G   *graph.Graph
+	Ops []Op
+	// Overhead is the constant memory (inputs + parameters + gradient
+	// space) to charge during simulation.
+	Overhead int64
+}
+
+// Execute runs a plan and returns the value of every node's final
+// computation (by node ID), enforcing plan correctness: computes may only
+// read values that are resident in live registers at that moment.
+func (m *Machine) Execute(p *schedule.Plan) (map[graph.NodeID]Value, error) {
+	live := map[graph.NodeID]int{} // node -> live register
+	regVal := make([]Value, p.NumRegs)
+	final := map[graph.NodeID]Value{}
+	for si, st := range p.Stmts {
+		switch st.Kind {
+		case schedule.OpAllocate:
+			// Registers are materialized lazily at compute time.
+		case schedule.OpCompute:
+			deps := m.G.Deps(st.Node)
+			vals := make([]Value, len(deps))
+			for di, d := range deps {
+				r, ok := live[d]
+				if !ok || regVal[r] == nil {
+					return nil, fmt.Errorf("exec: stmt %d computes v%d but dependency v%d is not resident", si, st.Node, d)
+				}
+				vals[di] = regVal[r]
+			}
+			out := m.Ops[st.Node](vals)
+			regVal[st.Reg] = out
+			live[st.Node] = st.Reg
+			final[st.Node] = out
+		case schedule.OpDeallocate:
+			node := p.RegNode[st.Reg]
+			if r, ok := live[node]; ok && r == st.Reg {
+				delete(live, node)
+			}
+			regVal[st.Reg] = nil
+		}
+	}
+	return final, nil
+}
+
+// MLP is a small real training workload for the VM.
+type MLP struct {
+	Widths  []int
+	Batch   int
+	Weights []Value // Weights[i] is widths[i+1] × widths[i], row major
+	Input   Value   // batch × widths[0]
+	Target  Value   // batch × widths[last]
+
+	// Graph layout: activations f_0..f_{L-1}, activation gradients
+	// g_{L-1}..g_0, weight gradients wg_0..wg_{L-1}, then a terminal
+	// "apply-update" node.
+	Act, ActGrad, WGrad []graph.NodeID
+	Terminal            graph.NodeID
+}
+
+// NewMLP builds a deterministic random MLP. widths includes the input
+// width; len(widths)-1 layers are created.
+func NewMLP(widths []int, batch int, seed int64) *MLP {
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{Widths: widths, Batch: batch}
+	for i := 0; i+1 < len(widths); i++ {
+		w := make(Value, widths[i+1]*widths[i])
+		for j := range w {
+			w[j] = float32(rng.NormFloat64()) / float32(math.Sqrt(float64(widths[i])))
+		}
+		m.Weights = append(m.Weights, w)
+	}
+	m.Input = make(Value, batch*widths[0])
+	for j := range m.Input {
+		m.Input[j] = float32(rng.NormFloat64())
+	}
+	m.Target = make(Value, batch*widths[len(widths)-1])
+	for j := range m.Target {
+		m.Target[j] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// Machine constructs the joint training graph and its executable ops.
+//
+// Forward:  f_i = tanh(W_i · f_{i-1})        (f_{-1} is the constant input)
+// Loss:     L = ½‖f_last − target‖²
+// Backward: g_last = f_last − target
+//
+//	g_i = W_{i+1}ᵀ (g_{i+1} ⊙ (1 − f_{i+1}²))
+//	wg_i = (g_i ⊙ (1 − f_i²)) · f_{i-1}ᵀ
+//
+// The terminal node consumes every weight gradient (a stand-in for the
+// optimizer update), giving the graph a single sink as the MILP requires.
+func (m *MLP) Machine() *Machine {
+	L := len(m.Widths) - 1
+	g := graph.New(3*L + 1)
+	ops := make([]Op, 0, 3*L+1)
+	bytes := func(elems int) int64 { return int64(4 * elems) }
+
+	// Forward activations.
+	for i := 0; i < L; i++ {
+		i := i
+		out, in := m.Widths[i+1], m.Widths[i]
+		id := g.AddNode(graph.Node{
+			Name: fmt.Sprintf("f%d", i),
+			Cost: float64(2 * m.Batch * out * in),
+			Mem:  bytes(m.Batch * out),
+		})
+		if i > 0 {
+			g.MustEdge(m.Act[i-1], id)
+		}
+		m.Act = append(m.Act, id)
+		ops = append(ops, func(deps []Value) Value {
+			var x Value
+			if i == 0 {
+				x = m.Input
+			} else {
+				x = deps[0]
+			}
+			return m.forward(i, x)
+		})
+	}
+	// Activation gradients, in reverse order so IDs stay topological.
+	m.ActGrad = make([]graph.NodeID, L)
+	for i := L - 1; i >= 0; i-- {
+		i := i
+		cost := float64(m.Batch * m.Widths[i+1]) // elementwise (loss gradient)
+		if i < L-1 {
+			cost = float64(2 * m.Batch * m.Widths[i+2] * m.Widths[i+1]) // matmul backprop
+		}
+		id := g.AddNode(graph.Node{
+			Name:     fmt.Sprintf("g%d", i),
+			Cost:     cost,
+			Mem:      bytes(m.Batch * m.Widths[i+1]),
+			Backward: true,
+		})
+		m.ActGrad[i] = id
+		if i == L-1 {
+			g.MustEdge(m.Act[L-1], id)
+			ops = append(ops, func(deps []Value) Value {
+				fl := deps[0]
+				out := make(Value, len(fl))
+				for j := range fl {
+					out[j] = fl[j] - m.Target[j]
+				}
+				return out
+			})
+			continue
+		}
+		// deps sorted ascending: f_{i+1} (small ID) then g_{i+1}.
+		g.MustEdge(m.Act[i+1], id)
+		g.MustEdge(m.ActGrad[i+1], id)
+		ops = append(ops, func(deps []Value) Value {
+			fNext, gNext := deps[0], deps[1]
+			return m.backprop(i, fNext, gNext)
+		})
+	}
+	// Weight gradients.
+	for i := 0; i < L; i++ {
+		i := i
+		id := g.AddNode(graph.Node{
+			Name:     fmt.Sprintf("wg%d", i),
+			Cost:     float64(2 * m.Batch * m.Widths[i+1] * m.Widths[i]),
+			Mem:      bytes(m.Widths[i+1] * m.Widths[i]),
+			Backward: true,
+		})
+		m.WGrad = append(m.WGrad, id)
+		// deps ascending: f_{i-1} (if any), f_i, g_i.
+		if i > 0 {
+			g.MustEdge(m.Act[i-1], id)
+		}
+		g.MustEdge(m.Act[i], id)
+		g.MustEdge(m.ActGrad[i], id)
+		ops = append(ops, func(deps []Value) Value {
+			var fPrev, fCur, gCur Value
+			if i > 0 {
+				fPrev, fCur, gCur = deps[0], deps[1], deps[2]
+			} else {
+				fPrev, fCur, gCur = m.Input, deps[0], deps[1]
+			}
+			return m.weightGrad(i, fPrev, fCur, gCur)
+		})
+	}
+	// Terminal update node.
+	term := g.AddNode(graph.Node{Name: "apply", Cost: 1, Mem: 4, Backward: true})
+	for _, wg := range m.WGrad {
+		g.MustEdge(wg, term)
+	}
+	m.Terminal = term
+	ops = append(ops, func(deps []Value) Value {
+		var sum float32
+		for _, d := range deps {
+			for _, v := range d {
+				sum += v * v
+			}
+		}
+		return Value{sum}
+	})
+
+	var paramBytes int64
+	for _, w := range m.Weights {
+		paramBytes += int64(4 * len(w))
+	}
+	canon, remap, err := g.Canonicalize()
+	if err != nil {
+		panic(err)
+	}
+	// Remap recorded IDs (canonicalization may reorder the mixed
+	// grad/weight-grad section).
+	remapAll := func(ids []graph.NodeID) {
+		for i := range ids {
+			ids[i] = remap[ids[i]]
+		}
+	}
+	remapAll(m.Act)
+	remapAll(m.ActGrad)
+	remapAll(m.WGrad)
+	m.Terminal = remap[m.Terminal]
+	opsCanon := make([]Op, len(ops))
+	for old, op := range ops {
+		opsCanon[remap[old]] = op
+	}
+	return &Machine{
+		G:        canon,
+		Ops:      opsCanon,
+		Overhead: int64(4*len(m.Input)) + 2*paramBytes,
+	}
+}
+
+func (m *MLP) forward(layer int, x Value) Value {
+	out, in := m.Widths[layer+1], m.Widths[layer]
+	w := m.Weights[layer]
+	res := make(Value, m.Batch*out)
+	for b := 0; b < m.Batch; b++ {
+		for o := 0; o < out; o++ {
+			var acc float32
+			for i := 0; i < in; i++ {
+				acc += w[o*in+i] * x[b*in+i]
+			}
+			res[b*out+o] = float32(math.Tanh(float64(acc)))
+		}
+	}
+	return res
+}
+
+// backprop computes g_i = W_{i+1}ᵀ (g_{i+1} ⊙ (1 − f_{i+1}²)).
+func (m *MLP) backprop(layer int, fNext, gNext Value) Value {
+	out, in := m.Widths[layer+2], m.Widths[layer+1]
+	w := m.Weights[layer+1]
+	res := make(Value, m.Batch*in)
+	for b := 0; b < m.Batch; b++ {
+		for o := 0; o < out; o++ {
+			d := gNext[b*out+o] * (1 - fNext[b*out+o]*fNext[b*out+o])
+			for i := 0; i < in; i++ {
+				res[b*in+i] += w[o*in+i] * d
+			}
+		}
+	}
+	return res
+}
+
+// weightGrad computes wg_i = Σ_batch (g_i ⊙ (1 − f_i²)) · f_{i-1}ᵀ.
+func (m *MLP) weightGrad(layer int, fPrev, fCur, gCur Value) Value {
+	out, in := m.Widths[layer+1], m.Widths[layer]
+	res := make(Value, out*in)
+	for b := 0; b < m.Batch; b++ {
+		for o := 0; o < out; o++ {
+			d := gCur[b*out+o] * (1 - fCur[b*out+o]*fCur[b*out+o])
+			for i := 0; i < in; i++ {
+				res[o*in+i] += d * fPrev[b*in+i]
+			}
+		}
+	}
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

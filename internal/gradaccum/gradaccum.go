@@ -1,0 +1,98 @@
+// Package gradaccum models gradient accumulation, the second orthogonal
+// memory-saving approach the paper discusses (Section 3): reach an effective
+// batch size B by running ceil(B/m) micro-batches of size m and summing
+// gradients.
+//
+// Accumulation trades memory for efficiency differently from
+// rematerialization: per-micro-batch activation memory shrinks with m, but
+// small micro-batches run below the accelerator's efficiency knee
+// (Section 4.10's batch-efficiency observation) and batch normalization
+// degrades at small m (Wu & He, 2018) — the paper's argument for preferring
+// rematerialization. This package prices the first effect with the roofline
+// cost model so the comparison benchmarks can quantify it.
+package gradaccum
+
+import (
+	"fmt"
+
+	"repro/internal/autodiff"
+	"repro/internal/costmodel"
+	"repro/internal/nets"
+)
+
+// Result describes an accumulation plan for one effective batch.
+type Result struct {
+	// MicroBatch is the chosen micro-batch size m.
+	MicroBatch int
+	// Steps is ceil(B/m).
+	Steps int
+	// PeakBytes is the per-step activation peak (checkpoint-all within the
+	// micro-batch; accumulation does not rematerialize).
+	PeakBytes int64
+	// TimePerEffectiveBatch is Steps × per-micro-batch time.
+	TimePerEffectiveBatch float64
+	// IdealTime is the single-pass time at the full batch (the
+	// memory-unconstrained reference).
+	IdealTime float64
+}
+
+// Overhead is TimePerEffectiveBatch / IdealTime.
+func (r *Result) Overhead() float64 { return r.TimePerEffectiveBatch / r.IdealTime }
+
+// Plan finds the largest micro-batch whose checkpoint-all footprint fits the
+// budget and prices the resulting accumulation schedule for the model.
+func Plan(model string, effectiveBatch int, budget int64, dev costmodel.Device) (*Result, error) {
+	cm := costmodel.NewRoofline(dev)
+	buildCost := func(batch int) (peak int64, time float64, err error) {
+		net, err := nets.ByName(model, nets.Config{Model: cm, Batch: batch})
+		if err != nil {
+			return 0, 0, err
+		}
+		ad, err := net.Training(autodiff.Options{})
+		if err != nil {
+			return 0, 0, err
+		}
+		// Checkpoint-all peak ≈ overhead + all activations resident.
+		peak = net.Overhead() + ad.Graph.TotalMem()
+		return peak, ad.Graph.TotalCost(), nil
+	}
+
+	_, idealTime, err := buildCost(effectiveBatch)
+	if err != nil {
+		return nil, err
+	}
+	// Largest feasible micro-batch by binary search (peak is monotone in m).
+	lo, hi := 1, effectiveBatch
+	peak1, _, err := buildCost(1)
+	if err != nil {
+		return nil, err
+	}
+	if peak1 > budget {
+		return nil, fmt.Errorf("gradaccum: even micro-batch 1 needs %d > budget %d", peak1, budget)
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		peak, _, err := buildCost(mid)
+		if err != nil {
+			return nil, err
+		}
+		if peak <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	m := lo
+	steps := (effectiveBatch + m - 1) / m
+	peak, stepTime, err := buildCost(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		MicroBatch:            m,
+		Steps:                 steps,
+		PeakBytes:             peak,
+		TimePerEffectiveBatch: float64(steps) * stepTime,
+		IdealTime:             idealTime,
+	}, nil
+}

@@ -1,0 +1,72 @@
+package gradaccum
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+func TestAmpleBudgetSingleStep(t *testing.T) {
+	r, err := Plan("mobilenet", 8, 1<<40, costmodel.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps != 1 || r.MicroBatch != 8 {
+		t.Fatalf("ample budget should run one step: %+v", r)
+	}
+	if r.Overhead() != 1 {
+		t.Fatalf("overhead %v want 1", r.Overhead())
+	}
+}
+
+func TestTightBudgetSplits(t *testing.T) {
+	full, err := Plan("mobilenet", 16, 1<<40, costmodel.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Plan("mobilenet", 16, full.PeakBytes/3, costmodel.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps < 2 {
+		t.Fatalf("tight budget should split: %+v", r)
+	}
+	if r.PeakBytes > full.PeakBytes/3 {
+		t.Fatalf("peak %d over budget %d", r.PeakBytes, full.PeakBytes/3)
+	}
+	// Batch-efficiency loss: accumulated time must exceed the ideal
+	// (small micro-batches run below the efficiency knee).
+	if r.Overhead() <= 1 {
+		t.Fatalf("accumulation overhead %v should exceed 1", r.Overhead())
+	}
+}
+
+func TestInfeasibleBudget(t *testing.T) {
+	if _, err := Plan("mobilenet", 4, 1000, costmodel.V100()); err == nil {
+		t.Fatal("absurd budget accepted")
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	if _, err := Plan("nope", 4, 1<<40, costmodel.V100()); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestMicroBatchMonotoneInBudget(t *testing.T) {
+	full, err := Plan("mobilenet", 32, 1<<40, costmodel.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Plan("mobilenet", 32, full.PeakBytes/4, costmodel.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Plan("mobilenet", 32, full.PeakBytes/2, costmodel.V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MicroBatch > big.MicroBatch {
+		t.Fatalf("micro-batch not monotone in budget: %d > %d", small.MicroBatch, big.MicroBatch)
+	}
+}

@@ -1,0 +1,192 @@
+package graph
+
+import "sort"
+
+// ArticulationPoints returns the articulation points (cut vertices) of the
+// undirected form of the graph, in ascending ID order. An articulation point
+// is a vertex whose removal increases the number of connected components.
+//
+// The paper's AP √n and AP greedy baselines (Appendix B.1) use articulation
+// points of the forward data-flow graph as checkpoint candidates: any tensor
+// after an articulation point in topological order can be reconstructed from
+// that point alone.
+func (g *Graph) ArticulationPoints() []NodeID {
+	n := len(g.nodes)
+	if n == 0 {
+		return nil
+	}
+	adj := make([][]NodeID, n)
+	for dst, ps := range g.preds {
+		for _, src := range ps {
+			adj[src] = append(adj[src], NodeID(dst))
+			adj[dst] = append(adj[dst], src)
+		}
+	}
+	disc := make([]int, n) // discovery time, 0 = unvisited
+	low := make([]int, n)  // lowest discovery reachable
+	parent := make([]int, n)
+	isAP := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	timer := 0
+
+	// Iterative DFS to avoid stack overflow on deep chains.
+	type frame struct {
+		v    int
+		next int // index into adj[v]
+	}
+	for root := 0; root < n; root++ {
+		if disc[root] != 0 {
+			continue
+		}
+		rootChildren := 0
+		timer++
+		disc[root], low[root] = timer, timer
+		stack := []frame{{v: root}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			if f.next < len(adj[v]) {
+				u := int(adj[v][f.next])
+				f.next++
+				if disc[u] == 0 {
+					parent[u] = v
+					if v == root {
+						rootChildren++
+					}
+					timer++
+					disc[u], low[u] = timer, timer
+					stack = append(stack, frame{v: u})
+				} else if u != parent[v] {
+					if disc[u] < low[v] {
+						low[v] = disc[u]
+					}
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				p := parent[v]
+				if p >= 0 {
+					if low[v] < low[p] {
+						low[p] = low[v]
+					}
+					if p != root && low[v] >= disc[p] {
+						isAP[p] = true
+					}
+				}
+			}
+		}
+		if rootChildren > 1 {
+			isAP[root] = true
+		}
+	}
+	var out []NodeID
+	for v, ap := range isAP {
+		if ap {
+			out = append(out, NodeID(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConnectedComponents returns the number of connected components of the
+// undirected form of the graph, optionally with a set of removed vertices.
+// Used by tests to validate ArticulationPoints against the definition.
+func (g *Graph) ConnectedComponents(removed map[NodeID]bool) int {
+	n := len(g.nodes)
+	seen := make([]bool, n)
+	comps := 0
+	for s := 0; s < n; s++ {
+		if seen[s] || removed[NodeID(s)] {
+			continue
+		}
+		comps++
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			visit := func(u NodeID) {
+				if !seen[u] && !removed[u] {
+					seen[u] = true
+					queue = append(queue, int(u))
+				}
+			}
+			for _, u := range g.preds[v] {
+				visit(u)
+			}
+			for _, u := range g.succs[v] {
+				visit(u)
+			}
+		}
+	}
+	return comps
+}
+
+// Linearize returns the edge set of the linearized chain graph G_lin used by
+// the paper's Linearized √n / Linearized greedy baselines (Appendix B.2):
+// nodes connected consecutively in topological (= ID) order. The node set and
+// attributes are shared with the receiver.
+func (g *Graph) Linearize() *Graph {
+	out := New(len(g.nodes))
+	for _, n := range g.nodes {
+		out.AddNode(n)
+	}
+	for v := 1; v < len(g.nodes); v++ {
+		out.MustEdge(NodeID(v-1), NodeID(v))
+	}
+	return out
+}
+
+// IsLinear reports whether the graph is a simple path in ID order: every
+// node i>0 depends exactly on node i-1.
+func (g *Graph) IsLinear() bool {
+	for v := 0; v < len(g.nodes); v++ {
+		if v == 0 {
+			if len(g.preds[v]) != 0 {
+				return false
+			}
+			continue
+		}
+		if len(g.preds[v]) != 1 || g.preds[v][0] != NodeID(v-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReachableFrom returns the set of nodes reachable from src by following
+// edges forward (src included).
+func (g *Graph) ReachableFrom(src NodeID) map[NodeID]bool {
+	out := map[NodeID]bool{src: true}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.succs[v] {
+			if !out[u] {
+				out[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return out
+}
+
+// AncestorsOf returns the set of nodes that can reach dst (dst included).
+func (g *Graph) AncestorsOf(dst NodeID) map[NodeID]bool {
+	out := map[NodeID]bool{dst: true}
+	queue := []NodeID{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.preds[v] {
+			if !out[u] {
+				out[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return out
+}

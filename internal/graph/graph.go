@@ -1,0 +1,338 @@
+// Package graph provides the data-flow graph intermediate representation
+// used throughout the Checkmate reproduction.
+//
+// A Graph is a directed acyclic graph whose nodes represent operations that
+// yield values (tensors). Each node carries a computation cost (CostPerIter,
+// e.g. seconds or FLOPs) and the memory footprint of its output value
+// (MemBytes). Edges represent data dependencies: an edge (i, j) means
+// operation j consumes the value produced by operation i.
+//
+// Nodes are identified by dense integer IDs assigned at insertion time.
+// Most algorithms in this repository require nodes to be numbered in a
+// topological order; Graph.Canonicalize relabels the graph so that the
+// insertion order is topological.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a Graph. IDs are dense: a graph with n
+// nodes uses IDs 0..n-1.
+type NodeID int
+
+// Node is a single operation in the data-flow graph.
+type Node struct {
+	// Name is a human-readable identifier, e.g. "conv2_1" or "grad:conv2_1".
+	Name string
+	// Cost is the time (or FLOP count, depending on the cost model in use)
+	// required to compute this node from its inputs. Must be >= 0.
+	Cost float64
+	// Mem is the size in bytes of the value this node produces. Must be >= 0.
+	Mem int64
+	// Backward marks gradient nodes produced by autodiff. Forward nodes have
+	// Backward == false.
+	Backward bool
+	// Stage optionally records the pipeline stage or layer index the node
+	// belongs to. Purely informational.
+	Stage int
+}
+
+// Graph is a directed acyclic data-flow graph. The zero value is an empty
+// graph ready for use.
+type Graph struct {
+	nodes []Node
+	// preds[v] lists the dependencies (parents) of v in ascending order.
+	preds [][]NodeID
+	// succs[v] lists the users (children) of v in ascending order.
+	succs [][]NodeID
+}
+
+// New returns an empty graph with capacity hints for n nodes.
+func New(n int) *Graph {
+	return &Graph{
+		nodes: make([]Node, 0, n),
+		preds: make([][]NodeID, 0, n),
+		succs: make([][]NodeID, 0, n),
+	}
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(n Node) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, n)
+	g.preds = append(g.preds, nil)
+	g.succs = append(g.succs, nil)
+	return id
+}
+
+// AddEdge records that node dst depends on the value produced by node src.
+// Duplicate edges are ignored. Self edges are rejected.
+func (g *Graph) AddEdge(src, dst NodeID) error {
+	if src == dst {
+		return fmt.Errorf("graph: self edge on node %d (%s)", src, g.nodes[src].Name)
+	}
+	if int(src) >= len(g.nodes) || int(dst) >= len(g.nodes) || src < 0 || dst < 0 {
+		return fmt.Errorf("graph: edge (%d,%d) references unknown node", src, dst)
+	}
+	for _, p := range g.preds[dst] {
+		if p == src {
+			return nil // duplicate
+		}
+	}
+	g.preds[dst] = insertSorted(g.preds[dst], src)
+	g.succs[src] = insertSorted(g.succs[src], dst)
+	return nil
+}
+
+// MustEdge is AddEdge that panics on error; used by graph builders where
+// inputs are known-valid by construction.
+func (g *Graph) MustEdge(src, dst NodeID) {
+	if err := g.AddEdge(src, dst); err != nil {
+		panic(err)
+	}
+}
+
+func insertSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns the node record for id.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// SetCost overwrites the cost of node id.
+func (g *Graph) SetCost(id NodeID, c float64) { g.nodes[id].Cost = c }
+
+// SetMem overwrites the output memory of node id.
+func (g *Graph) SetMem(id NodeID, m int64) { g.nodes[id].Mem = m }
+
+// Deps returns the dependencies (parents) of v in ascending ID order.
+// The returned slice must not be modified.
+func (g *Graph) Deps(v NodeID) []NodeID { return g.preds[v] }
+
+// Users returns the consumers (children) of v in ascending ID order.
+// The returned slice must not be modified.
+func (g *Graph) Users(v NodeID) []NodeID { return g.succs[v] }
+
+// NumEdges returns the total number of edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, p := range g.preds {
+		n += len(p)
+	}
+	return n
+}
+
+// Edges returns all edges (src, dst) in dst-major order.
+func (g *Graph) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.NumEdges())
+	for dst, ps := range g.preds {
+		for _, src := range ps {
+			out = append(out, [2]NodeID{src, NodeID(dst)})
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether dst directly depends on src.
+func (g *Graph) HasEdge(src, dst NodeID) bool {
+	ps := g.preds[dst]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] >= src })
+	return i < len(ps) && ps[i] == src
+}
+
+// TotalCost returns the sum of all node costs (the cost of evaluating every
+// node exactly once).
+func (g *Graph) TotalCost() float64 {
+	var c float64
+	for _, n := range g.nodes {
+		c += n.Cost
+	}
+	return c
+}
+
+// TotalMem returns the sum of all node output sizes.
+func (g *Graph) TotalMem() int64 {
+	var m int64
+	for _, n := range g.nodes {
+		m += n.Mem
+	}
+	return m
+}
+
+// MaxMem returns the largest single node output size.
+func (g *Graph) MaxMem() int64 {
+	var m int64
+	for _, n := range g.nodes {
+		if n.Mem > m {
+			m = n.Mem
+		}
+	}
+	return m
+}
+
+// Sources returns nodes with no dependencies.
+func (g *Graph) Sources() []NodeID {
+	var out []NodeID
+	for v := range g.nodes {
+		if len(g.preds[v]) == 0 {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// Sinks returns nodes with no users.
+func (g *Graph) Sinks() []NodeID {
+	var out []NodeID
+	for v := range g.nodes {
+		if len(g.succs[v]) == 0 {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}
+
+// ErrCycle is returned by TopoOrder and Validate when the graph contains a
+// directed cycle.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoOrder returns a topological ordering of the nodes (Kahn's algorithm,
+// smallest-ID-first for determinism) or ErrCycle.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	for v := range g.nodes {
+		indeg[v] = len(g.preds[v])
+	}
+	// Min-heap behaviour via sorted frontier for determinism; n is small in
+	// our workloads so an O(n^2) frontier scan would be fine, but keep it
+	// near-linear with a sorted slice used as a priority queue.
+	var frontier []NodeID
+	for v := range g.nodes {
+		if indeg[v] == 0 {
+			frontier = append(frontier, NodeID(v))
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	order := make([]NodeID, 0, n)
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, v)
+		for _, u := range g.succs[v] {
+			indeg[u]--
+			if indeg[u] == 0 {
+				frontier = insertSorted(frontier, u)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// IsTopoSorted reports whether node IDs already form a topological order,
+// i.e. every edge goes from a lower ID to a higher ID.
+func (g *Graph) IsTopoSorted() bool {
+	for dst, ps := range g.preds {
+		for _, src := range ps {
+			if int(src) >= dst {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Canonicalize returns a copy of the graph relabelled so that IDs follow a
+// topological order, together with the mapping old→new. If the graph is
+// already topologically sorted the copy preserves IDs.
+func (g *Graph) Canonicalize() (*Graph, []NodeID, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, err
+	}
+	remap := make([]NodeID, len(order)) // old ID -> new ID
+	for newID, oldID := range order {
+		remap[oldID] = NodeID(newID)
+	}
+	out := New(len(order))
+	for _, oldID := range order {
+		out.AddNode(g.nodes[oldID])
+	}
+	for dst, ps := range g.preds {
+		for _, src := range ps {
+			out.MustEdge(remap[src], remap[NodeID(dst)])
+		}
+	}
+	return out, remap, nil
+}
+
+// Validate checks structural invariants: acyclicity, dense IDs, non-negative
+// costs and memories, and a single sink if requireSingleSink is set (training
+// graphs must terminate in exactly one loss/terminal node).
+func (g *Graph) Validate(requireSingleSink bool) error {
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	for v, n := range g.nodes {
+		if n.Cost < 0 {
+			return fmt.Errorf("graph: node %d (%s) has negative cost %v", v, n.Name, n.Cost)
+		}
+		if n.Mem < 0 {
+			return fmt.Errorf("graph: node %d (%s) has negative memory %d", v, n.Name, n.Mem)
+		}
+	}
+	if requireSingleSink {
+		if s := g.Sinks(); len(s) != 1 {
+			return fmt.Errorf("graph: expected a single terminal node, found %d sinks", len(s))
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New(len(g.nodes))
+	out.nodes = append(out.nodes[:0], g.nodes...)
+	out.preds = make([][]NodeID, len(g.preds))
+	out.succs = make([][]NodeID, len(g.succs))
+	for i := range g.preds {
+		out.preds[i] = append([]NodeID(nil), g.preds[i]...)
+		out.succs[i] = append([]NodeID(nil), g.succs[i]...)
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz DOT syntax for debugging and
+// visualization.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	for v, n := range g.nodes {
+		shape := "box"
+		if n.Backward {
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", v, fmt.Sprintf("%s\\nC=%.3g M=%d", n.Name, n.Cost, n.Mem), shape)
+	}
+	for dst, ps := range g.preds {
+		for _, src := range ps {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", src, dst)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

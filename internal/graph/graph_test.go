@@ -1,0 +1,269 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkChain(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(Node{Name: "v", Cost: 1, Mem: 1})
+	}
+	for i := 1; i < n; i++ {
+		g.MustEdge(NodeID(i-1), NodeID(i))
+	}
+	return g
+}
+
+// randomDAG builds a random DAG with n nodes where each node i>0 has at least
+// one dependency among nodes < i, so the graph is connected to a spine.
+func randomDAG(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(Node{Name: "v", Cost: float64(rng.Intn(10) + 1), Mem: int64(rng.Intn(100) + 1)})
+	}
+	for i := 1; i < n; i++ {
+		g.MustEdge(NodeID(rng.Intn(i)), NodeID(i))
+		for j := 0; j < i; j++ {
+			if rng.Float64() < 0.15 {
+				g.MustEdge(NodeID(j), NodeID(i))
+			}
+		}
+	}
+	return g
+}
+
+func TestAddEdgeDedup(t *testing.T) {
+	g := mkChain(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumEdges(); got != 2 {
+		t.Fatalf("duplicate edge not deduped: %d edges", got)
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self edge accepted")
+	}
+	if err := g.AddEdge(0, 99); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestTopoOrderChain(t *testing.T) {
+	g := mkChain(5)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if int(v) != i {
+			t.Fatalf("order[%d]=%d", i, v)
+		}
+	}
+	if !g.IsTopoSorted() {
+		t.Fatal("chain should be topo sorted")
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New(2)
+	g.AddNode(Node{})
+	g.AddNode(Node{})
+	g.MustEdge(0, 1)
+	// Force a cycle by hand: bypass AddEdge ordering checks.
+	g.preds[0] = append(g.preds[0], 1)
+	g.succs[1] = append(g.succs[1], 0)
+	if _, err := g.TopoOrder(); err != ErrCycle {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if err := g.Validate(false); err != ErrCycle {
+		t.Fatalf("Validate: want ErrCycle, got %v", err)
+	}
+}
+
+func TestCanonicalizePreservesStructure(t *testing.T) {
+	// Build a graph with IDs deliberately out of topo order.
+	g := New(3)
+	a := g.AddNode(Node{Name: "a", Cost: 1, Mem: 10})
+	b := g.AddNode(Node{Name: "b", Cost: 2, Mem: 20})
+	c := g.AddNode(Node{Name: "c", Cost: 3, Mem: 30})
+	g.MustEdge(c, a) // c before a topologically
+	g.MustEdge(a, b)
+	if g.IsTopoSorted() {
+		t.Fatal("test graph should not be topo sorted")
+	}
+	cg, remap, err := g.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cg.IsTopoSorted() {
+		t.Fatal("canonicalized graph not topo sorted")
+	}
+	if cg.Len() != 3 || cg.NumEdges() != 2 {
+		t.Fatalf("structure changed: %d nodes %d edges", cg.Len(), cg.NumEdges())
+	}
+	if cg.Node(remap[c]).Name != "c" {
+		t.Fatal("remap broken")
+	}
+	if !cg.HasEdge(remap[c], remap[a]) || !cg.HasEdge(remap[a], remap[b]) {
+		t.Fatal("edges not preserved under remap")
+	}
+}
+
+func TestSourcesSinksTotals(t *testing.T) {
+	g := mkChain(4)
+	if s := g.Sources(); len(s) != 1 || s[0] != 0 {
+		t.Fatalf("sources=%v", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0] != 3 {
+		t.Fatalf("sinks=%v", s)
+	}
+	if g.TotalCost() != 4 || g.TotalMem() != 4 || g.MaxMem() != 1 {
+		t.Fatal("totals wrong")
+	}
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArticulationPointsChain(t *testing.T) {
+	g := mkChain(5)
+	aps := g.ArticulationPoints()
+	// Interior nodes 1,2,3 are cut vertices of a path.
+	want := []NodeID{1, 2, 3}
+	if len(aps) != len(want) {
+		t.Fatalf("aps=%v", aps)
+	}
+	for i := range want {
+		if aps[i] != want[i] {
+			t.Fatalf("aps=%v want %v", aps, want)
+		}
+	}
+}
+
+func TestArticulationPointsResidual(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3 with skip 1 -> 3: node 2 is NOT an AP, 1 is.
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddNode(Node{})
+	}
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 3)
+	g.MustEdge(1, 3)
+	aps := g.ArticulationPoints()
+	if len(aps) != 1 || aps[0] != 1 {
+		t.Fatalf("aps=%v, want [1]", aps)
+	}
+}
+
+// TestArticulationPointsMatchesDefinition is a property test: a vertex is an
+// AP iff removing it increases the number of connected components.
+func TestArticulationPointsMatchesDefinition(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 3
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, n)
+		got := map[NodeID]bool{}
+		for _, v := range g.ArticulationPoints() {
+			got[v] = true
+		}
+		base := g.ConnectedComponents(nil)
+		for v := 0; v < n; v++ {
+			after := g.ConnectedComponents(map[NodeID]bool{NodeID(v): true})
+			isAP := after > base
+			if got[NodeID(v)] != isAP {
+				t.Logf("node %d: tarjan=%v bruteforce=%v (base=%d after=%d)", v, got[NodeID(v)], isAP, base, after)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopoOrderIsValidProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, n)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e[0]] >= pos[e[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDAG(rng, 12)
+	lin := g.Linearize()
+	if !lin.IsLinear() {
+		t.Fatal("linearized graph not linear")
+	}
+	if lin.Len() != g.Len() {
+		t.Fatal("node count changed")
+	}
+	if lin.Node(5).Mem != g.Node(5).Mem {
+		t.Fatal("node attributes not shared")
+	}
+	if !mkChain(4).IsLinear() {
+		t.Fatal("chain should be linear")
+	}
+	if mkChainWithSkip().IsLinear() {
+		t.Fatal("skip graph should not be linear")
+	}
+}
+
+func mkChainWithSkip() *Graph {
+	g := mkChain(4)
+	g.MustEdge(0, 3)
+	return g
+}
+
+func TestReachabilitySets(t *testing.T) {
+	g := mkChainWithSkip()
+	r := g.ReachableFrom(1)
+	if !r[1] || !r[2] || !r[3] || r[0] {
+		t.Fatalf("reachable=%v", r)
+	}
+	a := g.AncestorsOf(2)
+	if !a[0] || !a[1] || !a[2] || a[3] {
+		t.Fatalf("ancestors=%v", a)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := mkChain(3)
+	c := g.Clone()
+	c.SetCost(0, 99)
+	c.MustEdge(0, 2)
+	if g.Node(0).Cost == 99 || g.HasEdge(0, 2) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := mkChain(2)
+	s := g.DOT("test")
+	if len(s) == 0 || s[0] != 'd' {
+		t.Fatal("DOT output malformed")
+	}
+}

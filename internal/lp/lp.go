@@ -1,0 +1,331 @@
+// Package lp implements a linear-programming solver: a bounded-variable
+// primal revised simplex method with a sparse LU basis factorization and
+// product-form (eta) updates.
+//
+// Checkmate's optimal rematerialization formulation (paper Section 4.7) is a
+// mixed integer linear program. The paper solves it with Gurobi or COIN-OR;
+// neither is available as a pure-Go, stdlib-only dependency, so this package
+// provides the LP engine underneath our own branch-and-bound (package milp)
+// and the LP-relaxation used by the two-phase rounding approximation
+// (paper Section 5.1).
+//
+// Problems are stated as
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ   for each row i
+//	            l ≤ x ≤ u          (bounds may be ±Inf)
+//
+// Internally every row receives a slack variable turning the system into
+// Ax + Is = b with bounded slacks, and infeasibility is resolved with a
+// textbook two-phase method using explicit artificial variables.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a row's comparison operator.
+type Sense int8
+
+// Row senses.
+const (
+	LE Sense = iota // aᵀx ≤ b
+	GE              // aᵀx ≥ b
+	EQ              // aᵀx = b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Inf is a convenience alias for +infinity bounds.
+var Inf = math.Inf(1)
+
+// Problem is a linear program under construction. The zero value is an empty
+// problem ready for use. Problems are not safe for concurrent mutation.
+type Problem struct {
+	cost  []float64
+	lower []float64
+	upper []float64
+	names []string
+
+	rowSense []Sense
+	rowRHS   []float64
+	rowIdx   [][]int32
+	rowVal   [][]float64
+
+	startUpper []bool // initial-point hints: park variable at its upper bound
+}
+
+// NumVars returns the number of structural variables added so far.
+func (p *Problem) NumVars() int { return len(p.cost) }
+
+// NumRows returns the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rowRHS) }
+
+// AddVar adds a variable with bounds [lo, hi] and objective coefficient c,
+// returning its column index. name is used in diagnostics only.
+func (p *Problem) AddVar(lo, hi, c float64, name string) int {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q has lo %g > hi %g", name, lo, hi))
+	}
+	p.cost = append(p.cost, c)
+	p.lower = append(p.lower, lo)
+	p.upper = append(p.upper, hi)
+	p.names = append(p.names, name)
+	p.startUpper = append(p.startUpper, false)
+	return len(p.cost) - 1
+}
+
+// SetStartHint marks variable j to start at its upper bound (instead of the
+// default bound nearest zero) when the simplex builds its initial point. A
+// good hint can place the starting basis near feasibility and sharply cut
+// phase-1 work; hints never affect correctness.
+func (p *Problem) SetStartHint(j int, atUpper bool) { p.startUpper[j] = atUpper }
+
+// SetBounds overwrites the bounds of variable j.
+func (p *Problem) SetBounds(j int, lo, hi float64) {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: SetBounds(%d) lo %g > hi %g", j, lo, hi))
+	}
+	p.lower[j], p.upper[j] = lo, hi
+}
+
+// Bounds returns the bounds of variable j.
+func (p *Problem) Bounds(j int) (lo, hi float64) { return p.lower[j], p.upper[j] }
+
+// SetCost overwrites the objective coefficient of variable j.
+func (p *Problem) SetCost(j int, c float64) { p.cost[j] = c }
+
+// Cost returns the objective coefficient of variable j.
+func (p *Problem) Cost(j int) float64 { return p.cost[j] }
+
+// Name returns the diagnostic name of variable j.
+func (p *Problem) Name(j int) string { return p.names[j] }
+
+// AddRow adds the constraint Σ vals[k]·x[idxs[k]] (sense) rhs. Duplicate
+// indices within one row are coalesced. Zero coefficients are dropped.
+func (p *Problem) AddRow(sense Sense, rhs float64, idxs []int32, vals []float64) int {
+	if len(idxs) != len(vals) {
+		panic("lp: AddRow index/value length mismatch")
+	}
+	// Coalesce duplicates and drop zeros without disturbing caller slices.
+	seen := make(map[int32]int, len(idxs))
+	ci := make([]int32, 0, len(idxs))
+	cv := make([]float64, 0, len(vals))
+	for k, j := range idxs {
+		if int(j) < 0 || int(j) >= len(p.cost) {
+			panic(fmt.Sprintf("lp: AddRow references unknown variable %d", j))
+		}
+		if pos, ok := seen[j]; ok {
+			cv[pos] += vals[k]
+			continue
+		}
+		seen[j] = len(ci)
+		ci = append(ci, j)
+		cv = append(cv, vals[k])
+	}
+	// Drop exact zeros.
+	wi, wv := ci[:0], cv[:0]
+	for k := range ci {
+		if cv[k] != 0 {
+			wi = append(wi, ci[k])
+			wv = append(wv, cv[k])
+		}
+	}
+	p.rowSense = append(p.rowSense, sense)
+	p.rowRHS = append(p.rowRHS, rhs)
+	p.rowIdx = append(p.rowIdx, wi)
+	p.rowVal = append(p.rowVal, wv)
+	return len(p.rowRHS) - 1
+}
+
+// Clone returns a deep copy. Useful for branch-and-bound, which mutates
+// bounds per node.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		cost:       append([]float64(nil), p.cost...),
+		lower:      append([]float64(nil), p.lower...),
+		upper:      append([]float64(nil), p.upper...),
+		names:      append([]string(nil), p.names...),
+		rowSense:   append([]Sense(nil), p.rowSense...),
+		rowRHS:     append([]float64(nil), p.rowRHS...),
+		rowIdx:     make([][]int32, len(p.rowIdx)),
+		rowVal:     make([][]float64, len(p.rowVal)),
+		startUpper: append([]bool(nil), p.startUpper...),
+	}
+	// Row coefficient slices are never mutated after AddRow, so they can be
+	// shared between clones.
+	copy(q.rowIdx, p.rowIdx)
+	copy(q.rowVal, p.rowVal)
+	return q
+}
+
+// Status reports the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// Obj is the objective value (valid when Status == StatusOptimal).
+	Obj float64
+	// X holds the structural variable values.
+	X []float64
+	// Duals holds the simplex dual vector y (one entry per row) at
+	// optimality; empty if the solve did not reach phase-2 optimality.
+	// By weak duality, DualBound(y) ≤ optimal objective for any sign-correct
+	// y, and equals Obj at optimality.
+	Duals []float64
+	// Iters is the total simplex iterations across both phases.
+	Iters int
+}
+
+// DualBound evaluates the Lagrangian dual bound g(y) for the problem:
+// g(y) = bᵀy + Σⱼ min(rcⱼ·lⱼ, rcⱼ·uⱼ) with rcⱼ = cⱼ − yᵀaⱼ. For any y with
+// sign pattern matching the row senses (y ≤ 0 on ≤-rows, y ≥ 0 on ≥-rows),
+// g(y) is a lower bound on the optimum; at an optimal basis it is tight.
+// Returns -Inf if a free variable has nonzero reduced cost.
+func (p *Problem) DualBound(y []float64) float64 {
+	rc := append([]float64(nil), p.cost...)
+	for i := range p.rowRHS {
+		if y[i] == 0 {
+			continue
+		}
+		for k, j := range p.rowIdx[i] {
+			rc[j] -= y[i] * p.rowVal[i][k]
+		}
+	}
+	var g float64
+	for i := range p.rowRHS {
+		g += y[i] * p.rowRHS[i]
+	}
+	for j := range rc {
+		switch {
+		case rc[j] > 0:
+			if math.IsInf(p.lower[j], -1) {
+				return math.Inf(-1)
+			}
+			g += rc[j] * p.lower[j]
+		case rc[j] < 0:
+			if math.IsInf(p.upper[j], 1) {
+				return math.Inf(-1)
+			}
+			g += rc[j] * p.upper[j]
+		}
+	}
+	return g
+}
+
+// Options tunes the simplex solver. The zero value selects defaults.
+type Options struct {
+	// MaxIters caps total simplex iterations (default 50000 + 20·(m+n)).
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance (default 1e-7).
+	Tol float64
+	// RefactorEvery triggers a fresh basis factorization after this many eta
+	// updates (default 32).
+	RefactorEvery int
+	// Dantzig selects classic most-negative-reduced-cost pricing instead of
+	// the default devex rule (mainly for benchmarking the pricing rules).
+	Dantzig bool
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 50000 + 20*(m+n)
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.RefactorEvery == 0 {
+		o.RefactorEvery = 32
+	}
+	return o
+}
+
+// Solve optimizes the problem with the given options.
+func (p *Problem) Solve(opt Options) *Solution {
+	s := newSimplex(p, opt)
+	return s.solve()
+}
+
+// EvalRow computes aᵢᵀx for row i at point x.
+func (p *Problem) EvalRow(i int, x []float64) float64 {
+	var v float64
+	for k, j := range p.rowIdx[i] {
+		v += p.rowVal[i][k] * float64(x[j])
+	}
+	return v
+}
+
+// CheckFeasible verifies x against all rows and bounds within tol,
+// returning a descriptive error for the first violation found.
+func (p *Problem) CheckFeasible(x []float64, tol float64) error {
+	for j := range p.cost {
+		if x[j] < p.lower[j]-tol || x[j] > p.upper[j]+tol {
+			return fmt.Errorf("lp: variable %d (%s)=%g outside [%g,%g]", j, p.names[j], x[j], p.lower[j], p.upper[j])
+		}
+	}
+	for i := range p.rowRHS {
+		v := p.EvalRow(i, x)
+		switch p.rowSense[i] {
+		case LE:
+			if v > p.rowRHS[i]+tol {
+				return fmt.Errorf("lp: row %d: %g > %g", i, v, p.rowRHS[i])
+			}
+		case GE:
+			if v < p.rowRHS[i]-tol {
+				return fmt.Errorf("lp: row %d: %g < %g", i, v, p.rowRHS[i])
+			}
+		case EQ:
+			if math.Abs(v-p.rowRHS[i]) > tol {
+				return fmt.Errorf("lp: row %d: %g != %g", i, v, p.rowRHS[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Objective computes cᵀx.
+func (p *Problem) Objective(x []float64) float64 {
+	var v float64
+	for j := range p.cost {
+		v += p.cost[j] * x[j]
+	}
+	return v
+}
+
+// DebugCounters exposes internal iteration statistics of the last solve for
+// performance diagnostics (test-only; subject to change).
+var DebugCounters struct{ Phase1Iters, Degenerate int }

@@ -1,0 +1,647 @@
+package lp
+
+import (
+	"math"
+)
+
+// Variable statuses for the bounded-variable simplex.
+const (
+	statBasic int8 = iota
+	statAtLower
+	statAtUpper
+	statFree // nonbasic free variable parked at value 0
+)
+
+// simplex is one solve of a Problem: columns are laid out as
+// [0,n) structural, [n,n+m) slack (+1 coefficient in own row),
+// [n+m,n+2m) artificial (±1 coefficient in own row, sign fixed in phase 1).
+type simplex struct {
+	p   *Problem
+	opt Options
+
+	n, m  int // structural vars, rows
+	total int // n + 2m columns
+
+	// Column-compressed structural matrix.
+	colPtr []int32
+	colRow []int32
+	colVal []float64
+
+	artSign []float64 // ±1 per row, set when phase 1 begins
+
+	lower, upper []float64 // per column, incl. slacks/artificials
+	cost         []float64 // phase-2 costs per column
+	pcost        []float64 // active costs (phase 1 or 2)
+
+	stat  []int8
+	basis []int32 // position -> column
+	xB    []float64
+
+	f *factor
+
+	// Scratch.
+	bufW []float64 // FTRAN result
+	bufY []float64 // BTRAN result
+	bufA []float64 // dense rhs accumulation
+	bufR []float64 // BTRAN of the pivot unit vector (devex row)
+
+	// Devex reference weights (one per column); reset to 1 when the
+	// reference framework is rebuilt.
+	devex []float64
+
+	iters     int
+	p1iters   int
+	degens    int
+	phase     int
+	blandLeft int // if > 0, use Bland's rule for this many iterations
+	degenRun  int
+
+	duals []float64 // y at phase-2 optimality, original-row indexed
+}
+
+func newSimplex(p *Problem, opt Options) *simplex {
+	n, m := p.NumVars(), p.NumRows()
+	s := &simplex{
+		p: p, opt: opt.withDefaults(m, n),
+		n: n, m: m, total: n + 2*m,
+	}
+	// Build CSC of the structural columns from the row-wise problem data.
+	counts := make([]int32, n+1)
+	for i := range p.rowIdx {
+		for _, j := range p.rowIdx[i] {
+			counts[j+1]++
+		}
+	}
+	for j := 0; j < n; j++ {
+		counts[j+1] += counts[j]
+	}
+	s.colPtr = counts
+	nnz := counts[n]
+	s.colRow = make([]int32, nnz)
+	s.colVal = make([]float64, nnz)
+	fill := make([]int32, n)
+	for i := range p.rowIdx {
+		for k, j := range p.rowIdx[i] {
+			at := s.colPtr[j] + fill[j]
+			s.colRow[at] = int32(i)
+			s.colVal[at] = p.rowVal[i][k]
+			fill[j]++
+		}
+	}
+
+	s.lower = make([]float64, s.total)
+	s.upper = make([]float64, s.total)
+	s.cost = make([]float64, s.total)
+	copy(s.lower, p.lower)
+	copy(s.upper, p.upper)
+	copy(s.cost, p.cost)
+	for i := 0; i < m; i++ {
+		sl := n + i
+		switch p.rowSense[i] {
+		case LE:
+			s.lower[sl], s.upper[sl] = 0, Inf
+		case GE:
+			s.lower[sl], s.upper[sl] = math.Inf(-1), 0
+		case EQ:
+			s.lower[sl], s.upper[sl] = 0, 0
+		}
+		// Artificials start disabled (fixed at 0); phase 1 opens them.
+		a := n + m + i
+		s.lower[a], s.upper[a] = 0, 0
+	}
+	s.artSign = make([]float64, m)
+	s.stat = make([]int8, s.total)
+	s.basis = make([]int32, m)
+	s.xB = make([]float64, m)
+	s.f = newFactor(m)
+	s.bufW = make([]float64, m)
+	s.bufY = make([]float64, m)
+	s.bufA = make([]float64, m)
+	s.bufR = make([]float64, m)
+	s.devex = make([]float64, s.total)
+	return s
+}
+
+// resetDevex rebuilds the devex reference framework.
+func (s *simplex) resetDevex() {
+	for j := range s.devex {
+		s.devex[j] = 1
+	}
+}
+
+// perturbedCosts returns the phase-2 cost vector with a tiny deterministic
+// pseudo-random perturbation per column (xorshift hash of the index), which
+// breaks ties among the many identical reduced costs these scheduling LPs
+// produce and sharply reduces degenerate pivoting.
+func (s *simplex) perturbedCosts() []float64 {
+	out := make([]float64, s.total)
+	copy(out, s.cost)
+	const eps = 1e-7
+	for j := range out {
+		h := uint64(j)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+		h ^= h >> 31
+		h *= 0x94D049BB133111EB
+		h ^= h >> 29
+		u := float64(h>>11) / float64(1<<53) // in [0,1)
+		out[j] += eps * u * (1 + math.Abs(out[j]))
+	}
+	return out
+}
+
+// scatterCol adds column j into dense w (original-row indexed) and returns
+// the nonzero row list.
+func (s *simplex) scatterCol(j int, w []float64) []int32 {
+	switch {
+	case j < s.n:
+		lo, hi := s.colPtr[j], s.colPtr[j+1]
+		for k := lo; k < hi; k++ {
+			w[s.colRow[k]] += s.colVal[k]
+		}
+		return s.colRow[lo:hi]
+	case j < s.n+s.m:
+		r := int32(j - s.n)
+		w[r] += 1
+		return []int32{r}
+	default:
+		r := int32(j - s.n - s.m)
+		w[r] += s.artSign[r]
+		return []int32{r}
+	}
+}
+
+// colDot computes aⱼᵀy for original-row indexed y.
+func (s *simplex) colDot(j int, y []float64) float64 {
+	switch {
+	case j < s.n:
+		var v float64
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			v += s.colVal[k] * y[s.colRow[k]]
+		}
+		return v
+	case j < s.n+s.m:
+		return y[j-s.n]
+	default:
+		r := j - s.n - s.m
+		return s.artSign[r] * y[r]
+	}
+}
+
+// nonbasicValue returns the current value of nonbasic column j.
+func (s *simplex) nonbasicValue(j int) float64 {
+	switch s.stat[j] {
+	case statAtLower:
+		return s.lower[j]
+	case statAtUpper:
+		return s.upper[j]
+	default:
+		return 0 // free
+	}
+}
+
+// initialPoint parks structural variables at the finite bound nearest zero
+// (or 0 for free variables), installs the slack basis, and computes xB.
+func (s *simplex) initialPoint() {
+	for j := 0; j < s.n; j++ {
+		lo, hi := s.lower[j], s.upper[j]
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			s.stat[j] = statFree
+		case math.IsInf(lo, -1):
+			s.stat[j] = statAtUpper
+		case math.IsInf(hi, 1):
+			s.stat[j] = statAtLower
+		case s.p.startUpper[j]:
+			s.stat[j] = statAtUpper
+		case math.Abs(lo) <= math.Abs(hi):
+			s.stat[j] = statAtLower
+		default:
+			s.stat[j] = statAtUpper
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		s.basis[i] = int32(s.n + i) // slack basis
+		s.stat[s.n+i] = statBasic
+		s.stat[s.n+s.m+i] = statAtLower // artificials parked at 0
+	}
+	s.refactorAndRecompute()
+}
+
+// refactorAndRecompute refreshes the LU factorization and recomputes basic
+// variable values from scratch (fighting numerical drift).
+func (s *simplex) refactorAndRecompute() bool {
+	err := s.f.refactorize(func(k int, w []float64) []int32 {
+		return s.scatterCol(int(s.basis[k]), w)
+	})
+	if err != nil {
+		return false
+	}
+	// rhs = b - Σ_nonbasic aⱼ xⱼ
+	rhs := s.bufA
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		rhs[i] = s.p.rowRHS[i]
+	}
+	for j := 0; j < s.total; j++ {
+		if s.stat[j] == statBasic {
+			continue
+		}
+		v := s.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		switch {
+		case j < s.n:
+			for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+				rhs[s.colRow[k]] -= s.colVal[k] * v
+			}
+		case j < s.n+s.m:
+			rhs[j-s.n] -= v
+		default:
+			r := j - s.n - s.m
+			rhs[r] -= s.artSign[r] * v
+		}
+	}
+	s.f.ftran(rhs)
+	copy(s.xB, rhs[:s.m])
+	return true
+}
+
+// infeasibility returns the total bound violation of the basic variables.
+func (s *simplex) infeasibility() float64 {
+	var v float64
+	for i := 0; i < s.m; i++ {
+		j := s.basis[i]
+		if d := s.lower[j] - s.xB[i]; d > 0 {
+			v += d
+		}
+		if d := s.xB[i] - s.upper[j]; d > 0 {
+			v += d
+		}
+	}
+	return v
+}
+
+// solve runs the two-phase method.
+func (s *simplex) solve() *Solution {
+	s.initialPoint()
+
+	tol := s.opt.Tol
+	if s.infeasibility() > tol {
+		// Phase 1: open artificial variables to absorb the residual of every
+		// infeasible row, producing a feasible start for min Σ artificials.
+		if !s.setupPhase1() {
+			return &Solution{Status: StatusInfeasible, Iters: s.iters}
+		}
+		s.phase = 1
+		s.pcost = make([]float64, s.total)
+		for i := 0; i < s.m; i++ {
+			s.pcost[s.n+s.m+i] = 1
+		}
+		st := s.iterate()
+		s.p1iters = s.iters
+		if st != StatusOptimal {
+			if st == StatusUnbounded {
+				// Phase-1 objective is bounded below by 0; an unbounded ray
+				// indicates numerical breakdown. Report iteration limit.
+				return &Solution{Status: StatusIterLimit, Iters: s.iters}
+			}
+			return &Solution{Status: st, Iters: s.iters}
+		}
+		if s.phase1Obj() > 1e-6 {
+			return &Solution{Status: StatusInfeasible, Iters: s.iters}
+		}
+		// Seal artificials at zero for phase 2.
+		for i := 0; i < s.m; i++ {
+			a := s.n + s.m + i
+			s.lower[a], s.upper[a] = 0, 0
+			if s.stat[a] != statBasic {
+				s.stat[a] = statAtLower
+			}
+		}
+	}
+
+	// Phase 2 runs first with deterministically perturbed costs to break the
+	// massive dual degeneracy of scheduling LPs (many identical cost
+	// coefficients), then re-optimizes with the exact costs — typically a
+	// handful of extra pivots.
+	s.phase = 2
+	s.pcost = s.perturbedCosts()
+	if st := s.iterate(); st != StatusOptimal {
+		if st == StatusUnbounded {
+			// Unboundedness under perturbation implies unboundedness of a
+			// cost vector arbitrarily close to the original; verify with the
+			// exact costs below.
+			s.pcost = s.cost
+			if st2 := s.iterate(); st2 != StatusOptimal {
+				return &Solution{Status: st2, Iters: s.iters}
+			}
+		} else {
+			return &Solution{Status: st, Iters: s.iters}
+		}
+	}
+	s.pcost = s.cost
+	st := s.iterate()
+	DebugCounters.Phase1Iters, DebugCounters.Degenerate = s.p1iters, s.degens
+	sol := &Solution{Status: st, Iters: s.iters}
+	if st == StatusOptimal || st == StatusIterLimit {
+		x := make([]float64, s.n)
+		for j := 0; j < s.n; j++ {
+			if s.stat[j] != statBasic {
+				x[j] = s.nonbasicValue(j)
+			}
+		}
+		for i := 0; i < s.m; i++ {
+			if j := int(s.basis[i]); j < s.n {
+				x[j] = s.xB[i]
+			}
+		}
+		sol.X = x
+		sol.Obj = s.p.Objective(x)
+		sol.Duals = append([]float64(nil), s.duals...)
+	}
+	return sol
+}
+
+// setupPhase1 installs one artificial per infeasible row so the slack basis
+// becomes feasible for the phase-1 problem. Rows already feasible keep their
+// artificial fixed at 0.
+func (s *simplex) setupPhase1() bool {
+	// The basis is currently all slacks, so xB[i] is the slack value of the
+	// row at position rowPos... with slack basis pivoting is 1:1; recompute
+	// per row residual directly for clarity.
+	resid := make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		resid[i] = s.p.rowRHS[i]
+	}
+	for j := 0; j < s.n; j++ {
+		v := s.nonbasicValue(j)
+		if s.stat[j] == statBasic || v == 0 {
+			continue
+		}
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			resid[s.colRow[k]] -= s.colVal[k] * v
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		sl := s.n + i
+		a := s.n + s.m + i
+		// Clamp the slack into its bounds; the artificial absorbs the rest.
+		v := resid[i]
+		clamped := math.Min(math.Max(v, s.lower[sl]), s.upper[sl])
+		excess := v - clamped
+		if math.Abs(excess) <= s.opt.Tol {
+			// Row feasible with slack basic.
+			continue
+		}
+		s.artSign[i] = 1
+		if excess < 0 {
+			s.artSign[i] = -1
+		}
+		s.lower[a], s.upper[a] = 0, Inf
+		// Artificial enters the basis; slack becomes nonbasic at the bound it
+		// was clamped to.
+		s.basis[i] = int32(a)
+		s.stat[a] = statBasic
+		if clamped == s.lower[sl] {
+			s.stat[sl] = statAtLower
+		} else {
+			s.stat[sl] = statAtUpper
+		}
+	}
+	return s.refactorAndRecompute()
+}
+
+func (s *simplex) phase1Obj() float64 {
+	var v float64
+	for i := 0; i < s.m; i++ {
+		if j := int(s.basis[i]); j >= s.n+s.m {
+			v += s.xB[i]
+		}
+	}
+	// Nonbasic artificials sit at 0.
+	return v
+}
+
+// iterate runs primal simplex iterations until optimality for the active
+// cost vector. Pricing uses the devex rule (reduced cost squared over a
+// reference weight), which substantially reduces degenerate pivoting on the
+// rematerialization LPs compared to Dantzig's rule; Bland's rule takes over
+// on long degenerate runs to guarantee termination.
+func (s *simplex) iterate() Status {
+	tol := s.opt.Tol
+	s.resetDevex()
+	for {
+		if s.iters >= s.opt.MaxIters {
+			return StatusIterLimit
+		}
+		s.iters++
+		if s.f.numEtas >= s.opt.RefactorEvery {
+			if !s.refactorAndRecompute() {
+				return StatusIterLimit
+			}
+		}
+
+		// BTRAN: y = (c_B)ᵀ B⁻¹.
+		y := s.bufY
+		for i := range y {
+			y[i] = 0
+		}
+		for i := 0; i < s.m; i++ {
+			y[i] = s.pcost[s.basis[i]]
+		}
+		s.f.btran(y)
+
+		// Pricing: devex — maximize d² / γ among eligible columns.
+		q, dir, bestScore := -1, 0.0, 0.0
+		bland := s.blandLeft > 0
+		for j := 0; j < s.total; j++ {
+			st := s.stat[j]
+			if st == statBasic || s.lower[j] == s.upper[j] {
+				continue
+			}
+			d := s.pcost[j] - s.colDot(j, y)
+			var cdir float64
+			switch st {
+			case statAtLower:
+				if d < -tol {
+					cdir = 1
+				}
+			case statAtUpper:
+				if d > tol {
+					cdir = -1
+				}
+			case statFree:
+				if d < -tol {
+					cdir = 1
+				} else if d > tol {
+					cdir = -1
+				}
+			}
+			if cdir == 0 {
+				continue
+			}
+			if bland {
+				q, dir = j, cdir
+				break
+			}
+			cand := d * d / s.devex[j]
+			if s.opt.Dantzig {
+				cand = d * d
+			}
+			if cand > bestScore {
+				q, dir, bestScore = j, cdir, cand
+			}
+		}
+		if q < 0 {
+			if s.phase == 2 {
+				s.duals = append(s.duals[:0], y[:s.m]...)
+			}
+			return StatusOptimal
+		}
+
+		// FTRAN: w = B⁻¹ a_q.
+		w := s.bufW
+		for i := range w {
+			w[i] = 0
+		}
+		s.scatterCol(q, w)
+		s.f.ftran(w)
+
+		// Ratio test. Entering moves by t ≥ 0 in direction dir; basic i
+		// changes at rate -dir·w[i]. tBasic is the largest step before some
+		// basic variable hits a bound; flipDist is the entering variable's
+		// own bound-to-bound range.
+		flipDist := math.Inf(1)
+		if !math.IsInf(s.upper[q], 1) && !math.IsInf(s.lower[q], -1) {
+			flipDist = s.upper[q] - s.lower[q]
+		}
+		tBasic := math.Inf(1)
+		leave, leaveAbs := -1, 0.0
+		var leaveAt int8
+		const pivTol = 1e-9
+		for i := 0; i < s.m; i++ {
+			if math.Abs(w[i]) < pivTol {
+				continue
+			}
+			rate := -dir * w[i]
+			jb := s.basis[i]
+			var t float64
+			var hits int8
+			if rate < 0 { // basic decreases toward lower bound
+				if math.IsInf(s.lower[jb], -1) {
+					continue
+				}
+				t = (s.lower[jb] - s.xB[i]) / rate
+				hits = statAtLower
+			} else { // basic increases toward upper bound
+				if math.IsInf(s.upper[jb], 1) {
+					continue
+				}
+				t = (s.upper[jb] - s.xB[i]) / rate
+				hits = statAtUpper
+			}
+			if t < 0 {
+				t = 0 // degenerate: already at (or slightly past) the bound
+			}
+			// Prefer strictly smaller ratios; on near ties keep the larger
+			// pivot magnitude for numerical stability.
+			if t < tBasic-1e-10 {
+				tBasic = t
+				leave, leaveAbs, leaveAt = i, math.Abs(w[i]), hits
+			} else if t < tBasic+1e-10 && math.Abs(w[i]) > leaveAbs {
+				leave, leaveAbs, leaveAt = i, math.Abs(w[i]), hits
+			}
+		}
+		if math.IsInf(tBasic, 1) && math.IsInf(flipDist, 1) {
+			return StatusUnbounded
+		}
+		step := math.Min(tBasic, flipDist)
+
+		// Track degeneracy; switch to Bland's rule on long degenerate runs
+		// to guarantee termination.
+		if step <= 1e-12 {
+			s.degens++
+			s.degenRun++
+			if s.degenRun > 200 && s.blandLeft == 0 {
+				s.blandLeft = 5000
+			}
+		} else {
+			s.degenRun = 0
+		}
+		if s.blandLeft > 0 {
+			s.blandLeft--
+		}
+
+		if flipDist <= tBasic {
+			// Bound flip: entering traverses its whole range, basis intact.
+			for i := 0; i < s.m; i++ {
+				if w[i] != 0 {
+					s.xB[i] -= dir * w[i] * flipDist
+				}
+			}
+			if s.stat[q] == statAtLower {
+				s.stat[q] = statAtUpper
+			} else {
+				s.stat[q] = statAtLower
+			}
+			continue
+		}
+		// Devex weight update (Forrest-Goldfarb) using the pivot row
+		// ρᵀA with ρ = B⁻ᵀ e_p, before the basis changes.
+		if !bland && !s.opt.Dantzig {
+			rho := s.bufR
+			for i := range rho {
+				rho[i] = 0
+			}
+			rho[leave] = 1
+			s.f.btran(rho)
+			a := w[leave]
+			gq := s.devex[q]
+			maxW := 1.0
+			for j := 0; j < s.total; j++ {
+				if s.stat[j] == statBasic || s.lower[j] == s.upper[j] || j == q {
+					continue
+				}
+				alpha := s.colDot(j, rho)
+				if alpha == 0 {
+					continue
+				}
+				cand := (alpha / a) * (alpha / a) * gq
+				if cand > s.devex[j] {
+					s.devex[j] = cand
+				}
+				if s.devex[j] > maxW {
+					maxW = s.devex[j]
+				}
+			}
+			gl := gq / (a * a)
+			if gl < 1 {
+				gl = 1
+			}
+			s.devex[s.basis[leave]] = gl
+			if maxW > 1e8 {
+				s.resetDevex()
+			}
+		}
+
+		// Pivot: q enters at position leave.
+		enterVal := s.nonbasicValue(q) + dir*step
+		for i := 0; i < s.m; i++ {
+			if w[i] != 0 {
+				s.xB[i] -= dir * w[i] * step
+			}
+		}
+		jOut := s.basis[leave]
+		s.stat[jOut] = leaveAt
+		s.basis[leave] = int32(q)
+		s.stat[q] = statBasic
+		s.xB[leave] = enterVal
+		if !s.f.pushEta(leave, w) {
+			if !s.refactorAndRecompute() {
+				return StatusIterLimit
+			}
+		}
+	}
+}

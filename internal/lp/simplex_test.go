@@ -1,0 +1,207 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStartHintDoesNotChangeOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		m := 2 + rng.Intn(6)
+		build := func() *Problem {
+			r := rand.New(rand.NewSource(int64(trial)))
+			var p Problem
+			for j := 0; j < n; j++ {
+				p.AddVar(0, float64(1+r.Intn(5)), float64(r.Intn(11)-5), "v")
+			}
+			for i := 0; i < m; i++ {
+				var idx []int32
+				var val []float64
+				for j := 0; j < n; j++ {
+					if r.Float64() < 0.5 {
+						idx = append(idx, int32(j))
+						val = append(val, float64(r.Intn(7)-3))
+					}
+				}
+				if len(idx) == 0 {
+					continue
+				}
+				p.AddRow(Sense(r.Intn(3)), float64(r.Intn(9)-2), idx, val)
+			}
+			return &p
+		}
+		plain := build()
+		hinted := build()
+		for j := 0; j < n; j++ {
+			hinted.SetStartHint(j, rng.Float64() < 0.5)
+		}
+		a := plain.Solve(Options{})
+		b := hinted.Solve(Options{})
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: status %v vs %v under hints", trial, a.Status, b.Status)
+		}
+		if a.Status == StatusOptimal && math.Abs(a.Obj-b.Obj) > 1e-6*(1+math.Abs(a.Obj)) {
+			t.Fatalf("trial %d: hints changed optimum %v -> %v", trial, a.Obj, b.Obj)
+		}
+	}
+}
+
+func TestDantzigMatchesDevex(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(6)
+		var p Problem
+		x0 := make([]float64, n)
+		for j := 0; j < n; j++ {
+			p.AddVar(0, 10, float64(rng.Intn(13)-6), "v")
+			x0[j] = float64(rng.Intn(8))
+		}
+		for i := 0; i < 4; i++ {
+			var idx []int32
+			var val []float64
+			var lhs float64
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					c := float64(rng.Intn(9) - 4)
+					idx = append(idx, int32(j))
+					val = append(val, c)
+					lhs += c * x0[j]
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			p.AddRow(LE, lhs+float64(rng.Intn(4)), idx, val) // feasible by construction
+		}
+		q := p.Clone()
+		a := p.Solve(Options{})
+		b := q.Solve(Options{Dantzig: true})
+		if a.Status != StatusOptimal || b.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v / %v", trial, a.Status, b.Status)
+		}
+		if math.Abs(a.Obj-b.Obj) > 1e-6*(1+math.Abs(a.Obj)) {
+			t.Fatalf("trial %d: devex %v != dantzig %v", trial, a.Obj, b.Obj)
+		}
+	}
+}
+
+func TestRefactorEveryExtremes(t *testing.T) {
+	// Solve the same LP with eta-heavy (large interval) and eta-free
+	// (interval 1) factorization policies; results must agree.
+	var mk = func() *Problem {
+		var p Problem
+		ids := make([]int32, 40)
+		for j := range ids {
+			ids[j] = int32(p.AddVar(0, 3, float64((j%5)-2), "v"))
+		}
+		for j := 0; j+2 < len(ids); j++ {
+			p.AddRow(GE, 1, []int32{ids[j], ids[j+1], ids[j+2]}, []float64{1, 1, 1})
+		}
+		return &p
+	}
+	a := mk().Solve(Options{RefactorEvery: 1})
+	b := mk().Solve(Options{RefactorEvery: 10000})
+	if a.Status != StatusOptimal || b.Status != StatusOptimal {
+		t.Fatalf("status %v / %v", a.Status, b.Status)
+	}
+	if math.Abs(a.Obj-b.Obj) > 1e-6 {
+		t.Fatalf("refactor policy changed optimum: %v vs %v", a.Obj, b.Obj)
+	}
+}
+
+func TestMaxItersReturnsIterLimit(t *testing.T) {
+	var p Problem
+	ids := make([]int32, 30)
+	for j := range ids {
+		ids[j] = int32(p.AddVar(0, 5, -1, "v"))
+	}
+	for j := 0; j+1 < len(ids); j++ {
+		p.AddRow(LE, 4, []int32{ids[j], ids[j+1]}, []float64{1, 1})
+	}
+	sol := p.Solve(Options{MaxIters: 2})
+	if sol.Status != StatusIterLimit {
+		t.Fatalf("status=%v want iteration-limit", sol.Status)
+	}
+}
+
+func TestEqualityHeavySystem(t *testing.T) {
+	// A chain of equalities mimicking the paper's U recurrence: x_{k+1} =
+	// x_k + d_k with x_0 = 0 and minimization of the tail.
+	var p Problem
+	const N = 50
+	xs := make([]int32, N)
+	for k := 0; k < N; k++ {
+		xs[k] = int32(p.AddVar(0, Inf, 0, "x"))
+	}
+	p.SetCost(int(xs[N-1]), 1)
+	p.AddRow(EQ, 0, []int32{xs[0]}, []float64{1})
+	for k := 0; k+1 < N; k++ {
+		d := float64(k % 3)
+		p.AddRow(EQ, d, []int32{xs[k+1], xs[k]}, []float64{1, -1})
+	}
+	sol := p.Solve(Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status=%v", sol.Status)
+	}
+	want := 0.0
+	for k := 0; k+1 < N; k++ {
+		want += float64(k % 3)
+	}
+	if math.Abs(sol.X[xs[N-1]]-want) > 1e-6 {
+		t.Fatalf("x[last]=%v want %v", sol.X[xs[N-1]], want)
+	}
+}
+
+func TestAllVariablesFixed(t *testing.T) {
+	var p Problem
+	x := p.AddVar(2, 2, 1, "x")
+	y := p.AddVar(3, 3, 1, "y")
+	p.AddRow(LE, 6, []int32{int32(x), int32(y)}, []float64{1, 1})
+	sol := p.Solve(Options{})
+	if sol.Status != StatusOptimal || sol.Obj != 5 {
+		t.Fatalf("status=%v obj=%v", sol.Status, sol.Obj)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	var p Problem
+	sol := p.Solve(Options{})
+	if sol.Status != StatusOptimal || sol.Obj != 0 {
+		t.Fatalf("empty problem: status=%v obj=%v", sol.Status, sol.Obj)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	var p Problem
+	x := p.AddVar(-3, 9, 2, "x")
+	sol := p.Solve(Options{})
+	if sol.Status != StatusOptimal || sol.X[x] != -3 {
+		t.Fatalf("unconstrained min: %v %v", sol.Status, sol.X)
+	}
+	p.SetCost(x, -2)
+	sol = p.Solve(Options{})
+	if sol.Status != StatusOptimal || sol.X[x] != 9 {
+		t.Fatalf("unconstrained max: %v %v", sol.Status, sol.X)
+	}
+}
+
+func TestDualsSignConventions(t *testing.T) {
+	// min -x s.t. x ≤ 4 (binding LE row): dual must be ≤ 0 and the bound
+	// tight.
+	var p Problem
+	x := p.AddVar(0, Inf, -1, "x")
+	p.AddRow(LE, 4, []int32{int32(x)}, []float64{1})
+	sol := p.Solve(Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status=%v", sol.Status)
+	}
+	if len(sol.Duals) != 1 || sol.Duals[0] > 1e-9 {
+		t.Fatalf("LE dual should be ≤ 0: %v", sol.Duals)
+	}
+	if g := p.DualBound(sol.Duals); math.Abs(g-sol.Obj) > 1e-7 {
+		t.Fatalf("dual bound %v != %v", g, sol.Obj)
+	}
+}

@@ -1,0 +1,343 @@
+// Package milp implements a mixed-integer linear program solver by
+// branch-and-bound over the LP relaxation from package lp.
+//
+// The paper solves its rematerialization MILP (Section 4.7) with Gurobi or
+// COIN-OR Branch-and-Cut under a wall-clock limit; this package plays that
+// role. It exploits the property the paper establishes in Appendix A: with
+// frontier-advancing partitioning the LP relaxation is nearly tight
+// (integrality gap ≈ 1.18 on their example), so few branch-and-bound nodes
+// are typically required.
+//
+// Features: most-fractional branching, best-bound node selection with
+// depth-first diving ties, incumbent seeding, a user-pluggable rounding
+// heuristic (Checkmate plugs in its two-phase LP rounding), relative gap and
+// wall-clock termination.
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+)
+
+// Problem is a MILP: an lp.Problem plus integrality markers.
+type Problem struct {
+	LP *lp.Problem
+	// Integer[j] marks variable j as integral. Length must equal
+	// LP.NumVars().
+	Integer []bool
+}
+
+// Status reports the outcome of a MILP solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	// StatusOptimal means an incumbent was found and proved optimal within
+	// the gap tolerance.
+	StatusOptimal Status = iota
+	// StatusFeasible means an incumbent was found but optimality was not
+	// proved before a limit was hit.
+	StatusFeasible
+	// StatusInfeasible means the problem has no integer-feasible point.
+	StatusInfeasible
+	// StatusLimit means no incumbent was found before a limit was hit.
+	StatusLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusLimit:
+		return "limit"
+	}
+	return "unknown"
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status Status
+	// Obj and X describe the incumbent (valid for StatusOptimal and
+	// StatusFeasible).
+	Obj float64
+	X   []float64
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+	// Gap is (Obj-Bound)/max(|Obj|,1e-9), NaN when no incumbent exists.
+	Gap float64
+	// Nodes is the number of branch-and-bound nodes solved.
+	Nodes int
+	// RootLPObj is the objective of the root LP relaxation; the paper's
+	// integrality-gap analysis (Appendix A) is the ratio Obj/RootLPObj.
+	RootLPObj float64
+}
+
+// Heuristic attempts to repair an LP-relaxation point x into an
+// integer-feasible solution. It returns the repaired point, its objective,
+// and whether it succeeded. The Checkmate system plugs its two-phase
+// rounding (paper Algorithm 2) in here so every node can tighten the
+// incumbent.
+type Heuristic func(x []float64) (xInt []float64, obj float64, ok bool)
+
+// Options tunes the branch-and-bound search. The zero value means defaults.
+type Options struct {
+	// TimeLimit bounds wall-clock time (0 = no limit).
+	TimeLimit time.Duration
+	// MaxNodes bounds the node count (0 = 1e6).
+	MaxNodes int
+	// RelGap is the relative optimality gap at which search stops
+	// (default 1e-6).
+	RelGap float64
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// Heuristic, if set, runs on every LP-relaxation solution.
+	Heuristic Heuristic
+	// Incumbent seeds the search with a known integer-feasible point.
+	Incumbent []float64
+	// LPOpts are passed through to the simplex solver.
+	LPOpts lp.Options
+	// OnImprove, if set, is called whenever the incumbent improves.
+	OnImprove func(obj float64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1_000_000
+	}
+	if o.RelGap == 0 {
+		o.RelGap = 1e-6
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// node is a branch-and-bound subproblem: bound changes relative to the root.
+type node struct {
+	bound   float64 // parent LP objective (lower bound for this subtree)
+	depth   int
+	changes []boundChange
+}
+
+type boundChange struct {
+	j      int
+	lo, hi float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound // best-bound first
+	}
+	return h[i].depth > h[j].depth // deeper first on ties (diving)
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch-and-bound.
+func Solve(prob *Problem, opt Options) *Solution {
+	opt = opt.withDefaults()
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = start.Add(opt.TimeLimit)
+	}
+	res := &Solution{Status: StatusLimit, Bound: math.Inf(-1), Gap: math.NaN(), RootLPObj: math.NaN()}
+
+	var incumbent []float64
+	incObj := math.Inf(1)
+	if opt.Incumbent != nil {
+		incumbent = append([]float64(nil), opt.Incumbent...)
+		incObj = prob.LP.Objective(incumbent)
+		if opt.OnImprove != nil {
+			opt.OnImprove(incObj)
+		}
+	}
+
+	work := prob.LP.Clone()
+	rootLB, rootHB := snapshotBounds(work)
+
+	open := &nodeHeap{{bound: math.Inf(-1)}}
+	heap.Init(open)
+	bestBound := math.Inf(-1)
+	exhausted := true
+
+	for open.Len() > 0 {
+		if res.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			exhausted = false
+			break
+		}
+		nd := heap.Pop(open).(*node)
+		// The best bound over open nodes (this heap is best-first).
+		bestBound = nd.bound
+		if incObj < math.Inf(1) && gapOf(incObj, bestBound) <= opt.RelGap {
+			// Remaining nodes cannot improve the incumbent beyond the gap.
+			exhausted = true
+			break
+		}
+
+		// Apply node bounds on the shared working problem.
+		restoreBounds(work, rootLB, rootHB)
+		infeasibleNode := false
+		for _, ch := range nd.changes {
+			lo, hi := work.Bounds(ch.j)
+			nlo, nhi := math.Max(lo, ch.lo), math.Min(hi, ch.hi)
+			if nlo > nhi {
+				infeasibleNode = true
+				break
+			}
+			work.SetBounds(ch.j, nlo, nhi)
+		}
+		if infeasibleNode {
+			continue
+		}
+		res.Nodes++
+		sol := work.Solve(opt.LPOpts)
+		if res.Nodes == 1 {
+			if sol.Status == lp.StatusOptimal {
+				res.RootLPObj = sol.Obj
+			}
+		}
+		switch sol.Status {
+		case lp.StatusInfeasible:
+			continue
+		case lp.StatusUnbounded:
+			// An unbounded relaxation of a node: the MILP is unbounded or
+			// the formulation is broken. Treat as no useful bound.
+			continue
+		case lp.StatusIterLimit:
+			exhausted = false
+			continue
+		}
+		if sol.Obj >= incObj-math.Abs(incObj)*opt.RelGap {
+			continue // pruned by bound
+		}
+
+		// Run the rounding heuristic for a quick incumbent.
+		if opt.Heuristic != nil {
+			if xh, objH, ok := opt.Heuristic(sol.X); ok && objH < incObj-1e-12 {
+				incumbent = append(incumbent[:0], xh...)
+				incObj = objH
+				if opt.OnImprove != nil {
+					opt.OnImprove(incObj)
+				}
+			}
+		}
+
+		// Find the most fractional integer variable.
+		branchJ, worstFrac := -1, opt.IntTol
+		for j, isInt := range prob.Integer {
+			if !isInt {
+				continue
+			}
+			f := sol.X[j] - math.Floor(sol.X[j])
+			dist := math.Min(f, 1-f)
+			if dist > worstFrac {
+				branchJ, worstFrac = j, dist
+			}
+		}
+		if branchJ < 0 {
+			// Integral: candidate incumbent.
+			if sol.Obj < incObj-1e-12 {
+				incumbent = append(incumbent[:0], roundIntegers(prob, sol.X, opt.IntTol)...)
+				incObj = prob.LP.Objective(incumbent)
+				if opt.OnImprove != nil {
+					opt.OnImprove(incObj)
+				}
+			}
+			continue
+		}
+		v := sol.X[branchJ]
+		down := &node{bound: sol.Obj, depth: nd.depth + 1,
+			changes: appendChange(nd.changes, boundChange{branchJ, math.Inf(-1), math.Floor(v)})}
+		up := &node{bound: sol.Obj, depth: nd.depth + 1,
+			changes: appendChange(nd.changes, boundChange{branchJ, math.Ceil(v), math.Inf(1)})}
+		heap.Push(open, down)
+		heap.Push(open, up)
+	}
+
+	if open.Len() == 0 && exhausted {
+		bestBound = incObj // tree exhausted: bound = incumbent
+	} else if open.Len() > 0 {
+		bestBound = math.Min(bestBound, (*open)[0].bound)
+	}
+	res.Bound = bestBound
+	if incumbent != nil {
+		res.Obj = incObj
+		res.X = incumbent
+		res.Gap = gapOf(incObj, bestBound)
+		if res.Gap <= opt.RelGap || (open.Len() == 0 && exhausted) {
+			res.Status = StatusOptimal
+			res.Gap = math.Max(res.Gap, 0)
+		} else {
+			res.Status = StatusFeasible
+		}
+		return res
+	}
+	if open.Len() == 0 && exhausted {
+		res.Status = StatusInfeasible
+	}
+	return res
+}
+
+func gapOf(obj, bound float64) float64 {
+	if math.IsInf(bound, -1) {
+		return math.Inf(1)
+	}
+	return (obj - bound) / math.Max(math.Abs(obj), 1e-9)
+}
+
+func appendChange(base []boundChange, ch boundChange) []boundChange {
+	out := make([]boundChange, len(base)+1)
+	copy(out, base)
+	out[len(base)] = ch
+	return out
+}
+
+func snapshotBounds(p *lp.Problem) (lo, hi []float64) {
+	n := p.NumVars()
+	lo = make([]float64, n)
+	hi = make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo[j], hi[j] = p.Bounds(j)
+	}
+	return lo, hi
+}
+
+func restoreBounds(p *lp.Problem, lo, hi []float64) {
+	for j := range lo {
+		p.SetBounds(j, lo[j], hi[j])
+	}
+}
+
+// roundIntegers snaps near-integral entries exactly; used when an LP
+// solution is integral within tolerance.
+func roundIntegers(prob *Problem, x []float64, tol float64) []float64 {
+	out := append([]float64(nil), x...)
+	for j, isInt := range prob.Integer {
+		if isInt {
+			r := math.Round(out[j])
+			if math.Abs(out[j]-r) <= 10*tol {
+				out[j] = r
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package nets is the model zoo: it constructs forward data-flow graphs for
+// the architectures used throughout the paper's evaluation (VGG16/19,
+// ResNet50, MobileNet v1, U-Net, FCN8, SegNet, and the Figure 3 survey
+// models), with static shape inference, FLOP counting, and activation/
+// parameter memory accounting.
+//
+// Each builder op appends one node to the graph whose Cost comes from the
+// provided costmodel.Model and whose Mem is the node's output tensor size in
+// bytes at 4-byte floating point precision (Section 4.10: "values are dense,
+// multi-dimensional tensors stored at 4 byte floating point precision").
+// Pointwise activations and batch normalization are fused into their
+// producing layer, the usual graph-level granularity (and the one the paper
+// adopts by operating on framework-level ops).
+package nets
+
+import (
+	"fmt"
+
+	"repro/internal/autodiff"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+)
+
+// BytesPerScalar is the storage width of tensor elements (fp32).
+const BytesPerScalar = 4
+
+// Shape is a per-sample feature map: channels × height × width. Dense
+// (vector) activations use H = W = 1.
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns the element count per sample.
+func (s Shape) Elems() int { return s.C * s.H * s.W }
+
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// Tensor is a handle to a value flowing through the builder. The network
+// input is a Tensor with node == -1: the paper keeps network inputs
+// permanently resident (eq. (2)), so the input is part of the constant
+// overhead rather than a graph node.
+type Tensor struct {
+	node  graph.NodeID
+	shape Shape
+}
+
+// Shape returns the tensor's per-sample shape.
+func (t Tensor) Shape() Shape { return t.shape }
+
+// Net is a constructed forward network.
+type Net struct {
+	Name string
+	// Fwd is the forward data-flow graph (topologically ID-ordered).
+	Fwd *graph.Graph
+	// Batch is the batch size the graph was costed at.
+	Batch int
+	// InputBytes is the batch input size (M_input in eq. (2)).
+	InputBytes int64
+	// ParamBytes is the total parameter size (M_param); the paper reserves
+	// 2·M_param for parameters plus gradient statistics.
+	ParamBytes int64
+	// ParamCount is the raw parameter count.
+	ParamCount int64
+	// FeatureBytes is Σ over nodes of output size: total activation memory
+	// if everything is retained (Figure 3's "Features" bar).
+	FeatureBytes int64
+	// WorkspaceBytes estimates transient kernel workspace (im2col buffers,
+	// cuDNN scratch): Figure 3's "Workspace memory" bar.
+	WorkspaceBytes int64
+}
+
+// Overhead returns the constant memory overhead of eq. (2):
+// M_input + 2·M_param.
+func (n *Net) Overhead() int64 { return n.InputBytes + 2*n.ParamBytes }
+
+// Training differentiates the forward graph and returns the joint training
+// graph together with the instance overhead.
+func (n *Net) Training(opt autodiff.Options) (*autodiff.Result, error) {
+	return autodiff.Differentiate(n.Fwd, opt)
+}
+
+// Builder incrementally constructs a Net.
+type Builder struct {
+	net   *Net
+	g     *graph.Graph
+	model costmodel.Model
+	batch int
+}
+
+// NewBuilder starts a network. batch is the global batch size; input is the
+// per-sample input shape.
+func NewBuilder(name string, m costmodel.Model, batch int, input Shape) (*Builder, Tensor) {
+	b := &Builder{
+		net:   &Net{Name: name, Batch: batch},
+		g:     graph.New(64),
+		model: m,
+		batch: batch,
+	}
+	b.net.InputBytes = int64(batch*input.Elems()) * BytesPerScalar
+	return b, Tensor{node: -1, shape: input}
+}
+
+// Finish validates and returns the network. The final tensor's producing
+// node must be the graph's unique sink (attach a loss during training via
+// autodiff.AttachLoss, which Finish does when withLoss is true).
+func (b *Builder) Finish(withLoss bool) (*Net, error) {
+	if withLoss {
+		autodiff.AttachLoss(b.g, b.model.Runtime(costmodel.Kernel{FLOPs: float64(b.batch), BatchSize: b.batch}))
+		b.net.FeatureBytes += 4
+	}
+	if err := b.g.Validate(true); err != nil {
+		return nil, fmt.Errorf("nets: %s: %w", b.net.Name, err)
+	}
+	b.net.Fwd = b.g
+	return b.net, nil
+}
+
+// bytes returns the batch-level byte size of a shape.
+func (b *Builder) bytes(s Shape) int64 {
+	return int64(b.batch*s.Elems()) * BytesPerScalar
+}
+
+// addOp appends a node computing out from the given inputs.
+func (b *Builder) addOp(name string, out Shape, flops float64, params int64, workspace int64, inputs ...Tensor) Tensor {
+	var bytesIn float64
+	for _, in := range inputs {
+		bytesIn += float64(b.bytes(in.shape))
+	}
+	outBytes := b.bytes(out)
+	cost := b.model.Runtime(costmodel.Kernel{
+		FLOPs:     flops,
+		BytesIn:   bytesIn + float64(params)*BytesPerScalar,
+		BytesOut:  float64(outBytes),
+		BatchSize: b.batch,
+	})
+	id := b.g.AddNode(graph.Node{Name: name, Cost: cost, Mem: outBytes})
+	for _, in := range inputs {
+		if in.node >= 0 {
+			b.g.MustEdge(in.node, id)
+		}
+	}
+	b.net.ParamCount += params
+	b.net.ParamBytes += params * BytesPerScalar
+	b.net.FeatureBytes += outBytes
+	b.net.WorkspaceBytes += workspace
+	return Tensor{node: id, shape: out}
+}
+
+func convOut(in Shape, outC, kernel, stride int, same bool) Shape {
+	pad := 0
+	if same {
+		pad = (kernel - 1) / 2
+	}
+	h := (in.H+2*pad-kernel)/stride + 1
+	w := (in.W+2*pad-kernel)/stride + 1
+	return Shape{C: outC, H: h, W: w}
+}
+
+// Conv adds a 2-D convolution (+ fused bias, batch-norm, and activation).
+func (b *Builder) Conv(in Tensor, name string, outC, kernel, stride int) Tensor {
+	out := convOut(in.shape, outC, kernel, stride, true)
+	macs := float64(kernel*kernel*in.shape.C) * float64(out.Elems()) * float64(b.batch)
+	params := int64(kernel*kernel*in.shape.C*outC + 2*outC) // weights + bn scale/shift
+	ws := int64(float64(b.bytes(in.shape)) * float64(kernel*kernel) * 0.05)
+	return b.addOp(name, out, 2*macs, params, ws, in)
+}
+
+// ConvValid adds a convolution with no padding (used by AlexNet-style stems).
+func (b *Builder) ConvValid(in Tensor, name string, outC, kernel, stride int) Tensor {
+	out := convOut(in.shape, outC, kernel, stride, false)
+	macs := float64(kernel*kernel*in.shape.C) * float64(out.Elems()) * float64(b.batch)
+	params := int64(kernel*kernel*in.shape.C*outC + 2*outC)
+	ws := int64(float64(b.bytes(in.shape)) * float64(kernel*kernel) * 0.05)
+	return b.addOp(name, out, 2*macs, params, ws, in)
+}
+
+// DWConv adds a depthwise 3×3 convolution (MobileNet's spatial filter).
+func (b *Builder) DWConv(in Tensor, name string, stride int) Tensor {
+	out := convOut(in.shape, in.shape.C, 3, stride, true)
+	macs := float64(3*3) * float64(out.Elems()) * float64(b.batch)
+	params := int64(3*3*in.shape.C + 2*in.shape.C)
+	return b.addOp(name, out, 2*macs, params, 0, in)
+}
+
+// PWConv adds a pointwise 1×1 convolution (MobileNet's channel mixer).
+func (b *Builder) PWConv(in Tensor, name string, outC int) Tensor {
+	return b.Conv(in, name, outC, 1, 1)
+}
+
+// Deconv adds a stride-s transposed convolution used by the decoder paths of
+// U-Net, SegNet and FCN (learned upsampling).
+func (b *Builder) Deconv(in Tensor, name string, outC, kernel, stride int) Tensor {
+	out := Shape{C: outC, H: in.shape.H * stride, W: in.shape.W * stride}
+	macs := float64(kernel*kernel*in.shape.C) * float64(out.Elems()) * float64(b.batch) / float64(stride*stride)
+	params := int64(kernel*kernel*in.shape.C*outC + 2*outC)
+	return b.addOp(name, out, 2*macs, params, 0, in)
+}
+
+// MaxPool adds a k×k max pooling with the given stride.
+func (b *Builder) MaxPool(in Tensor, name string, kernel, stride int) Tensor {
+	out := Shape{C: in.shape.C, H: in.shape.H / stride, W: in.shape.W / stride}
+	flops := float64(out.Elems()) * float64(kernel*kernel) * float64(b.batch)
+	return b.addOp(name, out, flops, 0, 0, in)
+}
+
+// GlobalAvgPool reduces spatial dims to 1×1.
+func (b *Builder) GlobalAvgPool(in Tensor, name string) Tensor {
+	out := Shape{C: in.shape.C, H: 1, W: 1}
+	flops := float64(in.shape.Elems()) * float64(b.batch)
+	return b.addOp(name, out, flops, 0, 0, in)
+}
+
+// Dense adds a fully connected layer (input flattened).
+func (b *Builder) Dense(in Tensor, name string, units int) Tensor {
+	inElems := in.shape.Elems()
+	out := Shape{C: units, H: 1, W: 1}
+	macs := float64(inElems*units) * float64(b.batch)
+	params := int64(inElems*units + units)
+	return b.addOp(name, out, 2*macs, params, 0, in)
+}
+
+// Add joins two tensors elementwise (residual connection, fused activation).
+func (b *Builder) Add(x, y Tensor, name string) Tensor {
+	if x.shape != y.shape {
+		panic(fmt.Sprintf("nets: Add shape mismatch %v vs %v", x.shape, y.shape))
+	}
+	flops := float64(x.shape.Elems()) * float64(b.batch)
+	return b.addOp(name, x.shape, flops, 0, 0, x, y)
+}
+
+// Concat joins two tensors along channels (U-Net skip connections).
+func (b *Builder) Concat(x, y Tensor, name string) Tensor {
+	if x.shape.H != y.shape.H || x.shape.W != y.shape.W {
+		panic(fmt.Sprintf("nets: Concat spatial mismatch %v vs %v", x.shape, y.shape))
+	}
+	out := Shape{C: x.shape.C + y.shape.C, H: x.shape.H, W: x.shape.W}
+	return b.addOp(name, out, 0, 0, 0, x, y)
+}
+
+// Upsample doubles spatial dimensions by interpolation (no parameters).
+func (b *Builder) Upsample(in Tensor, name string, scale int) Tensor {
+	out := Shape{C: in.shape.C, H: in.shape.H * scale, W: in.shape.W * scale}
+	flops := float64(out.Elems()) * float64(b.batch)
+	return b.addOp(name, out, flops, 0, 0, in)
+}
+
+// SelfAttention adds one multi-head self-attention block over sequence
+// length L with model dimension D (packed into Shape{C: D, H: L, W: 1}).
+func (b *Builder) SelfAttention(in Tensor, name string, heads int) Tensor {
+	d := in.shape.C
+	l := in.shape.H
+	// QKV projections + attention matmuls + output projection.
+	macs := float64(b.batch) * (4*float64(l)*float64(d)*float64(d) + 2*float64(l)*float64(l)*float64(d))
+	params := int64(4 * d * d)
+	_ = heads
+	return b.addOp(name, in.shape, 2*macs, params, 0, in)
+}
+
+// FFN adds a transformer feed-forward block with expansion factor 4 and a
+// fused residual.
+func (b *Builder) FFN(in Tensor, name string) Tensor {
+	d := in.shape.C
+	l := in.shape.H
+	macs := float64(b.batch) * (2 * 4 * float64(l) * float64(d) * float64(d))
+	params := int64(8 * d * d)
+	return b.addOp(name, in.shape, 2*macs, params, 0, in)
+}

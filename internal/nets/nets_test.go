@@ -1,0 +1,259 @@
+package nets
+
+import (
+	"testing"
+
+	"repro/internal/autodiff"
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+)
+
+func cfg(batch int) Config {
+	return Config{Model: costmodel.NewRoofline(costmodel.V100()), Batch: batch}
+}
+
+func TestAllModelsBuildAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			net, err := ByName(name, cfg(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := net.Fwd.Validate(true); err != nil {
+				t.Fatal(err)
+			}
+			if !net.Fwd.IsTopoSorted() {
+				t.Fatal("graph not topo sorted")
+			}
+			if net.ParamCount <= 0 || net.FeatureBytes <= 0 {
+				t.Fatalf("accounting empty: params=%d features=%d", net.ParamCount, net.FeatureBytes)
+			}
+			// Training graph must differentiate cleanly.
+			res, err := net.Training(autodiff.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Graph.Len() != 2*net.Fwd.Len() {
+				t.Fatalf("training graph %d nodes, want %d", res.Graph.Len(), 2*net.Fwd.Len())
+			}
+		})
+	}
+}
+
+func TestVGG16ParameterCount(t *testing.T) {
+	net, err := VGG16(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VGG16 has ~138M parameters; our fused conv+bn accounting adds small
+	// extras, so accept 5% tolerance around the canonical 138.3M.
+	got := float64(net.ParamCount)
+	if got < 131e6 || got > 146e6 {
+		t.Fatalf("vgg16 params = %v, want ≈138M", got)
+	}
+}
+
+func TestResNet50ParameterCount(t *testing.T) {
+	net, err := ResNet50(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical ResNet50: 25.6M parameters.
+	got := float64(net.ParamCount)
+	if got < 22e6 || got > 29e6 {
+		t.Fatalf("resnet50 params = %v, want ≈25.6M", got)
+	}
+}
+
+func TestMobileNetParameterCount(t *testing.T) {
+	net, err := MobileNet(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical MobileNet v1: 4.2M parameters.
+	got := float64(net.ParamCount)
+	if got < 3.5e6 || got > 5.5e6 {
+		t.Fatalf("mobilenet params = %v, want ≈4.2M", got)
+	}
+}
+
+func TestFeatureMemoryDominatesParams(t *testing.T) {
+	// Figure 3's central claim: at training batch sizes, activation memory
+	// far exceeds parameter memory for conv nets.
+	for _, name := range []string{"vgg16", "unet", "segnet", "mobilenet"} {
+		net, err := ByName(name, cfg(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.FeatureBytes < 2*net.ParamBytes {
+			t.Errorf("%s: features %d not ≫ params %d at batch 32", name, net.FeatureBytes, net.ParamBytes)
+		}
+	}
+}
+
+func TestCostSpreadIsLarge(t *testing.T) {
+	// Section 2: "the largest layer is six orders of magnitude more
+	// expensive than the smallest" (VGG19). Our roofline model must produce
+	// a wide spread (≥3 orders incl. loss node).
+	net, err := VGG19(cfg(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minC, maxC := 1e300, 0.0
+	for i := 0; i < net.Fwd.Len(); i++ {
+		c := net.Fwd.Node(graph.NodeID(i)).Cost
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC/minC < 1e3 {
+		t.Fatalf("cost spread %.1f too small", maxC/minC)
+	}
+}
+
+func TestUNetHasLongSkips(t *testing.T) {
+	net, err := UNet(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U-Net's concat nodes take two inputs far apart in topological order;
+	// also it must have very few articulation points compared to nodes
+	// (Section 6.1: "some networks have few articulation points, including
+	// U-Net").
+	g := net.Fwd
+	long := false
+	for v := 0; v < g.Len(); v++ {
+		deps := g.Deps(graph.NodeID(v))
+		if len(deps) == 2 {
+			gap := int(deps[1]) - int(deps[0])
+			if gap > 5 {
+				long = true
+			}
+		}
+	}
+	if !long {
+		t.Fatal("no long skip connections found in U-Net")
+	}
+}
+
+func TestResNetSkipEdges(t *testing.T) {
+	net, err := ResNet50(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := 0
+	for v := 0; v < net.Fwd.Len(); v++ {
+		if len(net.Fwd.Deps(graph.NodeID(v))) >= 2 {
+			adds++
+		}
+	}
+	if adds < 16 {
+		t.Fatalf("resnet50 has %d join nodes, want ≥16 residual adds", adds)
+	}
+}
+
+func TestShapeInference(t *testing.T) {
+	b, x := NewBuilder("probe", costmodel.NewUnit(), 2, Shape{C: 3, H: 224, W: 224})
+	x = b.Conv(x, "c1", 64, 3, 1)
+	if x.Shape() != (Shape{64, 224, 224}) {
+		t.Fatalf("conv same: %v", x.Shape())
+	}
+	x = b.MaxPool(x, "p1", 2, 2)
+	if x.Shape() != (Shape{64, 112, 112}) {
+		t.Fatalf("pool: %v", x.Shape())
+	}
+	x = b.Conv(x, "c2", 128, 3, 2)
+	if x.Shape() != (Shape{128, 56, 56}) {
+		t.Fatalf("strided conv: %v", x.Shape())
+	}
+	y := b.Deconv(x, "d", 64, 2, 2)
+	if y.Shape() != (Shape{64, 112, 112}) {
+		t.Fatalf("deconv: %v", y.Shape())
+	}
+	z := b.GlobalAvgPool(y, "gap")
+	if z.Shape() != (Shape{64, 1, 1}) {
+		t.Fatalf("gap: %v", z.Shape())
+	}
+	w := b.Dense(z, "fc", 10)
+	if w.Shape() != (Shape{10, 1, 1}) {
+		t.Fatalf("dense: %v", w.Shape())
+	}
+}
+
+func TestMemoryScalesWithBatch(t *testing.T) {
+	n1, err := VGG16(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n8, err := VGG16(cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n8.FeatureBytes < 7*n1.FeatureBytes {
+		t.Fatalf("feature memory should scale ~linearly with batch: %d vs %d", n1.FeatureBytes, n8.FeatureBytes)
+	}
+	if n8.ParamBytes != n1.ParamBytes {
+		t.Fatal("parameter memory must not depend on batch")
+	}
+}
+
+func TestCoarsenChains(t *testing.T) {
+	net, err := VGG16(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := net.Fwd
+	coarse := CoarsenChains(orig.Clone(), 8)
+	if coarse.Len() > orig.Len() {
+		t.Fatal("coarsening grew the graph")
+	}
+	if coarse.Len() > 9 { // target 8, may stop one above on non-contractible structure
+		t.Fatalf("coarse graph still has %d nodes", coarse.Len())
+	}
+	if err := coarse.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Total cost must be preserved exactly by contraction.
+	if diff := coarse.TotalCost() - orig.TotalCost(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cost changed by %v", diff)
+	}
+}
+
+func TestCoarsenPreservesSkipStructure(t *testing.T) {
+	net, err := UNet(Config{Model: costmodel.NewUnit(), Batch: 1, CoarseSegments: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Fwd
+	if g.Len() > 16 {
+		t.Fatalf("coarse U-Net has %d nodes", g.Len())
+	}
+	// Concats must still join two branches.
+	joins := 0
+	for v := 0; v < g.Len(); v++ {
+		if len(g.Deps(graph.NodeID(v))) >= 2 {
+			joins++
+		}
+	}
+	if joins < 3 {
+		t.Fatalf("skip joins lost in coarsening: %d", joins)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	net, err := MLP(Config{Model: costmodel.NewUnit(), Batch: 2}, []int{4, 8, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInput := int64(2*4) * BytesPerScalar
+	if net.InputBytes != wantInput {
+		t.Fatalf("input bytes %d want %d", net.InputBytes, wantInput)
+	}
+	if net.Overhead() != net.InputBytes+2*net.ParamBytes {
+		t.Fatal("overhead formula wrong")
+	}
+}

@@ -1,0 +1,170 @@
+// Package offload models activation swapping (paging tensors to host RAM
+// over PCIe) as an alternative to rematerialization.
+//
+// The paper's Related Work section argues that "rematerialization is more
+// appropriate than copying values out of core as the cost of spilling values
+// from global GPU memory to main memory (RAM) is substantial (Micikevicius,
+// 2011; Jain et al., 2018), though possible (Meng et al., 2017)". This
+// package makes that argument quantitative: it plans a swap schedule with
+// Belady's furthest-next-use eviction over the checkpoint-all execution
+// order and prices the transfers against PCIe bandwidth, so the offload-
+// versus-rematerialization crossover can be measured (see the ablation
+// benchmarks in bench_test.go).
+//
+// Activations are immutable, so a value swapped out once keeps its host copy
+// and later evictions of the same value are free; swap-ins always pay.
+package offload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Options configure the transfer cost model.
+type Options struct {
+	// PCIeBandwidth is the host link bandwidth in bytes/s (default 16 GB/s,
+	// PCIe 3.0 x16).
+	PCIeBandwidth float64
+	// Overlap is the fraction of transfer time hidden behind compute
+	// (default 0.5: prefetching hides half).
+	Overlap float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PCIeBandwidth == 0 {
+		o.PCIeBandwidth = 16e9
+	}
+	if o.Overlap == 0 {
+		o.Overlap = 0.5
+	}
+	return o
+}
+
+// Result is a planned swap schedule.
+type Result struct {
+	// ComputeTime is the ideal single-evaluation compute cost (every node
+	// once — offloading never recomputes).
+	ComputeTime float64
+	// TransferTime is the exposed (non-overlapped) PCIe time.
+	TransferTime float64
+	// TotalTime = ComputeTime + TransferTime.
+	TotalTime float64
+	// SwapOutBytes and SwapInBytes count the traffic.
+	SwapOutBytes, SwapInBytes int64
+	// SwapEvents counts individual transfers.
+	SwapEvents int
+	// PeakBytes is the device-memory high-water mark (≤ budget on success).
+	PeakBytes int64
+}
+
+// Plan builds a swap schedule for evaluating g once (checkpoint-all
+// execution order: node IDs ascending) within the device budget. Returns an
+// error if even the working set of a single node exceeds the budget.
+func Plan(g *graph.Graph, overhead, budget int64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := g.Len()
+	if !g.IsTopoSorted() {
+		return nil, fmt.Errorf("offload: graph must be topologically sorted")
+	}
+	// nextUse[v] = sorted future users; consumed from the front.
+	nextUse := make([][]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		nextUse[v] = append([]graph.NodeID(nil), g.Users(graph.NodeID(v))...)
+	}
+	futureUse := func(v int, now int) int {
+		for _, u := range nextUse[v] {
+			if int(u) >= now {
+				return int(u)
+			}
+		}
+		return math.MaxInt64 // dead (only the sink reaches here)
+	}
+
+	res := &Result{}
+	onDevice := map[int]bool{}
+	hostCopy := map[int]bool{}
+	var mem int64 = overhead
+	res.PeakBytes = mem
+
+	evictFor := func(now int, need int64, pinned map[int]bool) error {
+		for mem+need > budget {
+			// Belady: evict the resident value with the furthest next use.
+			cand, candUse := -1, -1
+			for v := range onDevice {
+				if pinned[v] {
+					continue
+				}
+				fu := futureUse(v, now)
+				if fu > candUse {
+					cand, candUse = v, fu
+				}
+			}
+			if cand < 0 {
+				return fmt.Errorf("offload: working set at node %d exceeds budget %d", now, budget)
+			}
+			sz := g.Node(graph.NodeID(cand)).Mem
+			if !hostCopy[cand] {
+				res.SwapOutBytes += sz
+				res.SwapEvents++
+				hostCopy[cand] = true
+			}
+			delete(onDevice, cand)
+			mem -= sz
+		}
+		return nil
+	}
+
+	for k := 0; k < n; k++ {
+		node := g.Node(graph.NodeID(k))
+		pinned := map[int]bool{k: true}
+		for _, d := range g.Deps(graph.NodeID(k)) {
+			pinned[int(d)] = true
+		}
+		// Swap in missing dependencies (furthest-first order is irrelevant
+		// for cost; process ascending for determinism).
+		deps := append([]graph.NodeID(nil), g.Deps(graph.NodeID(k))...)
+		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+		for _, d := range deps {
+			if onDevice[int(d)] {
+				continue
+			}
+			if !hostCopy[int(d)] {
+				return nil, fmt.Errorf("offload: dependency v%d of v%d neither resident nor on host", d, k)
+			}
+			sz := g.Node(d).Mem
+			if err := evictFor(k, sz, pinned); err != nil {
+				return nil, err
+			}
+			onDevice[int(d)] = true
+			mem += sz
+			res.SwapInBytes += sz
+			res.SwapEvents++
+			if mem > res.PeakBytes {
+				res.PeakBytes = mem
+			}
+		}
+		// Allocate the output.
+		if err := evictFor(k, node.Mem, pinned); err != nil {
+			return nil, err
+		}
+		onDevice[k] = true
+		mem += node.Mem
+		if mem > res.PeakBytes {
+			res.PeakBytes = mem
+		}
+		res.ComputeTime += node.Cost
+		// Release dead values (no future users).
+		for _, d := range g.Deps(graph.NodeID(k)) {
+			if futureUse(int(d), k+1) == math.MaxInt64 && onDevice[int(d)] {
+				delete(onDevice, int(d))
+				mem -= g.Node(d).Mem
+			}
+		}
+	}
+	res.TransferTime = float64(res.SwapOutBytes+res.SwapInBytes) / opt.PCIeBandwidth * (1 - opt.Overlap)
+	res.TotalTime = res.ComputeTime + res.TransferTime
+	return res, nil
+}

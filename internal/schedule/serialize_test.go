@@ -1,0 +1,102 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	g := chainGraph(6)
+	s := core.CheckpointAll(g)
+	p, err := Generate(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPlanJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumRegs != p.NumRegs || len(q.Stmts) != len(p.Stmts) {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for i := range p.Stmts {
+		if p.Stmts[i] != q.Stmts[i] {
+			t.Fatalf("stmt %d: %v != %v", i, p.Stmts[i], q.Stmts[i])
+		}
+	}
+	// The decoded plan must simulate identically.
+	a, err := Simulate(g, p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(g, q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PeakBytes != b.PeakBytes || a.TotalCost != b.TotalCost {
+		t.Fatal("round-tripped plan behaves differently")
+	}
+}
+
+func TestPlanJSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"version":99}`,
+		`{"version":1,"num_regs":1,"reg_node":[0],"stmts":[{"k":"x","n":0,"r":0}]}`,
+		`{"version":1,"num_regs":1,"reg_node":[0],"stmts":[{"k":"c","n":0,"r":5}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadPlanJSON(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSchedJSONRoundTrip(t *testing.T) {
+	g := chainGraph(5)
+	s := core.CheckpointAll(g)
+	var buf bytes.Buffer
+	if err := WriteSchedJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadSchedJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.N != s.N {
+		t.Fatal("size mismatch")
+	}
+	for t2 := 0; t2 < s.N; t2++ {
+		for i := 0; i < s.N; i++ {
+			if q.R[t2][i] != s.R[t2][i] || q.S[t2][i] != s.S[t2][i] {
+				t.Fatalf("matrix mismatch at (%d,%d)", t2, i)
+			}
+		}
+	}
+	if err := q.Validate(g, true); err != nil {
+		t.Fatal(err)
+	}
+	if q.Cost(g) != s.Cost(g) || q.Peak(g, 3) != s.Peak(g, 3) {
+		t.Fatal("accounting differs after round trip")
+	}
+}
+
+func TestSchedJSONRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{"version":1,"n":2,"edges":1,"r":["10"],"s":["00","00"],"free":["0","0"]}`,
+		`{"version":1,"n":1,"edges":0,"r":["2"],"s":["0"],"free":[""]}`,
+		`{"version":7,"n":0,"edges":0}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadSchedJSON(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

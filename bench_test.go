@@ -8,8 +8,10 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"math"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -27,6 +29,9 @@ import (
 	"repro/internal/nets"
 	"repro/internal/offload"
 	"repro/internal/schedule"
+	"repro/internal/service"
+	serviceapi "repro/internal/service/api"
+	serviceclient "repro/internal/service/client"
 )
 
 // benchScale keeps a single benchmark iteration to a few seconds.
@@ -300,6 +305,46 @@ func BenchmarkModelZooBuild(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkServiceSolve measures the planning service's two request paths:
+// "miss" pays for a full MILP solve per request (distinct budgets defeat the
+// cache), "hit" measures the fingerprint-keyed LRU fast path the service
+// exists to provide.
+func BenchmarkServiceSolve(b *testing.B) {
+	g := trainGraph(b, 10)
+	spec := serviceapi.GraphSpecOf(g, 0)
+	srv := service.New(service.Config{Workers: 2, CacheCap: 4096, DefaultTimeLimit: 30 * time.Second})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := serviceclient.New(ts.URL, nil)
+	ctx := context.Background()
+
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Vary the budget so every request is a distinct cache key.
+			if _, err := c.Solve(ctx, serviceapi.SolveRequest{Graph: spec, Budget: int64(8 + i%4), NoCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		req := serviceapi.SolveRequest{Graph: spec, Budget: 8}
+		if _, err := c.Solve(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := c.Solve(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
 }
 
 // ---- Ablation benchmarks for design choices (see DESIGN.md) ----

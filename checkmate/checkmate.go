@@ -14,6 +14,8 @@
 package checkmate
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -110,6 +112,40 @@ func FromGraph(g *graph.Graph, overhead int64) (*Workload, error) {
 	return &Workload{Graph: g, Overhead: overhead}, nil
 }
 
+// Fingerprint returns the canonical content hash of the scheduling problem
+// this workload poses: the training graph's topology, costs and sizes plus
+// the fixed memory overhead. Two workloads with equal fingerprints admit
+// exactly the same schedules, so solved plans can be cached and shared
+// across processes keyed by this value.
+func (w *Workload) Fingerprint() graph.Fingerprint {
+	d := graph.NewDigest()
+	d.String("workload/v1")
+	w.Graph.WriteDigest(d)
+	d.Int64(w.Overhead)
+	return d.Sum()
+}
+
+// SolveKey extends Fingerprint with the budget and every solver option that
+// can change the resulting schedule — the complete cache key for a solve.
+// approximate distinguishes SolveApprox results from SolveOptimal ones.
+func (w *Workload) SolveKey(budget int64, opt SolveOptions, approximate bool) graph.Fingerprint {
+	d := graph.NewDigest()
+	d.String("solve/v1")
+	w.Graph.WriteDigest(d)
+	d.Int64(w.Overhead)
+	d.Int64(budget)
+	d.Bool(approximate)
+	// TimeLimit is part of the key for both solvers: it bounds the optimal
+	// search directly and the approximation via context timeout, so requests
+	// with different limits may legitimately produce different schedules.
+	d.Int64(int64(opt.TimeLimit))
+	if !approximate {
+		d.Float64(opt.RelGap)
+		d.Bool(opt.Unpartitioned)
+	}
+	return d.Sum()
+}
+
 // CheckpointAllPeak returns the peak memory of the no-rematerialization
 // policy — the budget above which rematerialization is unnecessary.
 func (w *Workload) CheckpointAllPeak() int64 {
@@ -120,6 +156,18 @@ func (w *Workload) CheckpointAllPeak() int64 {
 func (w *Workload) MinBudget() int64 {
 	return core.MinBudgetLowerBound(w.Graph, w.Overhead)
 }
+
+// Sentinel errors returned by the solve entry points, distinguishable with
+// errors.Is. Infeasibility is a property of the instance (retrying cannot
+// help); a limit error means the solver ran out of time or nodes and a
+// retry with looser limits may succeed.
+var (
+	// ErrInfeasible reports that no schedule fits the memory budget.
+	ErrInfeasible = errors.New("checkmate: no schedule fits the memory budget")
+	// ErrSolveLimit reports that no feasible schedule was found before the
+	// solver's limits were exhausted.
+	ErrSolveLimit = errors.New("checkmate: no feasible schedule found within solver limits")
+)
 
 // SolveOptions tune the optimal solver.
 type SolveOptions struct {
@@ -160,10 +208,16 @@ func (s *Schedule) Overhead() float64 { return s.Cost / s.IdealCost }
 // SolveOptimal solves the MILP of paper Section 4.7 at the given budget.
 // A budget below MinBudget or an over-constrained instance returns an error.
 func (w *Workload) SolveOptimal(budget int64, opt SolveOptions) (*Schedule, error) {
+	return w.SolveOptimalCtx(context.Background(), budget, opt)
+}
+
+// SolveOptimalCtx is SolveOptimal with cancellation: when ctx is cancelled
+// the branch-and-bound search stops promptly and ctx.Err() is returned.
+func (w *Workload) SolveOptimalCtx(ctx context.Context, budget int64, opt SolveOptions) (*Schedule, error) {
 	if opt.TimeLimit == 0 {
 		opt.TimeLimit = 60 * time.Second
 	}
-	res, err := core.SolveILP(core.Instance{G: w.Graph, Budget: budget, Overhead: w.Overhead}, core.SolveOptions{
+	res, err := core.SolveILPCtx(ctx, core.Instance{G: w.Graph, Budget: budget, Overhead: w.Overhead}, core.SolveOptions{
 		TimeLimit:     opt.TimeLimit,
 		RelGap:        opt.RelGap,
 		Unpartitioned: opt.Unpartitioned,
@@ -173,9 +227,9 @@ func (w *Workload) SolveOptimal(budget int64, opt SolveOptions) (*Schedule, erro
 	}
 	switch res.Status {
 	case milp.StatusInfeasible:
-		return nil, fmt.Errorf("checkmate: no schedule fits budget %d (min feasible ≥ %d)", budget, w.MinBudget())
+		return nil, fmt.Errorf("%w: budget %d (min feasible ≥ %d)", ErrInfeasible, budget, w.MinBudget())
 	case milp.StatusLimit:
-		return nil, fmt.Errorf("checkmate: no feasible schedule found within limits at budget %d", budget)
+		return nil, fmt.Errorf("%w: budget %d", ErrSolveLimit, budget)
 	}
 	return w.finish(res.Sched, res.Status == milp.StatusOptimal, res)
 }
@@ -183,7 +237,13 @@ func (w *Workload) SolveOptimal(budget int64, opt SolveOptions) (*Schedule, erro
 // SolveApprox runs the two-phase LP rounding approximation (Section 5) with
 // the ε-search refinement of Appendix D.
 func (w *Workload) SolveApprox(budget int64) (*Schedule, error) {
-	r, err := approx.SolveWithSearch(core.Instance{G: w.Graph, Budget: budget, Overhead: w.Overhead}, approx.Options{})
+	return w.SolveApproxCtx(context.Background(), budget)
+}
+
+// SolveApproxCtx is SolveApprox with cancellation: the ε-search and its LP
+// relaxations stop promptly when ctx is cancelled.
+func (w *Workload) SolveApproxCtx(ctx context.Context, budget int64) (*Schedule, error) {
+	r, err := approx.SolveWithSearchCtx(ctx, core.Instance{G: w.Graph, Budget: budget, Overhead: w.Overhead}, approx.Options{})
 	if err != nil {
 		return nil, err
 	}

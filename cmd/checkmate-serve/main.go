@@ -1,0 +1,69 @@
+// Command checkmate-serve runs the rematerialization-planning service: a
+// long-lived HTTP server that solves (and caches) rematerialization
+// schedules for named zoo models or serialized training graphs.
+//
+// Example:
+//
+//	checkmate-serve -addr :8780 -workers 4 -cache 512
+//	curl -s localhost:8780/v1/solve -d '{"model":"mobilenet","batch":8,"budget":4294967296}'
+//
+// See internal/service for the API surface and README.md for a tour.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8780", "listen address")
+		workers  = flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "bounded solve-queue capacity (full queue => 503)")
+		cacheCap = flag.Int("cache", 256, "schedule cache capacity (entries)")
+		defTL    = flag.Duration("default-timelimit", 30*time.Second, "solver time limit when a request names none")
+		maxTL    = flag.Duration("max-timelimit", 10*time.Minute, "cap on requested solver time limits")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:          *workers,
+		QueueCap:         *queue,
+		CacheCap:         *cacheCap,
+		DefaultTimeLimit: *defTL,
+		MaxTimeLimit:     *maxTL,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("checkmate-serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("checkmate-serve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("checkmate-serve: listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "checkmate-serve: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+	srv.Close()
+}

@@ -1,0 +1,111 @@
+// Example service demonstrates the rematerialization-planning service
+// end-to-end in a single process: it starts the HTTP server on a loopback
+// port, then drives it with the Go client — a named-model solve, a repeat
+// solve served from the schedule cache, a serialized-graph solve, and a
+// budget sweep — and prints the service stats.
+//
+// Run with:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/api"
+	"repro/internal/service/client"
+)
+
+func main() {
+	srv := service.New(service.Config{Workers: 2, DefaultTimeLimit: 20 * time.Second})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("planning service listening on %s\n\n", base)
+	c := client.New(base, nil)
+	ctx := context.Background()
+
+	models, err := c.Models(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zoo models: %d available (first three: %v)\n\n", len(models), models[:3])
+
+	// 1. Solve a zoo model at a tight budget. The first request pays for the
+	// MILP solve...
+	req := api.SolveRequest{Model: "linear32", Batch: 8, CoarseSegments: 10, Budget: 1 << 30}
+	t0 := time.Now()
+	first, err := c.Solve(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solve #1  %s  cached=%v  optimal=%v  overhead=%.3fx  peak=%d B  (%.1f ms round trip)\n",
+		first.Fingerprint[:12], first.Cached, first.Optimal, first.Overhead, first.PeakBytes, float64(time.Since(t0).Microseconds())/1e3)
+
+	// ...and the second identical request is an O(1) cache hit.
+	t0 = time.Now()
+	second, err := c.Solve(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solve #2  %s  cached=%v  (%.1f ms round trip)\n\n",
+		second.Fingerprint[:12], second.Cached, float64(time.Since(t0).Microseconds())/1e3)
+
+	// 2. Solve a hand-serialized training graph: a 12-node chain with unit
+	// costs and sizes, the fully general entry point for models outside the
+	// zoo.
+	spec := &api.GraphSpec{}
+	const n = 12
+	for i := 0; i < n; i++ {
+		spec.Nodes = append(spec.Nodes, api.NodeSpec{Name: fmt.Sprintf("op%d", i), Cost: 1, Mem: 1})
+		if i > 0 {
+			spec.Edges = append(spec.Edges, [2]int{i - 1, i})
+		}
+	}
+	raw, err := c.Solve(ctx, api.SolveRequest{Graph: spec, Budget: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := client.DecodePlan(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw graph: overhead=%.3fx within budget 6 (peak %d B), plan has %d statements\n\n",
+		raw.Overhead, raw.PeakBytes, len(plan.Stmts))
+
+	// 3. Sweep the same graph across its feasible budget range (Figure 5 as
+	// a service call).
+	sweep, err := c.Sweep(ctx, api.SweepRequest{Graph: spec, Points: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep over [%d, %d] B:\n", sweep.MinBudget, sweep.CheckpointAllPeak)
+	for _, pt := range sweep.Points {
+		if pt.Feasible {
+			fmt.Printf("  budget %3d B  overhead=%.3fx  cached=%v\n", pt.Budget, pt.Overhead, pt.Cached)
+		} else {
+			fmt.Printf("  budget %3d B  infeasible: %s\n", pt.Budget, pt.Error)
+		}
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstats: %d solves, %d cache hits / %d misses, %d deduped, cache %d/%d\n",
+		stats.Solves, stats.CacheHits, stats.CacheMisses, stats.Deduped, stats.CacheSize, stats.CacheCap)
+}

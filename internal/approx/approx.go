@@ -11,6 +11,8 @@
 package approx
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -60,10 +62,16 @@ type Result struct {
 
 // Solve runs two-phase rounding once at the configured ε.
 func Solve(inst core.Instance, opt Options) (*Result, error) {
+	return SolveCtx(context.Background(), inst, opt)
+}
+
+// SolveCtx is Solve with cancellation: the underlying LP relaxation stops
+// promptly when ctx is cancelled and ctx.Err() is returned.
+func SolveCtx(ctx context.Context, inst core.Instance, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	deflated := inst
 	deflated.Budget = int64(float64(inst.Budget) * (1 - opt.Epsilon))
-	fs, lpObj, err := core.SolveRelaxation(deflated, false)
+	fs, lpObj, err := core.SolveRelaxationCtx(ctx, deflated, false)
 	if err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
@@ -77,13 +85,34 @@ func Solve(inst core.Instance, opt Options) (*Result, error) {
 // SolveWithSearch sweeps ε over [0, 0.5] and returns the cheapest schedule
 // feasible at the true budget (the refinement suggested in Appendix D).
 func SolveWithSearch(inst core.Instance, opt Options) (*Result, error) {
+	return SolveWithSearchCtx(context.Background(), inst, opt)
+}
+
+// SolveWithSearchCtx is SolveWithSearch with cancellation: the ε sweep stops
+// between (and inside) LP solves once ctx is cancelled.
+func SolveWithSearchCtx(ctx context.Context, inst core.Instance, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	var best *Result
 	for _, eps := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5} {
+		if err := ctx.Err(); err != nil {
+			// Out of time mid-sweep: a feasible schedule already in hand
+			// beats an error (mirrors the optimal path returning its
+			// incumbent when the limit fires).
+			if best != nil {
+				return best, nil
+			}
+			return nil, fmt.Errorf("approx: search cancelled: %w", err)
+		}
 		o := opt
 		o.Epsilon = eps
-		r, err := Solve(inst, o)
+		r, err := SolveCtx(ctx, inst, o)
 		if err != nil {
+			if ctx.Err() != nil {
+				if best != nil {
+					return best, nil
+				}
+				return nil, fmt.Errorf("approx: search cancelled: %w", ctx.Err())
+			}
 			continue
 		}
 		if !r.Feasible {
@@ -94,10 +123,16 @@ func SolveWithSearch(inst core.Instance, opt Options) (*Result, error) {
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("approx: no feasible rounding found at any ε (budget %d)", inst.Budget)
+		return nil, fmt.Errorf("%w (budget %d)", ErrNoFeasibleRounding, inst.Budget)
 	}
 	return best, nil
 }
+
+// ErrNoFeasibleRounding reports that no ε in the search produced a schedule
+// within the true budget. Unlike an exact-solver infeasibility verdict this
+// is not a proof — the budget may still admit a schedule the rounding
+// missed — but retrying the same request cannot succeed either.
+var ErrNoFeasibleRounding = errors.New("approx: no feasible rounding found at any ε")
 
 func bestRandomized(inst core.Instance, fs *core.FractionalSched, lpObj float64, opt Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(opt.Seed))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,6 +55,15 @@ type Result struct {
 // returning the best schedule found. A feasible result is returned even when
 // optimality was not proven within the limits (Status reports which).
 func SolveILP(inst Instance, opt SolveOptions) (*Result, error) {
+	return SolveILPCtx(context.Background(), inst, opt)
+}
+
+// SolveILPCtx is SolveILP with cancellation: when ctx is cancelled the
+// branch-and-bound search (and any in-flight simplex solve) stops promptly
+// and ctx.Err() is returned. Long-lived callers — the planning service — use
+// this to bound per-request solve time and to abandon solves whose clients
+// have gone away.
+func SolveILPCtx(ctx context.Context, inst Instance, opt SolveOptions) (*Result, error) {
 	f, err := Build(inst, BuildOptions{FrontierAdvancing: !opt.Unpartitioned, CostCap: opt.CostCap, AggregatedFree: opt.AggregatedFree})
 	if err != nil {
 		return nil, err
@@ -64,6 +74,7 @@ func SolveILP(inst Instance, opt SolveOptions) (*Result, error) {
 		TimeLimit: opt.TimeLimit,
 		MaxNodes:  opt.MaxNodes,
 		RelGap:    opt.RelGap,
+		Context:   ctx,
 	}
 	if !opt.DisableRounding && !opt.Unpartitioned {
 		mopt.Heuristic = RoundingHeuristic(f)
@@ -87,6 +98,9 @@ func SolveILP(inst Instance, opt SolveOptions) (*Result, error) {
 	}
 
 	sol := milp.Solve(f.Prob, mopt)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: solve cancelled: %w", err)
+	}
 	res := &Result{
 		Status:    sol.Status,
 		Nodes:     sol.Nodes,
@@ -109,11 +123,20 @@ func SolveILP(inst Instance, opt SolveOptions) (*Result, error) {
 // returning the fractional matrices and the relaxation objective in cost
 // units — a lower bound on the optimal integral cost.
 func SolveRelaxation(inst Instance, unpartitioned bool) (*FractionalSched, float64, error) {
+	return SolveRelaxationCtx(context.Background(), inst, unpartitioned)
+}
+
+// SolveRelaxationCtx is SolveRelaxation with cancellation; when ctx is
+// cancelled mid-solve the simplex stops and ctx.Err() is returned.
+func SolveRelaxationCtx(ctx context.Context, inst Instance, unpartitioned bool) (*FractionalSched, float64, error) {
 	f, err := Build(inst, BuildOptions{FrontierAdvancing: !unpartitioned})
 	if err != nil {
 		return nil, 0, err
 	}
-	sol := f.Prob.LP.Solve(lp.Options{})
+	sol := f.Prob.LP.Solve(lp.Options{Cancel: ctx.Done()})
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("core: relaxation cancelled: %w", err)
+	}
 	if sol.Status != lp.StatusOptimal {
 		return nil, 0, fmt.Errorf("core: LP relaxation: %v", sol.Status)
 	}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+)
+
+// A Fingerprint is a canonical 256-bit identity for a graph (plus whatever
+// solve parameters the caller folds in). The paper's central economics
+// argument (Figure 2) is that a schedule is solved once and amortized over
+// millions of iterations; a stable content hash is what lets a long-lived
+// planning service key a schedule cache so repeated (graph, budget, options)
+// solves are O(1) lookups instead of MILP solves.
+type Fingerprint [sha256.Size]byte
+
+// String renders the full fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short returns a 12-hex-character prefix for logs and human-facing output.
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
+
+// IsZero reports whether the fingerprint is the zero value (unset).
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// ParseFingerprint decodes the hex form produced by String.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return f, fmt.Errorf("graph: invalid fingerprint %q: %w", s, err)
+	}
+	if len(b) != len(f) {
+		return f, fmt.Errorf("graph: fingerprint %q has %d bytes, want %d", s, len(b), len(f))
+	}
+	copy(f[:], b)
+	return f, nil
+}
+
+// Digest accumulates typed fields into a fingerprint. Every write is
+// length- or tag-prefixed so distinct field sequences cannot collide by
+// concatenation, and floats hash by IEEE-754 bit pattern so the digest is
+// exact (no formatting round-trip).
+type Digest struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{h: sha256.New()} }
+
+func (d *Digest) u64(v uint64) {
+	binary.LittleEndian.PutUint64(d.buf[:], v)
+	d.h.Write(d.buf[:])
+}
+
+// Int64 folds a signed integer into the digest.
+func (d *Digest) Int64(v int64) { d.u64(uint64(v)) }
+
+// Int folds a machine integer into the digest.
+func (d *Digest) Int(v int) { d.u64(uint64(int64(v))) }
+
+// Float64 folds a float by bit pattern. All NaNs hash identically.
+func (d *Digest) Float64(v float64) {
+	bits := math.Float64bits(v)
+	if v != v {
+		bits = math.Float64bits(math.NaN())
+	}
+	d.u64(bits)
+}
+
+// Bool folds a boolean into the digest.
+func (d *Digest) Bool(v bool) {
+	if v {
+		d.u64(1)
+	} else {
+		d.u64(0)
+	}
+}
+
+// String folds a length-prefixed string into the digest.
+func (d *Digest) String(s string) {
+	d.u64(uint64(len(s)))
+	d.h.Write([]byte(s))
+}
+
+// Sum finalizes and returns the fingerprint. The digest remains usable;
+// further writes extend the original field sequence.
+func (d *Digest) Sum() Fingerprint {
+	var f Fingerprint
+	copy(f[:], d.h.Sum(nil))
+	return f
+}
+
+// WriteDigest folds the graph's full content — node count, per-node cost,
+// output size, backward flag and stage, and the entire edge set — into d.
+// Node names are deliberately excluded: two graphs that differ only in
+// labels describe the same scheduling problem and must share a fingerprint.
+//
+// The hash walks nodes in ID order, so label-independent identity holds for
+// graphs in canonical (topological insertion) order; call Canonicalize first
+// when IDs are arbitrary.
+func (g *Graph) WriteDigest(d *Digest) {
+	d.String("graph/v1")
+	d.Int(len(g.nodes))
+	for _, n := range g.nodes {
+		d.Float64(n.Cost)
+		d.Int64(n.Mem)
+		d.Bool(n.Backward)
+		d.Int(n.Stage)
+	}
+	d.Int(g.NumEdges())
+	for dst, ps := range g.preds {
+		for _, src := range ps {
+			d.Int(int(src))
+			d.Int(dst)
+		}
+	}
+}
+
+// Fingerprint returns the canonical content hash of the graph alone. Callers
+// keying caches on (graph, budget, solver options) should fold the extra
+// fields into a shared Digest instead.
+func (g *Graph) Fingerprint() Fingerprint {
+	d := NewDigest()
+	g.WriteDigest(d)
+	return d.Sum()
+}

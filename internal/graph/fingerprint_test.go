@@ -1,0 +1,129 @@
+package graph
+
+import "testing"
+
+func chainGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(Node{Name: "op", Cost: float64(i + 1), Mem: int64(i + 1)})
+	}
+	for i := 1; i < n; i++ {
+		g.MustEdge(NodeID(i-1), NodeID(i))
+	}
+	return g
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := chainGraph(8), chainGraph(8)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical graphs produced different fingerprints")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatalf("fingerprint not deterministic across calls")
+	}
+	if a.Fingerprint() != a.Clone().Fingerprint() {
+		t.Fatalf("clone changed the fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a, b := chainGraph(8), chainGraph(8)
+	bn := b.Node(3)
+	// Rename via re-add: rebuild b with one different name.
+	c := New(8)
+	for i := 0; i < 8; i++ {
+		n := b.Node(NodeID(i))
+		if i == 3 {
+			n.Name = "renamed-" + bn.Name
+		}
+		c.AddNode(n)
+	}
+	for _, e := range b.Edges() {
+		c.MustEdge(e[0], e[1])
+	}
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("renaming a node changed the fingerprint; labels must not matter")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := chainGraph(8).Fingerprint()
+
+	perturbCost := chainGraph(8)
+	perturbCost.SetCost(4, 4.0001)
+	if perturbCost.Fingerprint() == base {
+		t.Fatalf("perturbing a cost did not change the fingerprint")
+	}
+
+	perturbMem := chainGraph(8)
+	perturbMem.SetMem(2, 999)
+	if perturbMem.Fingerprint() == base {
+		t.Fatalf("perturbing a memory size did not change the fingerprint")
+	}
+
+	extraEdge := chainGraph(8)
+	extraEdge.MustEdge(0, 7)
+	if extraEdge.Fingerprint() == base {
+		t.Fatalf("adding an edge did not change the fingerprint")
+	}
+
+	if chainGraph(9).Fingerprint() == base {
+		t.Fatalf("adding a node did not change the fingerprint")
+	}
+}
+
+func TestFingerprintParseRoundTrip(t *testing.T) {
+	f := chainGraph(5).Fingerprint()
+	got, err := ParseFingerprint(f.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f {
+		t.Fatalf("round trip mismatch: %s vs %s", got, f)
+	}
+	if len(f.Short()) != 12 {
+		t.Fatalf("Short() = %q, want 12 hex chars", f.Short())
+	}
+	if _, err := ParseFingerprint("zz"); err == nil {
+		t.Fatalf("ParseFingerprint accepted invalid hex")
+	}
+	if _, err := ParseFingerprint("abcd"); err == nil {
+		t.Fatalf("ParseFingerprint accepted short input")
+	}
+	if f.IsZero() {
+		t.Fatalf("content hash reported as zero")
+	}
+}
+
+func TestAddEdgeOutOfRangeSelfEdge(t *testing.T) {
+	g := New(1)
+	g.AddNode(Node{Cost: 1, Mem: 1})
+	// Must error, not panic: src==dst beyond the node range used to index
+	// g.nodes before the bounds check.
+	if err := g.AddEdge(7, 7); err == nil {
+		t.Fatalf("out-of-range self edge accepted")
+	}
+	if err := g.AddEdge(-1, -1); err == nil {
+		t.Fatalf("negative self edge accepted")
+	}
+}
+
+func TestDigestFieldOrderMatters(t *testing.T) {
+	d1 := NewDigest()
+	d1.Int64(1)
+	d1.Int64(2)
+	d2 := NewDigest()
+	d2.Int64(2)
+	d2.Int64(1)
+	if d1.Sum() == d2.Sum() {
+		t.Fatalf("digest ignored field order")
+	}
+	d3 := NewDigest()
+	d3.String("ab")
+	d4 := NewDigest()
+	d4.String("a")
+	d4.String("b")
+	if d3.Sum() == d4.Sum() {
+		t.Fatalf("length prefixing failed: concatenation collision")
+	}
+}

@@ -72,11 +72,11 @@ func (g *Graph) AddNode(n Node) NodeID {
 // AddEdge records that node dst depends on the value produced by node src.
 // Duplicate edges are ignored. Self edges are rejected.
 func (g *Graph) AddEdge(src, dst NodeID) error {
-	if src == dst {
-		return fmt.Errorf("graph: self edge on node %d (%s)", src, g.nodes[src].Name)
-	}
 	if int(src) >= len(g.nodes) || int(dst) >= len(g.nodes) || src < 0 || dst < 0 {
 		return fmt.Errorf("graph: edge (%d,%d) references unknown node", src, dst)
+	}
+	if src == dst {
+		return fmt.Errorf("graph: self edge on node %d (%s)", src, g.nodes[src].Name)
 	}
 	for _, p := range g.preds[dst] {
 		if p == src {

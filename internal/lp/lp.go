@@ -23,6 +23,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Sense is a row's comparison operator.
@@ -259,6 +260,12 @@ type Options struct {
 	// Dantzig selects classic most-negative-reduced-cost pricing instead of
 	// the default devex rule (mainly for benchmarking the pricing rules).
 	Dantzig bool
+	// Cancel, when non-nil, aborts the solve soon after the channel closes
+	// (checked every few simplex iterations). A cancelled solve reports
+	// StatusIterLimit, the same as exhausting MaxIters: in both cases the
+	// solve stopped early without a verdict. Callers that need to
+	// distinguish cancellation inspect their context afterwards.
+	Cancel <-chan struct{}
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -326,6 +333,9 @@ func (p *Problem) Objective(x []float64) float64 {
 	return v
 }
 
-// DebugCounters exposes internal iteration statistics of the last solve for
-// performance diagnostics (test-only; subject to change).
-var DebugCounters struct{ Phase1Iters, Degenerate int }
+// DebugCounters exposes internal iteration statistics of the last completed
+// solve for performance diagnostics (test-only; subject to change). Atomic
+// because solves may run concurrently — e.g. under the planning service's
+// worker pool — in which case the values reflect whichever solve finished
+// last.
+var DebugCounters struct{ Phase1Iters, Degenerate atomic.Int64 }

@@ -343,7 +343,8 @@ func (s *simplex) solve() *Solution {
 	}
 	s.pcost = s.cost
 	st := s.iterate()
-	DebugCounters.Phase1Iters, DebugCounters.Degenerate = s.p1iters, s.degens
+	DebugCounters.Phase1Iters.Store(int64(s.p1iters))
+	DebugCounters.Degenerate.Store(int64(s.degens))
 	sol := &Solution{Status: st, Iters: s.iters}
 	if st == StatusOptimal || st == StatusIterLimit {
 		x := make([]float64, s.n)
@@ -435,6 +436,13 @@ func (s *simplex) iterate() Status {
 	for {
 		if s.iters >= s.opt.MaxIters {
 			return StatusIterLimit
+		}
+		if s.opt.Cancel != nil && s.iters&63 == 0 {
+			select {
+			case <-s.opt.Cancel:
+				return StatusIterLimit
+			default:
+			}
 		}
 		s.iters++
 		if s.f.numEtas >= s.opt.RefactorEvery {

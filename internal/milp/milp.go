@@ -16,6 +16,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -105,6 +106,11 @@ type Options struct {
 	LPOpts lp.Options
 	// OnImprove, if set, is called whenever the incumbent improves.
 	OnImprove func(obj float64)
+	// Context, when non-nil, cancels the search: the branch-and-bound loop
+	// stops at the next node boundary and the in-flight LP relaxation is
+	// interrupted via LPOpts.Cancel. Cancellation is reported like a limit
+	// (StatusFeasible with the incumbent so far, or StatusLimit without one).
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -154,10 +160,21 @@ func (h *nodeHeap) Pop() any {
 // Solve runs branch-and-bound.
 func Solve(prob *Problem, opt Options) *Solution {
 	opt = opt.withDefaults()
-	start := time.Now()
-	deadline := time.Time{}
+	// Fold TimeLimit into a context deadline so it can interrupt an
+	// in-flight simplex solve (via LPOpts.Cancel below), not just the node
+	// boundary check: on large instances a single LP — often the root
+	// relaxation — can otherwise overshoot the limit by minutes.
 	if opt.TimeLimit > 0 {
-		deadline = start.Add(opt.TimeLimit)
+		base := opt.Context
+		if base == nil {
+			base = context.Background()
+		}
+		ctx, cancel := context.WithTimeout(base, opt.TimeLimit)
+		defer cancel()
+		opt.Context = ctx
+	}
+	if opt.Context != nil && opt.LPOpts.Cancel == nil {
+		opt.LPOpts.Cancel = opt.Context.Done()
 	}
 	res := &Solution{Status: StatusLimit, Bound: math.Inf(-1), Gap: math.NaN(), RootLPObj: math.NaN()}
 
@@ -180,7 +197,9 @@ func Solve(prob *Problem, opt Options) *Solution {
 	exhausted := true
 
 	for open.Len() > 0 {
-		if res.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+		// The time limit lives in opt.Context (folded in above), so one
+		// check covers limit expiry and caller cancellation alike.
+		if res.Nodes >= opt.MaxNodes || (opt.Context != nil && opt.Context.Err() != nil) {
 			exhausted = false
 			break
 		}

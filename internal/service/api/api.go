@@ -1,0 +1,214 @@
+// Package api defines the JSON wire types of the rematerialization-planning
+// service. Both the HTTP server (internal/service) and the Go client
+// (internal/service/client) speak these types, so a schedule solved once by
+// the service round-trips losslessly into any training job.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// NodeSpec is one operation of a serialized data-flow graph.
+type NodeSpec struct {
+	Name string `json:"name,omitempty"`
+	// Cost is the node's compute cost (seconds or FLOPs, caller's units).
+	Cost float64 `json:"cost"`
+	// Mem is the output size in bytes.
+	Mem int64 `json:"mem"`
+	// Backward marks gradient nodes.
+	Backward bool `json:"backward,omitempty"`
+	// Stage optionally records a layer index.
+	Stage int `json:"stage,omitempty"`
+}
+
+// GraphSpec is a serialized training DAG: the fully general solve input for
+// callers whose models are not in the zoo. Edges are (src, dst) pairs over
+// node indices; indices must already be in topological order.
+type GraphSpec struct {
+	Nodes []NodeSpec `json:"nodes"`
+	Edges [][2]int   `json:"edges"`
+	// Overhead is M_input + 2·M_param (paper eq. (2)): bytes permanently
+	// resident regardless of the schedule.
+	Overhead int64 `json:"overhead,omitempty"`
+}
+
+// Build converts the spec into a validated graph.
+func (s *GraphSpec) Build() (*graph.Graph, error) {
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("api: graph has no nodes")
+	}
+	g := graph.New(len(s.Nodes))
+	for _, n := range s.Nodes {
+		g.AddNode(graph.Node{Name: n.Name, Cost: n.Cost, Mem: n.Mem, Backward: n.Backward, Stage: n.Stage})
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1])); err != nil {
+			return nil, fmt.Errorf("api: %w", err)
+		}
+	}
+	if !g.IsTopoSorted() {
+		return nil, fmt.Errorf("api: graph nodes must be listed in topological order")
+	}
+	return g, nil
+}
+
+// GraphSpecOf serializes a graph (the inverse of Build).
+func GraphSpecOf(g *graph.Graph, overhead int64) *GraphSpec {
+	s := &GraphSpec{Overhead: overhead}
+	for i := 0; i < g.Len(); i++ {
+		n := g.Node(graph.NodeID(i))
+		s.Nodes = append(s.Nodes, NodeSpec{Name: n.Name, Cost: n.Cost, Mem: n.Mem, Backward: n.Backward, Stage: n.Stage})
+	}
+	for _, e := range g.Edges() {
+		s.Edges = append(s.Edges, [2]int{int(e[0]), int(e[1])})
+	}
+	return s
+}
+
+// Solver names accepted by SolveRequest.Solver.
+const (
+	SolverOptimal = "optimal" // MILP of paper Section 4.7 (default)
+	SolverApprox  = "approx"  // two-phase LP rounding, Section 5
+)
+
+// SolveRequest asks for one schedule. Exactly one of Model or Graph must be
+// set: Model selects a zoo architecture built server-side, Graph supplies a
+// serialized training DAG.
+type SolveRequest struct {
+	// Model is a zoo architecture name (see GET /v1/models).
+	Model string `json:"model,omitempty"`
+	// Batch is the batch size for zoo models (default 1).
+	Batch int `json:"batch,omitempty"`
+	// Device selects the zoo cost model: "v100" (default), "tpu", "cpu".
+	Device string `json:"device,omitempty"`
+	// CoarseSegments optionally contracts the forward graph to about this
+	// many nodes before differentiation (bounds MILP size).
+	CoarseSegments int `json:"coarse_segments,omitempty"`
+	// Graph is the raw-graph alternative to Model.
+	Graph *GraphSpec `json:"graph,omitempty"`
+
+	// Budget is the memory budget in bytes (required, > 0).
+	Budget int64 `json:"budget"`
+	// Solver is "optimal" (default) or "approx".
+	Solver string `json:"solver,omitempty"`
+	// TimeLimitMS bounds the optimal solve's wall clock (server default and
+	// cap apply).
+	TimeLimitMS int64 `json:"time_limit_ms,omitempty"`
+	// RelGap is the accepted relative optimality gap (default: prove
+	// optimality).
+	RelGap float64 `json:"rel_gap,omitempty"`
+	// NoCache skips the schedule cache for this request (the result is
+	// still stored).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// SolveResponse is one solved schedule.
+type SolveResponse struct {
+	// Fingerprint is the canonical cache key of this (graph, budget,
+	// options) instance.
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports whether the schedule was served from the cache.
+	Cached bool   `json:"cached"`
+	Solver string `json:"solver"`
+	// Optimal reports proven optimality (always false for approx).
+	Optimal bool `json:"optimal"`
+	// Cost and IdealCost are in the workload's cost units; Overhead is
+	// Cost/IdealCost, the paper's "overhead ×" axis.
+	Cost      float64 `json:"cost"`
+	IdealCost float64 `json:"ideal_cost"`
+	Overhead  float64 `json:"overhead"`
+	// PeakBytes is simulated peak memory including the fixed overhead.
+	PeakBytes int64 `json:"peak_bytes"`
+	Budget    int64 `json:"budget"`
+	// GraphNodes is the size of the scheduled training DAG.
+	GraphNodes int `json:"graph_nodes"`
+	// SolveMS is the wall-clock of the solve that produced the schedule
+	// (zero-ish when served from cache).
+	SolveMS float64 `json:"solve_ms"`
+	// Plan is the execution plan in the internal/schedule JSON format
+	// (version-tagged; decode with schedule.ReadPlanJSON).
+	Plan json.RawMessage `json:"plan"`
+}
+
+// SweepRequest solves one workload at several budgets — the service form of
+// the paper's Figure 5 budget sweeps. Budgets lists explicit budgets; when
+// empty, Points budgets are spaced evenly between the workload's minimum
+// feasible budget and its checkpoint-all peak.
+type SweepRequest struct {
+	Model          string     `json:"model,omitempty"`
+	Batch          int        `json:"batch,omitempty"`
+	Device         string     `json:"device,omitempty"`
+	CoarseSegments int        `json:"coarse_segments,omitempty"`
+	Graph          *GraphSpec `json:"graph,omitempty"`
+
+	Budgets     []int64 `json:"budgets,omitempty"`
+	Points      int     `json:"points,omitempty"`
+	Solver      string  `json:"solver,omitempty"`
+	TimeLimitMS int64   `json:"time_limit_ms,omitempty"`
+	RelGap      float64 `json:"rel_gap,omitempty"`
+}
+
+// SweepPoint is one budget's outcome within a sweep. Infeasible budgets
+// carry Error instead of failing the whole sweep.
+type SweepPoint struct {
+	Budget      int64   `json:"budget"`
+	Feasible    bool    `json:"feasible"`
+	Cached      bool    `json:"cached,omitempty"`
+	Optimal     bool    `json:"optimal,omitempty"`
+	Overhead    float64 `json:"overhead,omitempty"`
+	PeakBytes   int64   `json:"peak_bytes,omitempty"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// SweepResponse is the ordered sweep outcome plus workload envelope data.
+type SweepResponse struct {
+	// MinBudget and CheckpointAllPeak bracket the interesting budget range.
+	MinBudget         int64        `json:"min_budget"`
+	CheckpointAllPeak int64        `json:"checkpoint_all_peak"`
+	Points            []SweepPoint `json:"points"`
+}
+
+// ModelInfo describes one zoo architecture.
+type ModelInfo struct {
+	Name string `json:"name"`
+}
+
+// ModelsResponse lists the architectures GET /v1/models can solve by name.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// StatsResponse is the service-level counter snapshot of GET /v1/stats.
+type StatsResponse struct {
+	// Requests counts HTTP requests accepted per endpoint.
+	Requests map[string]int64 `json:"requests"`
+	// Solves counts solver executions (cache misses that ran to completion).
+	Solves int64 `json:"solves"`
+	// CacheHits / CacheMisses count schedule-cache lookups.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// CacheSize / CacheCap describe current cache occupancy.
+	CacheSize int `json:"cache_size"`
+	CacheCap  int `json:"cache_cap"`
+	// Deduped counts requests that attached to an identical in-flight solve
+	// instead of starting their own.
+	Deduped int64 `json:"deduped"`
+	// Cancelled counts solves abandoned because every waiting request went
+	// away; Errors counts failed solves.
+	Cancelled int64 `json:"cancelled"`
+	Errors    int64 `json:"errors"`
+	// InFlight / QueueDepth describe the worker pool right now.
+	InFlight   int64 `json:"in_flight"`
+	QueueDepth int   `json:"queue_depth"`
+	Workers    int   `json:"workers"`
+	UptimeMS   int64 `json:"uptime_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

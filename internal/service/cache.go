@@ -1,0 +1,77 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/service/api"
+)
+
+// scheduleCache is a fingerprint-keyed LRU over solved schedules. Checkmate's
+// whole premise is that a schedule is expensive once and reusable forever
+// (Figure 2); the cache is what turns the Nth identical solve into an O(1)
+// map lookup. Entries store the finished wire response (minus per-request
+// flags), so a hit costs no re-serialization either.
+type scheduleCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[graph.Fingerprint]*list.Element
+}
+
+type cacheEntry struct {
+	key  graph.Fingerprint
+	resp *api.SolveResponse
+}
+
+func newScheduleCache(capacity int) *scheduleCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &scheduleCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[graph.Fingerprint]*list.Element, capacity),
+	}
+}
+
+// get returns a copy of the cached response for key, marking it most
+// recently used. The copy prevents callers from mutating shared state when
+// they stamp per-request fields (Cached, SolveMS).
+func (c *scheduleCache) get(key graph.Fingerprint) (*api.SolveResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	cp := *el.Value.(*cacheEntry).resp
+	return &cp, true
+}
+
+// put stores resp under key, evicting the least recently used entry when
+// over capacity.
+func (c *scheduleCache) put(key graph.Fingerprint, resp *api.SolveResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *scheduleCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/service/api"
+)
+
+func fp(i int) graph.Fingerprint {
+	d := graph.NewDigest()
+	d.Int(i)
+	return d.Sum()
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newScheduleCache(3)
+	for i := 0; i < 3; i++ {
+		c.put(fp(i), &api.SolveResponse{Fingerprint: fmt.Sprint(i)})
+	}
+	// Touch 0 so 1 becomes the LRU entry.
+	if _, ok := c.get(fp(0)); !ok {
+		t.Fatalf("entry 0 missing")
+	}
+	c.put(fp(3), &api.SolveResponse{Fingerprint: "3"})
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	if _, ok := c.get(fp(1)); ok {
+		t.Fatalf("LRU entry 1 was not evicted")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.get(fp(i)); !ok {
+			t.Fatalf("entry %d missing after eviction", i)
+		}
+	}
+}
+
+func TestCacheGetReturnsCopy(t *testing.T) {
+	c := newScheduleCache(2)
+	c.put(fp(0), &api.SolveResponse{Fingerprint: "orig"})
+	a, _ := c.get(fp(0))
+	a.Cached = true
+	a.Fingerprint = "mutated"
+	b, _ := c.get(fp(0))
+	if b.Cached || b.Fingerprint != "orig" {
+		t.Fatalf("cache entry was mutated through a returned copy: %+v", b)
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newScheduleCache(2)
+	c.put(fp(0), &api.SolveResponse{Fingerprint: "v1"})
+	c.put(fp(0), &api.SolveResponse{Fingerprint: "v2"})
+	if c.len() != 1 {
+		t.Fatalf("duplicate put grew the cache: len=%d", c.len())
+	}
+	got, _ := c.get(fp(0))
+	if got.Fingerprint != "v2" {
+		t.Fatalf("update lost: %s", got.Fingerprint)
+	}
+}

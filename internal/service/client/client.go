@@ -1,0 +1,122 @@
+// Package client is a small Go client for the rematerialization-planning
+// service (internal/service). Training jobs use it to fetch schedules by
+// model name or serialized graph and decode the returned execution plan.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/schedule"
+	"repro/internal/service/api"
+)
+
+// Client talks to one planning server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://localhost:8780").
+// httpClient may be nil to use http.DefaultClient; pass one with a Timeout
+// when the server's solve limits exceed your patience.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e api.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Solve requests one schedule.
+func (c *Client) Solve(ctx context.Context, req api.SolveRequest) (*api.SolveResponse, error) {
+	var out api.SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep requests one workload at several budgets.
+func (c *Client) Sweep(ctx context.Context, req api.SweepRequest) (*api.SweepResponse, error) {
+	var out api.SweepResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sweep", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Models lists the zoo architecture names the server can solve.
+func (c *Client) Models(ctx context.Context) ([]string, error) {
+	var out api.ModelsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(out.Models))
+	for _, m := range out.Models {
+		names = append(names, m.Name)
+	}
+	return names, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// DecodePlan parses a SolveResponse's execution plan into the runnable
+// schedule.Plan form.
+func DecodePlan(resp *api.SolveResponse) (*schedule.Plan, error) {
+	return schedule.ReadPlanJSON(bytes.NewReader(resp.Plan))
+}

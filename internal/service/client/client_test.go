@@ -1,0 +1,97 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/api"
+)
+
+func testClient(t *testing.T) *Client {
+	t.Helper()
+	srv := service.New(service.Config{Workers: 2, DefaultTimeLimit: 20 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return New(ts.URL, nil)
+}
+
+func chainSpec(n int) *api.GraphSpec {
+	s := &api.GraphSpec{}
+	for i := 0; i < n; i++ {
+		s.Nodes = append(s.Nodes, api.NodeSpec{Cost: 1, Mem: 1})
+		if i > 0 {
+			s.Edges = append(s.Edges, [2]int{i - 1, i})
+		}
+	}
+	return s
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	c := testClient(t)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		t.Fatalf("no models")
+	}
+
+	resp, err := c.Solve(ctx, api.SolveRequest{Graph: chainSpec(10), Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := DecodePlan(resp)
+	if err != nil {
+		t.Fatalf("decoding plan: %v", err)
+	}
+	if len(plan.Stmts) == 0 {
+		t.Fatalf("empty plan")
+	}
+
+	again, err := c.Solve(ctx, api.SolveRequest{Graph: chainSpec(10), Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatalf("second solve not cached")
+	}
+
+	sweep, err := c.Sweep(ctx, api.SweepRequest{Graph: chainSpec(10), Points: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 3 {
+		t.Fatalf("sweep returned %d points", len(sweep.Points))
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits == 0 || stats.Solves == 0 {
+		t.Fatalf("stats look empty: %+v", stats)
+	}
+}
+
+func TestClientErrorSurfacesServerMessage(t *testing.T) {
+	c := testClient(t)
+	_, err := c.Solve(context.Background(), api.SolveRequest{Budget: 6})
+	if err == nil {
+		t.Fatalf("invalid request succeeded")
+	}
+	if !strings.Contains(err.Error(), "model or graph") {
+		t.Fatalf("server error message lost: %v", err)
+	}
+}

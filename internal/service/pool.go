@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// errQueueFull is returned by submit when the bounded request queue cannot
+// accept more work; the HTTP layer maps it to 503 so callers can shed load
+// upstream instead of piling up unbounded goroutines.
+var errQueueFull = errors.New("service: solve queue is full")
+
+// flight is one deduplicated unit of solve work. Any number of requests may
+// wait on the same flight; the solve itself runs under the flight's own
+// context, which is cancelled only when every waiter has gone away — one
+// impatient client must not kill a solve that others still want.
+type flight struct {
+	key    string
+	run    func(ctx context.Context) (any, error)
+	ctx    context.Context
+	cancel context.CancelFunc
+	refs   int // waiters still interested, guarded by pool.mu
+	done   chan struct{}
+	val    any
+	err    error
+}
+
+// pool is a fixed-size worker pool with a bounded queue and single-flight
+// deduplication keyed by solve fingerprint. MILP solves are CPU-bound and
+// long; a bounded pool keeps concurrency at the machine's parallelism while
+// the queue absorbs bursts, and dedup collapses the thundering herd of
+// identical (graph, budget) requests a training fleet generates.
+type pool struct {
+	tasks chan *flight
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	closed   bool
+
+	workers   int
+	active    atomic.Int64
+	cancelled atomic.Int64
+	wg        sync.WaitGroup
+}
+
+func newPool(workers, queueCap int) *pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	p := &pool{
+		tasks:    make(chan *flight, queueCap),
+		inflight: make(map[string]*flight),
+		workers:  workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for f := range p.tasks {
+		if f.ctx.Err() != nil {
+			// Every waiter left while the flight was queued; skip the solve.
+			p.finish(f, nil, f.ctx.Err())
+			continue
+		}
+		p.active.Add(1)
+		val, err := f.run(f.ctx)
+		p.active.Add(-1)
+		p.finish(f, val, err)
+	}
+}
+
+func (p *pool) finish(f *flight, val any, err error) {
+	p.mu.Lock()
+	if p.inflight[f.key] == f {
+		delete(p.inflight, f.key)
+	}
+	p.mu.Unlock()
+	f.val, f.err = val, err
+	f.cancel()
+	close(f.done)
+}
+
+// submit runs fn under the pool, deduplicating against any in-flight call
+// with the same key. It blocks until the result is ready or ctx is done;
+// shared reports whether the result came from a flight started by an earlier
+// request. When ctx ends first, submit returns ctx's error immediately and
+// the flight is cancelled iff no other waiter remains.
+func (p *pool) submit(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (val any, shared bool, err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, false, errors.New("service: pool is shut down")
+	}
+	f, ok := p.inflight[key]
+	if ok {
+		f.refs++
+		p.mu.Unlock()
+		return p.wait(ctx, f, true)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	f = &flight{key: key, run: fn, ctx: fctx, cancel: cancel, refs: 1, done: make(chan struct{})}
+	select {
+	case p.tasks <- f:
+	default:
+		p.mu.Unlock()
+		cancel()
+		return nil, false, fmt.Errorf("%w (%d queued)", errQueueFull, cap(p.tasks))
+	}
+	p.inflight[key] = f
+	p.mu.Unlock()
+	return p.wait(ctx, f, false)
+}
+
+func (p *pool) wait(ctx context.Context, f *flight, shared bool) (any, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	case <-ctx.Done():
+		p.detach(f)
+		return nil, shared, ctx.Err()
+	}
+}
+
+// detach drops one waiter from f. The last waiter to leave cancels the
+// flight's context, so an abandoned solve stops burning a worker.
+func (p *pool) detach(f *flight) {
+	p.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	if last {
+		// Remove the key so a fresh request starts a new flight rather than
+		// joining one that is about to be cancelled.
+		if p.inflight[f.key] == f {
+			delete(p.inflight, f.key)
+		}
+	}
+	p.mu.Unlock()
+	if last {
+		select {
+		case <-f.done:
+			// Finished in the meantime; nothing to cancel.
+		default:
+			p.cancelled.Add(1)
+			f.cancel()
+		}
+	}
+}
+
+// queueDepth returns the number of flights waiting for a worker.
+func (p *pool) queueDepth() int { return len(p.tasks) }
+
+// close stops accepting work and waits for the workers to drain.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolSingleFlightDedup(t *testing.T) {
+	p := newPool(2, 8)
+	defer p.close()
+
+	var runs atomic.Int64
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		runs.Add(1)
+		<-release
+		return "result", nil
+	}
+
+	const waiters = 5
+	var wg sync.WaitGroup
+	shared := make([]bool, waiters)
+	vals := make([]any, waiters)
+	errs := make([]error, waiters)
+	start := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			vals[i], shared[i], errs[i] = p.submit(context.Background(), "same-key", fn)
+		}(i)
+	}
+	close(start)
+	// Wait until the first flight is actually running so the rest attach.
+	for p.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let all waiters reach submit
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1 (single-flight)", got)
+	}
+	nShared := 0
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if vals[i] != "result" {
+			t.Fatalf("waiter %d got %v", i, vals[i])
+		}
+		if shared[i] {
+			nShared++
+		}
+	}
+	if nShared != waiters-1 {
+		t.Fatalf("%d waiters reported shared, want %d", nShared, waiters-1)
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := newPool(1, 1)
+	defer p.close()
+
+	block := make(chan struct{})
+	slow := func(ctx context.Context) (any, error) { <-block; return nil, nil }
+
+	// Occupy the single worker...
+	go p.submit(context.Background(), "running", slow)
+	for p.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// ...and the single queue slot.
+	go p.submit(context.Background(), "queued", slow)
+	for p.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	_, _, err := p.submit(context.Background(), "overflow", slow)
+	if !errors.Is(err, errQueueFull) {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+	close(block)
+}
+
+func TestPoolCancellationStopsSolveWithoutLeakingWorkers(t *testing.T) {
+	p := newPool(1, 4)
+	defer p.close()
+
+	started := make(chan struct{})
+	stopped := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // a cooperative solver: runs until cancelled
+		close(stopped)
+		return nil, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := p.submit(ctx, "k", fn)
+		errc <- err
+	}()
+	<-started
+	cancel()
+
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit returned %v, want context.Canceled", err)
+	}
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("flight context was never cancelled: worker leaked")
+	}
+	if got := p.cancelled.Load(); got != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", got)
+	}
+
+	// The worker must be free again: a fresh task completes.
+	done := make(chan struct{})
+	val, _, err := p.submit(context.Background(), "k2", func(ctx context.Context) (any, error) {
+		close(done)
+		return 42, nil
+	})
+	if err != nil || val != 42 {
+		t.Fatalf("pool unusable after cancellation: val=%v err=%v", val, err)
+	}
+	<-done
+	if p.active.Load() != 0 {
+		t.Fatalf("active = %d after drain, want 0", p.active.Load())
+	}
+}
+
+func TestPoolCancelOneWaiterKeepsFlightAlive(t *testing.T) {
+	p := newPool(1, 4)
+	defer p.close()
+
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	fn := func(ctx context.Context) (any, error) {
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			sawCancel.Store(true)
+			return nil, ctx.Err()
+		}
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	res2 := make(chan any, 1)
+	go p.submit(ctx1, "k", fn)
+	for p.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		v, _, _ := p.submit(context.Background(), "k", fn)
+		res2 <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let the second waiter attach
+	cancel1()                         // first client leaves; second still wants the result
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	if v := <-res2; v != "ok" {
+		t.Fatalf("surviving waiter got %v, want ok (flight was cancelled: %v)", v, sawCancel.Load())
+	}
+}
+
+func TestPoolCancelledWhileQueuedIsSkipped(t *testing.T) {
+	p := newPool(1, 4)
+	defer p.close()
+
+	block := make(chan struct{})
+	go p.submit(context.Background(), "running", func(ctx context.Context) (any, error) { <-block; return nil, nil })
+	for p.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	var ran atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := p.submit(ctx, "queued", func(ctx context.Context) (any, error) { ran.Store(true); return nil, nil })
+		errc <- err
+	}()
+	for p.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(block)
+	p.close() // drain: the queued flight must be skipped, not run
+	if ran.Load() {
+		t.Fatalf("cancelled queued flight still executed")
+	}
+}

@@ -1,0 +1,500 @@
+// Package service implements the rematerialization-planning server: a
+// long-lived HTTP/JSON API over the Checkmate solver stack.
+//
+// The paper's deployment model (Figure 2) is solve-once, run-forever: a
+// schedule costs minutes of MILP time but amortizes over millions of
+// training iterations. This package operationalizes that economics as a
+// service — a fingerprint-keyed LRU schedule cache makes repeated solves
+// O(1), a bounded worker pool with single-flight deduplication absorbs
+// request bursts without redundant MILP work, and per-request contexts
+// cancel solves whose clients have gone away.
+//
+// Endpoints:
+//
+//	POST /v1/solve   — one schedule for a named model or serialized graph
+//	POST /v1/sweep   — one workload at several budgets (Figure 5 as a service)
+//	GET  /v1/models  — the model-zoo names
+//	GET  /v1/stats   — cache/pool/request counters
+//	GET  /healthz    — liveness
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/checkmate"
+	"repro/internal/approx"
+	"repro/internal/graph"
+	"repro/internal/service/api"
+)
+
+// Config tunes the server. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the solver-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds queued solves before 503s (default 64).
+	QueueCap int
+	// CacheCap bounds the schedule cache entry count (default 256).
+	CacheCap int
+	// DefaultTimeLimit applies when a request names none (default 30 s).
+	DefaultTimeLimit time.Duration
+	// MaxTimeLimit caps any requested time limit (default 10 min).
+	MaxTimeLimit time.Duration
+	// MaxGraphNodes rejects serialized graphs above this node count
+	// (default 4096) before any solver memory is committed.
+	MaxGraphNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 256
+	}
+	if c.DefaultTimeLimit <= 0 {
+		c.DefaultTimeLimit = 30 * time.Second
+	}
+	if c.MaxTimeLimit <= 0 {
+		c.MaxTimeLimit = 10 * time.Minute
+	}
+	if c.MaxGraphNodes <= 0 {
+		c.MaxGraphNodes = 4096
+	}
+	return c
+}
+
+// Server is the planning service. Create with New, mount via Handler, and
+// Close when done to drain the worker pool.
+type Server struct {
+	cfg   Config
+	cache *scheduleCache
+	pool  *pool
+	start time.Time
+
+	// wlMu guards wlMemo, a small cache of built zoo workloads keyed by
+	// (model, batch, device, coarse segments). Workloads are read-only
+	// during solves, so sharing one across concurrent requests is safe, and
+	// memoizing keeps model construction + autodiff off the cache-hit path.
+	wlMu   sync.Mutex
+	wlMemo map[string]*checkmate.Workload
+
+	reqMu    sync.Mutex
+	requests map[string]int64
+
+	solves, hits, misses, deduped, errs atomic.Int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		cache:    newScheduleCache(cfg.CacheCap),
+		pool:     newPool(cfg.Workers, cfg.QueueCap),
+		start:    time.Now(),
+		wlMemo:   make(map[string]*checkmate.Workload),
+		requests: make(map[string]int64),
+	}
+}
+
+// Close drains the worker pool. In-flight solves finish; queued flights
+// whose waiters are gone are skipped.
+func (s *Server) Close() { s.pool.close() }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.count("healthz", s.handleHealthz))
+	mux.HandleFunc("/v1/models", s.count("models", s.handleModels))
+	mux.HandleFunc("/v1/stats", s.count("stats", s.handleStats))
+	mux.HandleFunc("/v1/solve", s.count("solve", s.handleSolve))
+	mux.HandleFunc("/v1/sweep", s.count("sweep", s.handleSweep))
+	return mux
+}
+
+func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqMu.Lock()
+		s.requests[name]++
+		s.reqMu.Unlock()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	resp := api.ModelsResponse{}
+	for _, name := range checkmate.Models() {
+		resp.Models = append(resp.Models, api.ModelInfo{Name: name})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() api.StatsResponse {
+	s.reqMu.Lock()
+	reqs := make(map[string]int64, len(s.requests))
+	for k, v := range s.requests {
+		reqs[k] = v
+	}
+	s.reqMu.Unlock()
+	return api.StatsResponse{
+		Requests:    reqs,
+		Solves:      s.solves.Load(),
+		CacheHits:   s.hits.Load(),
+		CacheMisses: s.misses.Load(),
+		CacheSize:   s.cache.len(),
+		CacheCap:    s.cfg.CacheCap,
+		Deduped:     s.deduped.Load(),
+		Cancelled:   s.pool.cancelled.Load(),
+		Errors:      s.errs.Load(),
+		InFlight:    s.pool.active.Load(),
+		QueueDepth:  s.pool.queueDepth(),
+		Workers:     s.pool.workers,
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+	}
+}
+
+// workloadSpec is the model-or-graph half of solve and sweep requests.
+type workloadSpec struct {
+	model          string
+	batch          int
+	device         string
+	coarseSegments int
+	graph          *api.GraphSpec
+}
+
+// maxWorkloadMemo bounds the zoo-workload memo; the zoo is small, so the
+// cap only matters if batch/device combinations proliferate.
+const maxWorkloadMemo = 64
+
+func (s *Server) buildWorkload(spec workloadSpec) (*checkmate.Workload, error) {
+	switch {
+	case spec.model != "" && spec.graph != nil:
+		return nil, fmt.Errorf("exactly one of model and graph may be set")
+	case spec.model != "":
+		memoKey := fmt.Sprintf("%s\x00%d\x00%s\x00%d", spec.model, spec.batch, spec.device, spec.coarseSegments)
+		s.wlMu.Lock()
+		wl, ok := s.wlMemo[memoKey]
+		s.wlMu.Unlock()
+		if ok {
+			return wl, nil
+		}
+		wl, err := checkmate.Load(spec.model, checkmate.Options{
+			Batch:          spec.batch,
+			Device:         spec.device,
+			CoarseSegments: spec.coarseSegments,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.wlMu.Lock()
+		if len(s.wlMemo) >= maxWorkloadMemo {
+			for k := range s.wlMemo {
+				delete(s.wlMemo, k)
+				break
+			}
+		}
+		s.wlMemo[memoKey] = wl
+		s.wlMu.Unlock()
+		return wl, nil
+	case spec.graph != nil:
+		if len(spec.graph.Nodes) > s.cfg.MaxGraphNodes {
+			return nil, fmt.Errorf("graph has %d nodes, limit is %d", len(spec.graph.Nodes), s.cfg.MaxGraphNodes)
+		}
+		g, err := spec.graph.Build()
+		if err != nil {
+			return nil, err
+		}
+		return checkmate.FromGraph(g, spec.graph.Overhead)
+	default:
+		return nil, fmt.Errorf("one of model or graph is required")
+	}
+}
+
+// solveParams are the normalized solver knobs for one budget point.
+type solveParams struct {
+	budget      int64
+	approximate bool
+	opt         checkmate.SolveOptions
+}
+
+func (s *Server) solveParamsFrom(solver string, budget, timeLimitMS int64, relGap float64) (solveParams, error) {
+	p := solveParams{budget: budget}
+	switch solver {
+	case "", api.SolverOptimal:
+	case api.SolverApprox:
+		p.approximate = true
+	default:
+		return p, fmt.Errorf("unknown solver %q (want %q or %q)", solver, api.SolverOptimal, api.SolverApprox)
+	}
+	if budget <= 0 {
+		return p, fmt.Errorf("budget must be positive, got %d", budget)
+	}
+	tl := s.cfg.DefaultTimeLimit
+	if timeLimitMS > 0 {
+		tl = time.Duration(timeLimitMS) * time.Millisecond
+	}
+	if tl > s.cfg.MaxTimeLimit {
+		tl = s.cfg.MaxTimeLimit
+	}
+	p.opt = checkmate.SolveOptions{TimeLimit: tl, RelGap: relGap}
+	return p, nil
+}
+
+// solveOne resolves one (workload, params) instance through the cache and,
+// on miss, the worker pool. It is the shared engine of /v1/solve and each
+// /v1/sweep point.
+func (s *Server) solveOne(ctx context.Context, wl *checkmate.Workload, p solveParams, noCache bool) (*api.SolveResponse, error) {
+	key := wl.SolveKey(p.budget, p.opt, p.approximate)
+	if !noCache {
+		if resp, ok := s.cache.get(key); ok {
+			s.hits.Add(1)
+			resp.Cached = true
+			return resp, nil
+		}
+		// Only real failed lookups count as misses; NoCache requests never
+		// consult the cache, so they skew neither counter.
+		s.misses.Add(1)
+	}
+	val, shared, err := s.pool.submit(ctx, key.String(), func(fctx context.Context) (any, error) {
+		resp, err := s.runSolve(fctx, wl, p, key)
+		if err != nil {
+			return nil, err
+		}
+		s.solves.Add(1)
+		s.cache.put(key, resp)
+		return resp, nil
+	})
+	if shared {
+		s.deduped.Add(1)
+	}
+	if err != nil {
+		// Count each failed solve once, not once per deduped waiter.
+		if !shared && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			s.errs.Add(1)
+		}
+		return nil, err
+	}
+	cp := *val.(*api.SolveResponse)
+	cp.Cached = shared
+	return &cp, nil
+}
+
+// runSolve executes the actual solver call and serializes the result.
+func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solveParams, key graph.Fingerprint) (*api.SolveResponse, error) {
+	start := time.Now()
+	var (
+		sched *checkmate.Schedule
+		err   error
+	)
+	if p.approximate {
+		// The approximation has no internal wall-clock bound; enforce the
+		// request's limit through the context.
+		tctx, cancel := context.WithTimeout(ctx, p.opt.TimeLimit)
+		defer cancel()
+		sched, err = wl.SolveApproxCtx(tctx, p.budget)
+	} else {
+		sched, err = wl.SolveOptimalCtx(ctx, p.budget, p.opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var planBuf bytes.Buffer
+	if err := sched.Plan.WriteJSON(&planBuf); err != nil {
+		return nil, fmt.Errorf("serializing plan: %w", err)
+	}
+	solver := api.SolverOptimal
+	if p.approximate {
+		solver = api.SolverApprox
+	}
+	return &api.SolveResponse{
+		Fingerprint: key.String(),
+		Solver:      solver,
+		Optimal:     sched.Optimal,
+		Cost:        sched.Cost,
+		IdealCost:   sched.IdealCost,
+		Overhead:    sched.Overhead(),
+		PeakBytes:   sched.PeakBytes,
+		Budget:      p.budget,
+		GraphNodes:  wl.Graph.Len(),
+		SolveMS:     float64(time.Since(start).Microseconds()) / 1e3,
+		Plan:        json.RawMessage(bytes.TrimSpace(planBuf.Bytes())),
+	}, nil
+}
+
+// solveStatus maps a solve error onto an HTTP status.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, checkmate.ErrInfeasible), errors.Is(err, approx.ErrNoFeasibleRounding):
+		// Retrying the same request cannot succeed.
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, checkmate.ErrSolveLimit), errors.Is(err, context.DeadlineExceeded):
+		// The solver ran out of time; a retry with looser limits may work.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for logs only.
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req api.SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	p, err := s.solveParamsFrom(req.Solver, req.Budget, req.TimeLimitMS, req.RelGap)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wl, err := s.buildWorkload(workloadSpec{
+		model: req.Model, batch: req.Batch, device: req.Device,
+		coarseSegments: req.CoarseSegments, graph: req.Graph,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "building workload: %v", err)
+		return
+	}
+	resp, err := s.solveOne(r.Context(), wl, p, req.NoCache)
+	if err != nil {
+		writeErr(w, solveStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req api.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	wl, err := s.buildWorkload(workloadSpec{
+		model: req.Model, batch: req.Batch, device: req.Device,
+		coarseSegments: req.CoarseSegments, graph: req.Graph,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "building workload: %v", err)
+		return
+	}
+	resp := api.SweepResponse{
+		MinBudget:         wl.MinBudget(),
+		CheckpointAllPeak: wl.CheckpointAllPeak(),
+	}
+	budgets := req.Budgets
+	if len(budgets) == 0 {
+		points := req.Points
+		if points <= 0 {
+			points = 5
+		}
+		if points > 64 {
+			points = 64
+		}
+		lo, hi := resp.MinBudget, resp.CheckpointAllPeak
+		for i := 0; i < points; i++ {
+			budgets = append(budgets, lo+(hi-lo)*int64(i+1)/int64(points))
+		}
+	}
+	if len(budgets) > 256 {
+		writeErr(w, http.StatusBadRequest, "sweep of %d budgets exceeds the 256-point limit", len(budgets))
+		return
+	}
+	sort.Slice(budgets, func(i, j int) bool { return budgets[i] < budgets[j] })
+
+	// Validate every point before any work is enqueued so a bad budget
+	// rejects the sweep cleanly instead of orphaning queued solves.
+	params := make([]solveParams, len(budgets))
+	for i, budget := range budgets {
+		p, err := s.solveParamsFrom(req.Solver, budget, req.TimeLimitMS, req.RelGap)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "budget %d: %v", budget, err)
+			return
+		}
+		params[i] = p
+	}
+
+	// Every point goes through the shared cache+pool path. Submissions are
+	// throttled to the worker count: pool.submit's enqueue is non-blocking,
+	// so firing all points at once would overflow the bounded queue and fail
+	// most of a large sweep with spurious queue-full errors.
+	resp.Points = make([]api.SweepPoint, len(budgets))
+	sem := make(chan struct{}, s.pool.workers)
+	var wg sync.WaitGroup
+	for i, p := range params {
+		wg.Add(1)
+		go func(i int, p solveParams) {
+			defer wg.Done()
+			pt := api.SweepPoint{Budget: p.budget}
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-r.Context().Done():
+				pt.Error = r.Context().Err().Error()
+				resp.Points[i] = pt
+				return
+			}
+			res, err := s.solveOne(r.Context(), wl, p, false)
+			if err != nil {
+				pt.Error = err.Error()
+			} else {
+				pt.Feasible = true
+				pt.Cached = res.Cached
+				pt.Optimal = res.Optimal
+				pt.Overhead = res.Overhead
+				pt.PeakBytes = res.PeakBytes
+				pt.Fingerprint = res.Fingerprint
+			}
+			resp.Points[i] = pt
+		}(i, p)
+	}
+	wg.Wait()
+	if err := r.Context().Err(); err != nil {
+		writeErr(w, http.StatusRequestTimeout, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -314,7 +314,10 @@ func BenchmarkModelZooBuild(b *testing.B) {
 func BenchmarkServiceSolve(b *testing.B) {
 	g := trainGraph(b, 10)
 	spec := serviceapi.GraphSpecOf(g, 0)
-	srv := service.New(service.Config{Workers: 2, CacheCap: 4096, DefaultTimeLimit: 30 * time.Second})
+	srv, err := service.New(service.Config{Workers: 2, CacheCap: 4096, DefaultTimeLimit: 30 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

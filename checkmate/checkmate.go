@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/approx"
@@ -144,6 +145,71 @@ func (w *Workload) SolveKey(budget int64, opt SolveOptions, approximate bool) gr
 		d.Bool(opt.Unpartitioned)
 	}
 	return d.Sum()
+}
+
+// EstimateSolveCost predicts the expense of solving this workload at the
+// given budget, in abstract cost units roughly proportional to solver
+// milliseconds on a reference core. It is deliberately cheap (no LP is
+// built) and deliberately rough: its consumer is admission control in the
+// planning service, which needs relative ordering — "this request is ~1000×
+// that one" — not wall-clock accuracy, and recalibrates the scale online
+// from observed solve times.
+//
+// The shape of the estimate follows the solver's actual cost drivers:
+//
+//   - Graph size dominates. The MILP has Θ(n²) variables and rows
+//     (Section 4.7), and simplex-style solvers cost superlinearly in problem
+//     size, so the base term grows as n^2.5.
+//   - Budget tightness multiplies. Near the checkpoint-all peak the LP
+//     relaxation is nearly integral and branch-and-bound closes immediately;
+//     near the minimum feasible budget the search tree deepens. Tightness
+//     scales the estimate by up to 10×.
+//   - Solver choice scales. The two-phase LP rounding (Section 5) skips the
+//     integer search; proving exact optimality (RelGap ≈ 0) costs extra
+//     branch-and-bound relative to accepting a gap.
+//
+// The result is clamped to [1, TimeLimit in ms]: the time limit is a hard
+// ceiling on how much work the solver is allowed to do.
+func (w *Workload) EstimateSolveCost(budget int64, opt SolveOptions, approximate bool) float64 {
+	n := float64(w.Graph.Len())
+	if n <= 0 {
+		return 1
+	}
+	// n^2.5, scaled so a ~100-node graph lands near one second's worth of
+	// units before calibration.
+	base := n * n * math.Sqrt(n) / 100
+
+	peak := float64(w.CheckpointAllPeak())
+	minB := float64(w.MinBudget())
+	tightness := 0.0
+	if peak > minB {
+		tightness = (peak - float64(budget)) / (peak - minB)
+	}
+	if tightness < 0 {
+		tightness = 0
+	}
+	if tightness > 1 {
+		tightness = 1
+	}
+	cost := base * (1 + 9*tightness*tightness)
+
+	if approximate {
+		cost *= 0.25
+	} else if opt.RelGap < 1e-4 {
+		// Proving optimality (the default) pays for the full gap-closing
+		// search; a caller-accepted gap stops early.
+		cost *= 2
+	}
+
+	if opt.TimeLimit > 0 {
+		if lim := float64(opt.TimeLimit.Milliseconds()); cost > lim {
+			cost = lim
+		}
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
 }
 
 // CheckpointAllPeak returns the peak memory of the no-rematerialization

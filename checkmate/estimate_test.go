@@ -1,0 +1,82 @@
+package checkmate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// chainWorkload builds a linear training DAG of n unit nodes.
+func chainWorkload(t testing.TB, n int) *Workload {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.Node{Name: fmt.Sprintf("op%d", i), Cost: 1, Mem: 1})
+		if i > 0 {
+			g.MustEdge(graph.NodeID(i-1), graph.NodeID(i))
+		}
+	}
+	wl, err := FromGraph(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+func TestEstimateSolveCostGrowsWithGraphSize(t *testing.T) {
+	opt := SolveOptions{TimeLimit: time.Hour}
+	small := chainWorkload(t, 10)
+	large := chainWorkload(t, 100)
+	cs := small.EstimateSolveCost(small.CheckpointAllPeak(), opt, false)
+	cl := large.EstimateSolveCost(large.CheckpointAllPeak(), opt, false)
+	if cl <= cs {
+		t.Fatalf("100-node estimate %v not above 10-node estimate %v", cl, cs)
+	}
+	// n^2.5 scaling: a 10× larger graph should cost orders of magnitude more.
+	if cl < 50*cs {
+		t.Fatalf("estimate scales too weakly with size: %v vs %v", cl, cs)
+	}
+}
+
+func TestEstimateSolveCostGrowsWithBudgetTightness(t *testing.T) {
+	wl := chainWorkload(t, 40)
+	opt := SolveOptions{TimeLimit: time.Hour}
+	loose := wl.EstimateSolveCost(wl.CheckpointAllPeak(), opt, false)
+	tight := wl.EstimateSolveCost(wl.MinBudget(), opt, false)
+	if tight <= loose {
+		t.Fatalf("tight-budget estimate %v not above loose-budget %v", tight, loose)
+	}
+	mid := wl.EstimateSolveCost((wl.MinBudget()+wl.CheckpointAllPeak())/2, opt, false)
+	if mid <= loose || mid >= tight {
+		t.Fatalf("mid-budget estimate %v not between %v and %v", mid, loose, tight)
+	}
+}
+
+func TestEstimateSolveCostApproxCheaperThanOptimal(t *testing.T) {
+	wl := chainWorkload(t, 40)
+	opt := SolveOptions{TimeLimit: time.Hour}
+	budget := (wl.MinBudget() + wl.CheckpointAllPeak()) / 2
+	optimal := wl.EstimateSolveCost(budget, opt, false)
+	apx := wl.EstimateSolveCost(budget, opt, true)
+	if apx >= optimal {
+		t.Fatalf("approx estimate %v not below optimal estimate %v", apx, optimal)
+	}
+	// Accepting an optimality gap must not cost more than proving exactness.
+	gap := wl.EstimateSolveCost(budget, SolveOptions{TimeLimit: time.Hour, RelGap: 0.05}, false)
+	if gap > optimal {
+		t.Fatalf("gap-accepting estimate %v above prove-optimal estimate %v", gap, optimal)
+	}
+}
+
+func TestEstimateSolveCostCappedByTimeLimit(t *testing.T) {
+	wl := chainWorkload(t, 500)
+	got := wl.EstimateSolveCost(wl.MinBudget(), SolveOptions{TimeLimit: 100 * time.Millisecond}, false)
+	if got > 100 {
+		t.Fatalf("estimate %v exceeds the 100 ms time-limit cap", got)
+	}
+	if got < 1 {
+		t.Fatalf("estimate %v below the floor of 1", got)
+	}
+}

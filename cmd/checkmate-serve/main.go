@@ -4,7 +4,7 @@
 //
 // Example:
 //
-//	checkmate-serve -addr :8780 -workers 4 -cache 512
+//	checkmate-serve -addr :8780 -workers 4 -cache 512 -cache-dir /var/lib/checkmate
 //	curl -s localhost:8780/v1/solve -d '{"model":"mobilenet","batch":8,"budget":4294967296}'
 //
 // See internal/service for the API surface and README.md for a tour.
@@ -27,22 +27,39 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8780", "listen address")
-		workers  = flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 64, "bounded solve-queue capacity (full queue => 503)")
-		cacheCap = flag.Int("cache", 256, "schedule cache capacity (entries)")
-		defTL    = flag.Duration("default-timelimit", 30*time.Second, "solver time limit when a request names none")
-		maxTL    = flag.Duration("max-timelimit", 10*time.Minute, "cap on requested solver time limits")
+		addr        = flag.String("addr", ":8780", "listen address")
+		workers     = flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "bounded solve-queue capacity (full queue => 503)")
+		cacheCap    = flag.Int("cache", 256, "in-memory schedule cache capacity (entries)")
+		cacheShards = flag.Int("cache-shards", 8, "in-memory cache shard count (per-shard locks)")
+		cacheDir    = flag.String("cache-dir", "", "directory for the persistent schedule store; restarts keep warm state (empty = memory only)")
+		cacheBytes  = flag.Int64("cache-max-bytes", 0, "persistent store size bound; sweep evicts oldest first (0 = unbounded)")
+		cacheAge    = flag.Duration("cache-max-age", 0, "persistent store entry age bound (0 = keep forever)")
+		maxOutCost  = flag.Float64("max-outstanding-cost", 0, "admission limit on projected unfinished solver work, in cost units (~ms of solver time; 0 = auto, negative = disabled)")
+		defTL       = flag.Duration("default-timelimit", 30*time.Second, "solver time limit when a request names none")
+		maxTL       = flag.Duration("max-timelimit", 10*time.Minute, "cap on requested solver time limits")
 	)
 	flag.Parse()
 
-	srv := service.New(service.Config{
-		Workers:          *workers,
-		QueueCap:         *queue,
-		CacheCap:         *cacheCap,
-		DefaultTimeLimit: *defTL,
-		MaxTimeLimit:     *maxTL,
+	srv, err := service.New(service.Config{
+		Workers:            *workers,
+		QueueCap:           *queue,
+		CacheCap:           *cacheCap,
+		CacheShards:        *cacheShards,
+		CacheDir:           *cacheDir,
+		StoreMaxBytes:      *cacheBytes,
+		StoreMaxAge:        *cacheAge,
+		MaxOutstandingCost: *maxOutCost,
+		DefaultTimeLimit:   *defTL,
+		MaxTimeLimit:       *maxTL,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkmate-serve: %v\n", err)
+		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		log.Printf("checkmate-serve: persistent schedule store at %s", *cacheDir)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})

@@ -23,7 +23,10 @@ import (
 )
 
 func main() {
-	srv := service.New(service.Config{Workers: 2, DefaultTimeLimit: 20 * time.Second})
+	srv, err := service.New(service.Config{Workers: 2, DefaultTimeLimit: 20 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

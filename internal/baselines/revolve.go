@@ -115,7 +115,7 @@ func (p *revolvePlanner) rev(l, c int, top bool) int {
 	if v, ok := p.memo[key]; ok {
 		return v
 	}
-	best, bestK := math.MaxInt64, 1
+	best, bestK := math.MaxInt, 1
 	for k := 1; k < l; k++ {
 		v := k + p.rev(l-k, c-1, top) + p.rev(k, c, true)
 		if v < best {

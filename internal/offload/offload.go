@@ -80,7 +80,7 @@ func Plan(g *graph.Graph, overhead, budget int64, opt Options) (*Result, error) 
 				return int(u)
 			}
 		}
-		return math.MaxInt64 // dead (only the sink reaches here)
+		return math.MaxInt // dead (only the sink reaches here)
 	}
 
 	res := &Result{}
@@ -158,7 +158,7 @@ func Plan(g *graph.Graph, overhead, budget int64, opt Options) (*Result, error) 
 		res.ComputeTime += node.Cost
 		// Release dead values (no future users).
 		for _, d := range g.Deps(graph.NodeID(k)) {
-			if futureUse(int(d), k+1) == math.MaxInt64 && onDevice[int(d)] {
+			if futureUse(int(d), k+1) == math.MaxInt && onDevice[int(d)] {
 				delete(onDevice, int(d))
 				mem -= g.Node(d).Mem
 			}

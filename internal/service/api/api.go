@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/service/store"
 )
 
 // NodeSpec is one operation of a serialized data-flow graph.
@@ -182,18 +183,62 @@ type ModelsResponse struct {
 	Models []ModelInfo `json:"models"`
 }
 
+// CacheShardStats describes one shard of the in-memory schedule cache.
+type CacheShardStats struct {
+	Size int `json:"size"`
+	Cap  int `json:"cap"`
+	// Hits / Misses count lookups routed to this shard; Evictions counts
+	// LRU entries dropped for capacity.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// StoreStats describes the persistent second-tier schedule store, when one
+// is configured (--cache-dir). It is the store package's own stats type —
+// aliased rather than mirrored so a new store counter cannot silently go
+// missing from the wire format.
+type StoreStats = store.Stats
+
+// AdmissionStats describes cost-aware admission control: solves are admitted
+// while the summed cost estimate of unfinished work stays under the limit.
+type AdmissionStats struct {
+	// MaxOutstandingCost is the admission limit in cost units (0 = admission
+	// disabled, queue depth still bounds).
+	MaxOutstandingCost float64 `json:"max_outstanding_cost"`
+	// OutstandingCost is the projected cost of admitted, unfinished solves.
+	OutstandingCost float64 `json:"outstanding_cost"`
+	// EstimateRatio is the exponentially-weighted mean of actual solve
+	// milliseconds over the raw estimate — the online calibration factor
+	// applied to future estimates. 1.0 until Samples > 0.
+	EstimateRatio float64 `json:"estimate_ratio"`
+	// Samples counts solves that have fed the calibration.
+	Samples int64 `json:"samples"`
+	// Rejected counts requests refused because projected cost exceeded the
+	// limit.
+	Rejected int64 `json:"rejected"`
+}
+
 // StatsResponse is the service-level counter snapshot of GET /v1/stats.
 type StatsResponse struct {
 	// Requests counts HTTP requests accepted per endpoint.
 	Requests map[string]int64 `json:"requests"`
 	// Solves counts solver executions (cache misses that ran to completion).
 	Solves int64 `json:"solves"`
-	// CacheHits / CacheMisses count schedule-cache lookups.
-	CacheHits   int64 `json:"cache_hits"`
-	CacheMisses int64 `json:"cache_misses"`
+	// CacheHits / CacheMisses count in-memory schedule-cache lookups,
+	// summed over shards; CacheEvictions counts LRU drops.
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
 	// CacheSize / CacheCap describe current cache occupancy.
 	CacheSize int `json:"cache_size"`
 	CacheCap  int `json:"cache_cap"`
+	// CacheShards breaks the in-memory cache down per shard.
+	CacheShards []CacheShardStats `json:"cache_shards,omitempty"`
+	// Store describes the persistent tier; nil when none is configured.
+	Store *StoreStats `json:"store,omitempty"`
+	// Admission describes cost-aware admission control.
+	Admission AdmissionStats `json:"admission"`
 	// Deduped counts requests that attached to an identical in-flight solve
 	// instead of starting their own.
 	Deduped int64 `json:"deduped"`

@@ -2,22 +2,38 @@ package service
 
 import (
 	"container/list"
+	"encoding/binary"
 	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/service/api"
 )
 
-// scheduleCache is a fingerprint-keyed LRU over solved schedules. Checkmate's
-// whole premise is that a schedule is expensive once and reusable forever
-// (Figure 2); the cache is what turns the Nth identical solve into an O(1)
-// map lookup. Entries store the finished wire response (minus per-request
-// flags), so a hit costs no re-serialization either.
+// scheduleCache is a sharded, fingerprint-keyed LRU over solved schedules.
+// Checkmate's whole premise is that a schedule is expensive once and reusable
+// forever (Figure 2); the cache is what turns the Nth identical solve into an
+// O(1) map lookup. Entries store the finished wire response (minus
+// per-request flags), so a hit costs no re-serialization either.
+//
+// Sharding splits the keyspace by fingerprint prefix into independent LRU
+// shards, each with its own lock: concurrent solves touching different keys
+// no longer serialize on one mutex, and each shard keeps its own hit, miss,
+// and eviction counters so /v1/stats can show where capacity pressure lands.
+// SHA-256 fingerprints are uniform, so shards load-balance for free.
 type scheduleCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[graph.Fingerprint]*list.Element
+	shards []*cacheShard
+}
+
+// cacheShard is one independently locked LRU holding a slice of the
+// fingerprint keyspace.
+type cacheShard struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	m         map[graph.Fingerprint]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type cacheEntry struct {
@@ -25,53 +41,107 @@ type cacheEntry struct {
 	resp *api.SolveResponse
 }
 
-func newScheduleCache(capacity int) *scheduleCache {
+// newScheduleCache builds a cache of at most capacity entries spread over
+// shardCount shards. Capacity is split exactly: each shard gets
+// capacity/shardCount entries and the remainder is spread one apiece over
+// the first shards, so the per-shard caps sum to capacity (shardCount is
+// clamped to capacity, so every shard holds at least one entry).
+func newScheduleCache(capacity, shardCount int) *scheduleCache {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &scheduleCache{
-		cap: capacity,
-		ll:  list.New(),
-		m:   make(map[graph.Fingerprint]*list.Element, capacity),
+	if shardCount <= 0 {
+		shardCount = 8
 	}
+	if shardCount > capacity {
+		shardCount = capacity
+	}
+	base, extra := capacity/shardCount, capacity%shardCount
+	c := &scheduleCache{shards: make([]*cacheShard, shardCount)}
+	for i := range c.shards {
+		shardCap := base
+		if i < extra {
+			shardCap++
+		}
+		c.shards[i] = &cacheShard{
+			cap: shardCap,
+			ll:  list.New(),
+			m:   make(map[graph.Fingerprint]*list.Element, shardCap),
+		}
+	}
+	return c
+}
+
+// shardFor routes key to its shard by fingerprint prefix. The modulo is
+// done in uint so a high first byte cannot produce a negative index where
+// int is 32 bits.
+func (c *scheduleCache) shardFor(key graph.Fingerprint) *cacheShard {
+	return c.shards[uint(binary.BigEndian.Uint32(key[:4]))%uint(len(c.shards))]
 }
 
 // get returns a copy of the cached response for key, marking it most
 // recently used. The copy prevents callers from mutating shared state when
-// they stamp per-request fields (Cached, SolveMS).
+// they stamp per-request fields (Cached, SolveMS). Lookups count as shard
+// hits or misses.
 func (c *scheduleCache) get(key graph.Fingerprint) (*api.SolveResponse, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
 	if !ok {
+		s.misses++
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
+	s.hits++
+	s.ll.MoveToFront(el)
 	cp := *el.Value.(*cacheEntry).resp
 	return &cp, true
 }
 
-// put stores resp under key, evicting the least recently used entry when
-// over capacity.
+// put stores resp under key, evicting the least recently used entry of the
+// key's shard when that shard is over capacity.
 func (c *scheduleCache) put(key graph.Fingerprint, resp *api.SolveResponse) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[key]; ok {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
 		el.Value.(*cacheEntry).resp = resp
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
-	for c.ll.Len() > c.cap {
-		el := c.ll.Back()
-		c.ll.Remove(el)
-		delete(c.m, el.Value.(*cacheEntry).key)
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for s.ll.Len() > s.cap {
+		el := s.ll.Back()
+		s.ll.Remove(el)
+		delete(s.m, el.Value.(*cacheEntry).key)
+		s.evictions++
 	}
 }
 
-// len returns the current entry count.
+// len returns the current entry count across all shards.
 func (c *scheduleCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// stats snapshots every shard's counters in shard order.
+func (c *scheduleCache) stats() []api.CacheShardStats {
+	out := make([]api.CacheShardStats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = api.CacheShardStats{
+			Size:      s.ll.Len(),
+			Cap:       s.cap,
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Evictions: s.evictions,
+		}
+		s.mu.Unlock()
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -15,7 +16,8 @@ func fp(i int) graph.Fingerprint {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newScheduleCache(3)
+	// One shard makes eviction order global and deterministic.
+	c := newScheduleCache(3, 1)
 	for i := 0; i < 3; i++ {
 		c.put(fp(i), &api.SolveResponse{Fingerprint: fmt.Sprint(i)})
 	}
@@ -38,7 +40,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheGetReturnsCopy(t *testing.T) {
-	c := newScheduleCache(2)
+	c := newScheduleCache(2, 1)
 	c.put(fp(0), &api.SolveResponse{Fingerprint: "orig"})
 	a, _ := c.get(fp(0))
 	a.Cached = true
@@ -50,7 +52,7 @@ func TestCacheGetReturnsCopy(t *testing.T) {
 }
 
 func TestCacheUpdateExisting(t *testing.T) {
-	c := newScheduleCache(2)
+	c := newScheduleCache(2, 1)
 	c.put(fp(0), &api.SolveResponse{Fingerprint: "v1"})
 	c.put(fp(0), &api.SolveResponse{Fingerprint: "v2"})
 	if c.len() != 1 {
@@ -59,5 +61,132 @@ func TestCacheUpdateExisting(t *testing.T) {
 	got, _ := c.get(fp(0))
 	if got.Fingerprint != "v2" {
 		t.Fatalf("update lost: %s", got.Fingerprint)
+	}
+}
+
+func TestCacheShardCountersTrackHitsMissesEvictions(t *testing.T) {
+	c := newScheduleCache(1, 1) // capacity 1 forces an eviction on the 2nd put
+	c.put(fp(0), &api.SolveResponse{})
+	if _, ok := c.get(fp(0)); !ok {
+		t.Fatalf("entry 0 missing")
+	}
+	if _, ok := c.get(fp(1)); ok {
+		t.Fatalf("phantom entry 1")
+	}
+	c.put(fp(1), &api.SolveResponse{}) // evicts 0
+
+	st := c.stats()
+	if len(st) != 1 {
+		t.Fatalf("%d shards, want 1", len(st))
+	}
+	if st[0].Hits != 1 || st[0].Misses != 1 || st[0].Evictions != 1 {
+		t.Fatalf("shard stats: %+v", st[0])
+	}
+	if st[0].Size != 1 || st[0].Cap != 1 {
+		t.Fatalf("shard occupancy: %+v", st[0])
+	}
+}
+
+func TestCacheSpreadsAcrossShards(t *testing.T) {
+	const shards = 8
+	// Per-shard capacity 64 for 256 keys across 8 shards: a shard would need
+	// a 6-sigma binomial excursion to overflow and evict, so every key stays.
+	c := newScheduleCache(shards*64, shards)
+	for i := 0; i < 256; i++ {
+		c.put(fp(i), &api.SolveResponse{})
+	}
+	st := c.stats()
+	if len(st) != shards {
+		t.Fatalf("%d shards, want %d", len(st), shards)
+	}
+	populated := 0
+	for _, s := range st {
+		if s.Size > 0 {
+			populated++
+		}
+	}
+	// SHA-256 keys are uniform: 256 keys into 8 shards leaves an empty shard
+	// with probability (7/8)^256 per shard — effectively never.
+	if populated != shards {
+		t.Fatalf("only %d/%d shards populated; prefix routing broken", populated, shards)
+	}
+	// Routing must be stable: every key still resolves.
+	for i := 0; i < 256; i++ {
+		if _, ok := c.get(fp(i)); !ok {
+			t.Fatalf("entry %d lost after sharded puts", i)
+		}
+	}
+}
+
+func TestCacheShardCountClampedToCapacity(t *testing.T) {
+	c := newScheduleCache(2, 64)
+	if got := len(c.shards); got != 2 {
+		t.Fatalf("shard count %d exceeds capacity 2", got)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newScheduleCache(128, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fp(i % 64)
+				if i%3 == 0 {
+					c.put(k, &api.SolveResponse{Fingerprint: fmt.Sprint(i)})
+				} else {
+					c.get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > 128 {
+		t.Fatalf("cache exceeded capacity: %d", c.len())
+	}
+}
+
+// BenchmarkCacheSharded measures concurrent mixed get/put throughput; the
+// sharded design's point is that this scales with parallelism instead of
+// serializing on one lock.
+func BenchmarkCacheSharded(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := newScheduleCache(1024, shards)
+			resp := &api.SolveResponse{}
+			for i := 0; i < 512; i++ {
+				c.put(fp(i), resp)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					k := fp(i % 512)
+					if i%8 == 0 {
+						c.put(k, resp)
+					} else {
+						c.get(k)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+func TestCacheCapacityIsExactAcrossShards(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{{9, 8}, {256, 8}, {7, 3}, {1, 4}} {
+		c := newScheduleCache(tc.capacity, tc.shards)
+		total := 0
+		for _, s := range c.shards {
+			if s.cap < 1 {
+				t.Fatalf("cap=%d shards=%d: shard with zero capacity", tc.capacity, tc.shards)
+			}
+			total += s.cap
+		}
+		if total != tc.capacity {
+			t.Fatalf("cap=%d shards=%d: per-shard caps sum to %d", tc.capacity, tc.shards, total)
+		}
 	}
 }

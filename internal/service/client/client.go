@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -14,6 +15,30 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/service/api"
 )
+
+// APIError is a non-2xx reply from the service, carrying the HTTP status
+// and the server's error message. All client methods return it (wrapped)
+// for protocol-level failures, so callers can branch on status — most
+// usefully via IsOverloaded for 503 shed-load retries.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("HTTP %d", e.StatusCode)
+	}
+	return fmt.Sprintf("%s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// IsOverloaded reports whether err is the service shedding load (HTTP 503:
+// admission control rejected the solve, or the queue is full). Such requests
+// are safe to retry after a backoff — the instance is healthy, just busy.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable
+}
 
 // Client talks to one planning server.
 type Client struct {
@@ -56,10 +81,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		var e api.ErrorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("client: %s %s: %w", method, path, &APIError{StatusCode: resp.StatusCode, Message: e.Error})
 	}
 	if out == nil {
 		return nil

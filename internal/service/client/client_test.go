@@ -2,6 +2,8 @@ package client
 
 import (
 	"context"
+	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -13,7 +15,10 @@ import (
 
 func testClient(t *testing.T) *Client {
 	t.Helper()
-	srv := service.New(service.Config{Workers: 2, DefaultTimeLimit: 20 * time.Second})
+	srv, err := service.New(service.Config{Workers: 2, DefaultTimeLimit: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -93,5 +98,35 @@ func TestClientErrorSurfacesServerMessage(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "model or graph") {
 		t.Fatalf("server error message lost: %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is not an *APIError: %T %v", err, err)
+	}
+	if ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", ae.StatusCode)
+	}
+	if IsOverloaded(err) {
+		t.Fatalf("400 misclassified as overload")
+	}
+}
+
+func TestIsOverloadedRecognizes503(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"service: projected solver load exceeds the admission limit"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, nil)
+	_, err := c.Solve(context.Background(), api.SolveRequest{Graph: chainSpec(4), Budget: 6})
+	if err == nil {
+		t.Fatalf("503 reported success")
+	}
+	if !IsOverloaded(err) {
+		t.Fatalf("IsOverloaded(%v) = false, want true", err)
+	}
+	if !strings.Contains(err.Error(), "admission limit") {
+		t.Fatalf("server message lost: %v", err)
 	}
 }

@@ -13,12 +13,20 @@ import (
 // upstream instead of piling up unbounded goroutines.
 var errQueueFull = errors.New("service: solve queue is full")
 
+// errOverloaded is returned by submit when admitting a flight would push the
+// projected outstanding solver cost past the admission limit. Unlike a plain
+// queue-depth bound, this rejects ten queued hour-long MILPs while still
+// admitting a hundred millisecond-scale solves — the queue-depth 503 treated
+// both the same. Maps to 503 like errQueueFull.
+var errOverloaded = errors.New("service: projected solver load exceeds the admission limit")
+
 // flight is one deduplicated unit of solve work. Any number of requests may
 // wait on the same flight; the solve itself runs under the flight's own
 // context, which is cancelled only when every waiter has gone away — one
 // impatient client must not kill a solve that others still want.
 type flight struct {
 	key    string
+	cost   float64 // admission-control estimate, released on finish
 	run    func(ctx context.Context) (any, error)
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -28,11 +36,14 @@ type flight struct {
 	err    error
 }
 
-// pool is a fixed-size worker pool with a bounded queue and single-flight
-// deduplication keyed by solve fingerprint. MILP solves are CPU-bound and
-// long; a bounded pool keeps concurrency at the machine's parallelism while
-// the queue absorbs bursts, and dedup collapses the thundering herd of
-// identical (graph, budget) requests a training fleet generates.
+// pool is a fixed-size worker pool with a bounded queue, single-flight
+// deduplication keyed by solve fingerprint, and cost-aware admission
+// control. MILP solves are CPU-bound and long; a bounded pool keeps
+// concurrency at the machine's parallelism while the queue absorbs bursts,
+// dedup collapses the thundering herd of identical (graph, budget) requests
+// a training fleet generates, and admission control bounds the *projected
+// work* backlog (sum of per-flight cost estimates) rather than just the
+// flight count.
 type pool struct {
 	tasks chan *flight
 
@@ -40,13 +51,20 @@ type pool struct {
 	inflight map[string]*flight
 	closed   bool
 
+	// maxOutstanding bounds the summed cost of admitted-but-unfinished
+	// flights; <= 0 disables cost-based admission (queue depth still
+	// bounds). outstanding is guarded by mu.
+	maxOutstanding float64
+	outstanding    float64
+
 	workers   int
 	active    atomic.Int64
 	cancelled atomic.Int64
+	rejected  atomic.Int64 // admission rejections (cost, not queue-full)
 	wg        sync.WaitGroup
 }
 
-func newPool(workers, queueCap int) *pool {
+func newPool(workers, queueCap int, maxOutstanding float64) *pool {
 	if workers <= 0 {
 		workers = 1
 	}
@@ -54,9 +72,10 @@ func newPool(workers, queueCap int) *pool {
 		queueCap = 64
 	}
 	p := &pool{
-		tasks:    make(chan *flight, queueCap),
-		inflight: make(map[string]*flight),
-		workers:  workers,
+		tasks:          make(chan *flight, queueCap),
+		inflight:       make(map[string]*flight),
+		maxOutstanding: maxOutstanding,
+		workers:        workers,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -85,6 +104,10 @@ func (p *pool) finish(f *flight, val any, err error) {
 	if p.inflight[f.key] == f {
 		delete(p.inflight, f.key)
 	}
+	p.outstanding -= f.cost
+	if p.outstanding < 0 {
+		p.outstanding = 0
+	}
 	p.mu.Unlock()
 	f.val, f.err = val, err
 	f.cancel()
@@ -92,11 +115,16 @@ func (p *pool) finish(f *flight, val any, err error) {
 }
 
 // submit runs fn under the pool, deduplicating against any in-flight call
-// with the same key. It blocks until the result is ready or ctx is done;
-// shared reports whether the result came from a flight started by an earlier
-// request. When ctx ends first, submit returns ctx's error immediately and
-// the flight is cancelled iff no other waiter remains.
-func (p *pool) submit(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (val any, shared bool, err error) {
+// with the same key. cost is the caller's estimate of the solve's expense in
+// abstract cost units; joining an existing flight is free, while starting a
+// new one must pass admission. It blocks until the result is ready or ctx is
+// done; shared reports whether the result came from a flight started by an
+// earlier request. When ctx ends first, submit returns ctx's error
+// immediately and the flight is cancelled iff no other waiter remains.
+func (p *pool) submit(ctx context.Context, key string, cost float64, fn func(ctx context.Context) (any, error)) (val any, shared bool, err error) {
+	if cost < 0 {
+		cost = 0
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -108,8 +136,17 @@ func (p *pool) submit(ctx context.Context, key string, fn func(ctx context.Conte
 		p.mu.Unlock()
 		return p.wait(ctx, f, true)
 	}
+	// Cost-aware admission: reject when the projected backlog would exceed
+	// the limit — unless the pool is idle, where a single over-sized request
+	// is still admitted rather than being unservable forever.
+	if p.maxOutstanding > 0 && p.outstanding > 0 && p.outstanding+cost > p.maxOutstanding {
+		projected := p.outstanding + cost
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return nil, false, fmt.Errorf("%w (projected %.4g > limit %.4g cost units)", errOverloaded, projected, p.maxOutstanding)
+	}
 	fctx, cancel := context.WithCancel(context.Background())
-	f = &flight{key: key, run: fn, ctx: fctx, cancel: cancel, refs: 1, done: make(chan struct{})}
+	f = &flight{key: key, cost: cost, run: fn, ctx: fctx, cancel: cancel, refs: 1, done: make(chan struct{})}
 	select {
 	case p.tasks <- f:
 	default:
@@ -118,6 +155,7 @@ func (p *pool) submit(ctx context.Context, key string, fn func(ctx context.Conte
 		return nil, false, fmt.Errorf("%w (%d queued)", errQueueFull, cap(p.tasks))
 	}
 	p.inflight[key] = f
+	p.outstanding += cost
 	p.mu.Unlock()
 	return p.wait(ctx, f, false)
 }
@@ -159,6 +197,13 @@ func (p *pool) detach(f *flight) {
 
 // queueDepth returns the number of flights waiting for a worker.
 func (p *pool) queueDepth() int { return len(p.tasks) }
+
+// outstandingCost returns the summed admission cost of unfinished flights.
+func (p *pool) outstandingCost() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.outstanding
+}
 
 // close stops accepting work and waits for the workers to drain.
 func (p *pool) close() {

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestPoolSingleFlightDedup(t *testing.T) {
-	p := newPool(2, 8)
+	p := newPool(2, 8, 0)
 	defer p.close()
 
 	var runs atomic.Int64
@@ -32,7 +33,7 @@ func TestPoolSingleFlightDedup(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			<-start
-			vals[i], shared[i], errs[i] = p.submit(context.Background(), "same-key", fn)
+			vals[i], shared[i], errs[i] = p.submit(context.Background(), "same-key", 1, fn)
 		}(i)
 	}
 	close(start)
@@ -65,24 +66,24 @@ func TestPoolSingleFlightDedup(t *testing.T) {
 }
 
 func TestPoolQueueFull(t *testing.T) {
-	p := newPool(1, 1)
+	p := newPool(1, 1, 0)
 	defer p.close()
 
 	block := make(chan struct{})
 	slow := func(ctx context.Context) (any, error) { <-block; return nil, nil }
 
 	// Occupy the single worker...
-	go p.submit(context.Background(), "running", slow)
+	go p.submit(context.Background(), "running", 1, slow)
 	for p.active.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	// ...and the single queue slot.
-	go p.submit(context.Background(), "queued", slow)
+	go p.submit(context.Background(), "queued", 1, slow)
 	for p.queueDepth() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 
-	_, _, err := p.submit(context.Background(), "overflow", slow)
+	_, _, err := p.submit(context.Background(), "overflow", 1, slow)
 	if !errors.Is(err, errQueueFull) {
 		t.Fatalf("err = %v, want errQueueFull", err)
 	}
@@ -90,7 +91,7 @@ func TestPoolQueueFull(t *testing.T) {
 }
 
 func TestPoolCancellationStopsSolveWithoutLeakingWorkers(t *testing.T) {
-	p := newPool(1, 4)
+	p := newPool(1, 4, 0)
 	defer p.close()
 
 	started := make(chan struct{})
@@ -105,7 +106,7 @@ func TestPoolCancellationStopsSolveWithoutLeakingWorkers(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, _, err := p.submit(ctx, "k", fn)
+		_, _, err := p.submit(ctx, "k", 1, fn)
 		errc <- err
 	}()
 	<-started
@@ -125,7 +126,7 @@ func TestPoolCancellationStopsSolveWithoutLeakingWorkers(t *testing.T) {
 
 	// The worker must be free again: a fresh task completes.
 	done := make(chan struct{})
-	val, _, err := p.submit(context.Background(), "k2", func(ctx context.Context) (any, error) {
+	val, _, err := p.submit(context.Background(), "k2", 1, func(ctx context.Context) (any, error) {
 		close(done)
 		return 42, nil
 	})
@@ -139,7 +140,7 @@ func TestPoolCancellationStopsSolveWithoutLeakingWorkers(t *testing.T) {
 }
 
 func TestPoolCancelOneWaiterKeepsFlightAlive(t *testing.T) {
-	p := newPool(1, 4)
+	p := newPool(1, 4, 0)
 	defer p.close()
 
 	release := make(chan struct{})
@@ -156,12 +157,12 @@ func TestPoolCancelOneWaiterKeepsFlightAlive(t *testing.T) {
 
 	ctx1, cancel1 := context.WithCancel(context.Background())
 	res2 := make(chan any, 1)
-	go p.submit(ctx1, "k", fn)
+	go p.submit(ctx1, "k", 1, fn)
 	for p.active.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	go func() {
-		v, _, _ := p.submit(context.Background(), "k", fn)
+		v, _, _ := p.submit(context.Background(), "k", 1, fn)
 		res2 <- v
 	}()
 	time.Sleep(10 * time.Millisecond) // let the second waiter attach
@@ -175,11 +176,11 @@ func TestPoolCancelOneWaiterKeepsFlightAlive(t *testing.T) {
 }
 
 func TestPoolCancelledWhileQueuedIsSkipped(t *testing.T) {
-	p := newPool(1, 4)
+	p := newPool(1, 4, 0)
 	defer p.close()
 
 	block := make(chan struct{})
-	go p.submit(context.Background(), "running", func(ctx context.Context) (any, error) { <-block; return nil, nil })
+	go p.submit(context.Background(), "running", 1, func(ctx context.Context) (any, error) { <-block; return nil, nil })
 	for p.active.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
@@ -188,7 +189,7 @@ func TestPoolCancelledWhileQueuedIsSkipped(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, _, err := p.submit(ctx, "queued", func(ctx context.Context) (any, error) { ran.Store(true); return nil, nil })
+		_, _, err := p.submit(ctx, "queued", 1, func(ctx context.Context) (any, error) { ran.Store(true); return nil, nil })
 		errc <- err
 	}()
 	for p.queueDepth() == 0 {
@@ -203,4 +204,131 @@ func TestPoolCancelledWhileQueuedIsSkipped(t *testing.T) {
 	if ran.Load() {
 		t.Fatalf("cancelled queued flight still executed")
 	}
+}
+
+func TestPoolAdmissionRejectsOnProjectedCost(t *testing.T) {
+	p := newPool(1, 8, 100)
+	defer p.close()
+
+	block := make(chan struct{})
+	slow := func(ctx context.Context) (any, error) { <-block; return nil, nil }
+
+	// An 80-unit flight occupies the worker.
+	go p.submit(context.Background(), "big", 80, slow)
+	for p.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.outstandingCost(); got != 80 {
+		t.Fatalf("outstanding = %v, want 80", got)
+	}
+
+	// 80 + 30 > 100: rejected even though the queue has plenty of slots.
+	if _, _, err := p.submit(context.Background(), "medium", 30, slow); !errors.Is(err, errOverloaded) {
+		t.Fatalf("err = %v, want errOverloaded", err)
+	}
+	if got := p.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	// 80 + 15 <= 100: a cheap flight is still admitted.
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := p.submit(context.Background(), "small", 15, slow)
+		done <- err
+	}()
+	for p.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("cheap flight rejected: %v", err)
+	}
+
+	// Finished flights release their cost.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.outstandingCost() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("outstanding cost %v never released", p.outstandingCost())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolAdmissionAlwaysAdmitsWhenIdle(t *testing.T) {
+	p := newPool(1, 4, 10)
+	defer p.close()
+	// A flight costing far more than the limit must still run when the pool
+	// is idle — otherwise it could never be served at all.
+	val, _, err := p.submit(context.Background(), "huge", 1e9, func(ctx context.Context) (any, error) {
+		return "ok", nil
+	})
+	if err != nil || val != "ok" {
+		t.Fatalf("idle pool rejected an over-limit flight: val=%v err=%v", val, err)
+	}
+}
+
+func TestPoolAdmissionJoiningAFlightIsFree(t *testing.T) {
+	p := newPool(1, 4, 100)
+	defer p.close()
+
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (any, error) { <-release; return "ok", nil }
+
+	go p.submit(context.Background(), "k", 90, fn)
+	for p.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// A second waiter on the same key attaches without adding cost, so it
+	// must not be rejected even though 90 + 90 > 100.
+	done := make(chan any, 1)
+	go func() {
+		v, shared, err := p.submit(context.Background(), "k", 90, fn)
+		if err != nil || !shared {
+			t.Errorf("joining waiter failed: shared=%v err=%v", shared, err)
+		}
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if got := p.outstandingCost(); got != 90 {
+		t.Fatalf("outstanding = %v after join, want 90", got)
+	}
+	close(release)
+	if v := <-done; v != "ok" {
+		t.Fatalf("joined waiter got %v", v)
+	}
+}
+
+func TestPoolAdmissionDisabledFallsBackToQueueDepth(t *testing.T) {
+	p := newPool(1, 1, 0) // no cost limit
+	defer p.close()
+
+	block := make(chan struct{})
+	slow := func(ctx context.Context) (any, error) { <-block; return nil, nil }
+	go p.submit(context.Background(), "running", 1e12, slow)
+	for p.active.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go p.submit(context.Background(), "queued", 1e12, slow)
+	for p.queueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	_, _, err := p.submit(context.Background(), "overflow", 1e12, slow)
+	if !errors.Is(err, errQueueFull) {
+		t.Fatalf("err = %v, want errQueueFull (cost ignored when disabled)", err)
+	}
+	close(block)
+}
+
+func BenchmarkPoolSubmit(b *testing.B) {
+	p := newPool(4, 64, 0)
+	defer p.close()
+	fn := func(ctx context.Context) (any, error) { return nil, nil }
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			// Distinct keys so every submit is a real flight, not a join.
+			p.submit(context.Background(), fmt.Sprintf("k%d", i), 1, fn)
+			i++
+		}
+	})
 }

@@ -4,10 +4,13 @@
 // The paper's deployment model (Figure 2) is solve-once, run-forever: a
 // schedule costs minutes of MILP time but amortizes over millions of
 // training iterations. This package operationalizes that economics as a
-// service — a fingerprint-keyed LRU schedule cache makes repeated solves
-// O(1), a bounded worker pool with single-flight deduplication absorbs
-// request bursts without redundant MILP work, and per-request contexts
-// cancel solves whose clients have gone away.
+// service — a two-tier schedule cache (sharded in-memory LRU in front of an
+// optional persistent disk store, so restarts keep warm state) makes
+// repeated solves O(1), a bounded worker pool with single-flight
+// deduplication absorbs request bursts without redundant MILP work,
+// cost-aware admission control sheds load by projected solver work rather
+// than raw queue depth, and per-request contexts cancel solves whose
+// clients have gone away.
 //
 // Endpoints:
 //
@@ -24,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sort"
@@ -35,6 +39,7 @@ import (
 	"repro/internal/approx"
 	"repro/internal/graph"
 	"repro/internal/service/api"
+	"repro/internal/service/store"
 )
 
 // Config tunes the server. The zero value selects sensible defaults.
@@ -45,6 +50,26 @@ type Config struct {
 	QueueCap int
 	// CacheCap bounds the schedule cache entry count (default 256).
 	CacheCap int
+	// CacheShards splits the in-memory cache into independently locked LRU
+	// shards by fingerprint prefix (default 8).
+	CacheShards int
+	// CacheDir, when set, enables the persistent second-tier schedule store:
+	// every solved schedule is written through to disk, and restarts serve
+	// previously solved workloads without re-running the solver.
+	CacheDir string
+	// StoreMaxBytes bounds the persistent store's on-disk size; the sweep
+	// evicts oldest entries first (0 = unbounded).
+	StoreMaxBytes int64
+	// StoreMaxAge bounds persistent entries' age (0 = keep forever).
+	StoreMaxAge time.Duration
+	// MaxOutstandingCost is the admission limit: a new solve is rejected
+	// (503) when the summed calibrated cost estimate of unfinished solves
+	// would exceed it. Cost units are roughly milliseconds of solver work.
+	// 0 selects an automatic limit of Workers × 4 × MaxTimeLimit, so even
+	// a single longest-legal solve claims at most a small fraction of the
+	// budget and cannot starve cheap requests; negative disables
+	// cost-based admission (queue depth still bounds).
+	MaxOutstandingCost float64
 	// DefaultTimeLimit applies when a request names none (default 30 s).
 	DefaultTimeLimit time.Duration
 	// MaxTimeLimit caps any requested time limit (default 10 min).
@@ -52,6 +77,8 @@ type Config struct {
 	// MaxGraphNodes rejects serialized graphs above this node count
 	// (default 4096) before any solver memory is committed.
 	MaxGraphNodes int
+	// Logf receives operational diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +91,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheCap <= 0 {
 		c.CacheCap = 256
 	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 8
+	}
 	if c.DefaultTimeLimit <= 0 {
 		c.DefaultTimeLimit = 30 * time.Second
 	}
@@ -73,6 +103,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxGraphNodes <= 0 {
 		c.MaxGraphNodes = 4096
 	}
+	if c.MaxOutstandingCost == 0 {
+		// Enough projected work to keep every worker busy through four
+		// worst-case solves each. Sized from MaxTimeLimit — the largest
+		// cost any single admitted flight can carry after its time-limit
+		// clamp — so one long solve occupies at most 1/(4×Workers) of the
+		// budget instead of tripping the limit for everything behind it.
+		c.MaxOutstandingCost = float64(c.Workers) * 4 * float64(c.MaxTimeLimit.Milliseconds())
+	}
+	if c.MaxOutstandingCost < 0 {
+		c.MaxOutstandingCost = 0 // disabled
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -81,7 +125,12 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	cache *scheduleCache
+	// store is the persistent second tier behind the in-memory cache; nil
+	// when no CacheDir is configured. Writes go through to it, in-memory
+	// misses consult it before the solver.
+	store store.Store
 	pool  *pool
+	calib *costCalibrator
 	start time.Time
 
 	// wlMu guards wlMemo, a small cache of built zoo workloads keyed by
@@ -94,25 +143,48 @@ type Server struct {
 	reqMu    sync.Mutex
 	requests map[string]int64
 
-	solves, hits, misses, deduped, errs atomic.Int64
+	solves, deduped, errs atomic.Int64
 }
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
+// New builds a Server from cfg. It fails only when a persistent store is
+// requested (cfg.CacheDir) and cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
-		cache:    newScheduleCache(cfg.CacheCap),
-		pool:     newPool(cfg.Workers, cfg.QueueCap),
+		cache:    newScheduleCache(cfg.CacheCap, cfg.CacheShards),
+		pool:     newPool(cfg.Workers, cfg.QueueCap, cfg.MaxOutstandingCost),
+		calib:    newCostCalibrator(),
 		start:    time.Now(),
 		wlMemo:   make(map[string]*checkmate.Workload),
 		requests: make(map[string]int64),
 	}
+	if cfg.CacheDir != "" {
+		st, err := store.OpenDisk(store.DiskOptions{
+			Dir:      cfg.CacheDir,
+			MaxBytes: cfg.StoreMaxBytes,
+			MaxAge:   cfg.StoreMaxAge,
+			Logf:     cfg.Logf,
+		})
+		if err != nil {
+			s.pool.close()
+			return nil, fmt.Errorf("service: opening schedule store: %w", err)
+		}
+		s.store = st
+	}
+	return s, nil
 }
 
-// Close drains the worker pool. In-flight solves finish; queued flights
-// whose waiters are gone are skipped.
-func (s *Server) Close() { s.pool.close() }
+// Close drains the worker pool and releases the persistent store. In-flight
+// solves finish; queued flights whose waiters are gone are skipped.
+func (s *Server) Close() {
+	s.pool.close()
+	if s.store != nil {
+		if err := s.store.Close(); err != nil {
+			s.cfg.Logf("service: closing schedule store: %v", err)
+		}
+	}
+}
 
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -168,21 +240,45 @@ func (s *Server) Stats() api.StatsResponse {
 		reqs[k] = v
 	}
 	s.reqMu.Unlock()
-	return api.StatsResponse{
-		Requests:    reqs,
-		Solves:      s.solves.Load(),
-		CacheHits:   s.hits.Load(),
-		CacheMisses: s.misses.Load(),
-		CacheSize:   s.cache.len(),
-		CacheCap:    s.cfg.CacheCap,
-		Deduped:     s.deduped.Load(),
-		Cancelled:   s.pool.cancelled.Load(),
-		Errors:      s.errs.Load(),
-		InFlight:    s.pool.active.Load(),
-		QueueDepth:  s.pool.queueDepth(),
-		Workers:     s.pool.workers,
-		UptimeMS:    time.Since(s.start).Milliseconds(),
+	shards := s.cache.stats()
+	var hits, misses, evictions int64
+	var size int
+	for _, sh := range shards {
+		hits += sh.Hits
+		misses += sh.Misses
+		evictions += sh.Evictions
+		size += sh.Size
 	}
+	ratio, samples := s.calib.snapshot()
+	resp := api.StatsResponse{
+		Requests:       reqs,
+		Solves:         s.solves.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+		CacheSize:      size,
+		CacheCap:       s.cfg.CacheCap,
+		CacheShards:    shards,
+		Admission: api.AdmissionStats{
+			MaxOutstandingCost: s.cfg.MaxOutstandingCost,
+			OutstandingCost:    s.pool.outstandingCost(),
+			EstimateRatio:      ratio,
+			Samples:            samples,
+			Rejected:           s.pool.rejected.Load(),
+		},
+		Deduped:    s.deduped.Load(),
+		Cancelled:  s.pool.cancelled.Load(),
+		Errors:     s.errs.Load(),
+		InFlight:   s.pool.active.Load(),
+		QueueDepth: s.pool.queueDepth(),
+		Workers:    s.pool.workers,
+		UptimeMS:   time.Since(s.start).Milliseconds(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
+	return resp
 }
 
 // workloadSpec is the model-or-graph half of solve and sweep requests.
@@ -272,28 +368,57 @@ func (s *Server) solveParamsFrom(solver string, budget, timeLimitMS int64, relGa
 	return p, nil
 }
 
-// solveOne resolves one (workload, params) instance through the cache and,
-// on miss, the worker pool. It is the shared engine of /v1/solve and each
+// solveOne resolves one (workload, params) instance through the two cache
+// tiers (in-memory, then persistent store) and, on miss, the worker pool
+// under cost-aware admission. It is the shared engine of /v1/solve and each
 // /v1/sweep point.
 func (s *Server) solveOne(ctx context.Context, wl *checkmate.Workload, p solveParams, noCache bool) (*api.SolveResponse, error) {
 	key := wl.SolveKey(p.budget, p.opt, p.approximate)
 	if !noCache {
+		// Tier 1: in-memory shard. Hit/miss accounting lives in the shard;
+		// NoCache requests never consult the cache, so they skew no counter.
 		if resp, ok := s.cache.get(key); ok {
-			s.hits.Add(1)
 			resp.Cached = true
 			return resp, nil
 		}
-		// Only real failed lookups count as misses; NoCache requests never
-		// consult the cache, so they skew neither counter.
-		s.misses.Add(1)
+		// Tier 2: persistent store. A hit repopulates the memory shard so
+		// the next lookup skips the disk read too.
+		if resp, ok := s.loadStored(key); ok {
+			s.cache.put(key, resp)
+			cp := *resp
+			cp.Cached = true
+			return &cp, nil
+		}
 	}
-	val, shared, err := s.pool.submit(ctx, key.String(), func(fctx context.Context) (any, error) {
+	// Admission: the raw estimate orders requests by expense; the calibrator
+	// scales it by the observed actual/estimate ratio so the configured
+	// limit tracks real solver milliseconds. The request's time limit is
+	// re-applied after calibration — it caps real solver work no matter
+	// what ratio was learned from other requests, so the admission cost
+	// must respect the same ceiling.
+	rawEstimate := wl.EstimateSolveCost(p.budget, p.opt, p.approximate)
+	cost := s.calib.calibrated(rawEstimate)
+	if lim := float64(p.opt.TimeLimit.Milliseconds()); lim > 0 && cost > lim {
+		cost = lim
+	}
+	val, shared, err := s.pool.submit(ctx, key.String(), cost, func(fctx context.Context) (any, error) {
+		start := time.Now()
 		resp, err := s.runSolve(fctx, wl, p, key)
 		if err != nil {
+			// Calibrate on limit-type failures too: they consumed their full
+			// time budget. Other failures are excluded — a cancelled solve's
+			// elapsed time measures client patience, and a fast infeasible
+			// rejection would feed a near-zero ratio that collapses the EWMA
+			// and quietly loosens admission control.
+			if errors.Is(err, checkmate.ErrSolveLimit) || errors.Is(err, context.DeadlineExceeded) {
+				s.calib.observe(rawEstimate, float64(time.Since(start).Microseconds())/1e3)
+			}
 			return nil, err
 		}
+		s.calib.observe(rawEstimate, float64(time.Since(start).Microseconds())/1e3)
 		s.solves.Add(1)
 		s.cache.put(key, resp)
+		s.writeStored(key, resp)
 		return resp, nil
 	})
 	if shared {
@@ -309,6 +434,44 @@ func (s *Server) solveOne(ctx context.Context, wl *checkmate.Workload, p solvePa
 	cp := *val.(*api.SolveResponse)
 	cp.Cached = shared
 	return &cp, nil
+}
+
+// loadStored fetches a schedule from the persistent tier. Store defects
+// (missing, corrupt) are misses by contract; a payload that fails to decode
+// here is counted and skipped, never an error — the solver is the fallback.
+func (s *Server) loadStored(key graph.Fingerprint) (*api.SolveResponse, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	payload, ok := s.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var resp api.SolveResponse
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		s.cfg.Logf("service: stored schedule %s undecodable: %v (re-solving)", key.Short(), err)
+		return nil, false
+	}
+	resp.Cached = false // per-request flags are stamped by the caller
+	return &resp, true
+}
+
+// writeStored persists a solved schedule to the second tier. Persistence is
+// best-effort: the schedule is already in memory and on its way to the
+// client, so a failed write is logged, counted by the store, and otherwise
+// ignored.
+func (s *Server) writeStored(key graph.Fingerprint, resp *api.SolveResponse) {
+	if s.store == nil {
+		return
+	}
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		s.cfg.Logf("service: encoding schedule %s for the store: %v", key.Short(), err)
+		return
+	}
+	if err := s.store.Put(key, payload); err != nil {
+		s.cfg.Logf("service: persisting schedule %s: %v", key.Short(), err)
+	}
 }
 
 // runSolve executes the actual solver call and serializes the result.
@@ -356,7 +519,7 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 // solveStatus maps a solve error onto an HTTP status.
 func solveStatus(err error) int {
 	switch {
-	case errors.Is(err, errQueueFull):
+	case errors.Is(err, errQueueFull), errors.Is(err, errOverloaded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, checkmate.ErrInfeasible), errors.Is(err, approx.ErrNoFeasibleRounding):
 		// Retrying the same request cannot succeed.

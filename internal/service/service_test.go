@@ -20,7 +20,18 @@ import (
 
 func testServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(Config{Workers: 2, QueueCap: 16, CacheCap: 32, DefaultTimeLimit: 20 * time.Second})
+	return testServerCfg(t, Config{Workers: 2, QueueCap: 16, CacheCap: 32, DefaultTimeLimit: 20 * time.Second})
+}
+
+func testServerCfg(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -274,12 +285,7 @@ func TestSweep(t *testing.T) {
 // TestLargeSweepDoesNotOverflowQueue drives a sweep far larger than the
 // pool's queue: submissions must be throttled, not fail with queue-full.
 func TestLargeSweepDoesNotOverflowQueue(t *testing.T) {
-	srv := New(Config{Workers: 2, QueueCap: 4, CacheCap: 64, DefaultTimeLimit: 20 * time.Second})
-	ts := httptest.NewServer(srv.Handler())
-	t.Cleanup(func() {
-		ts.Close()
-		srv.Close()
-	})
+	_, ts := testServerCfg(t, Config{Workers: 2, QueueCap: 4, CacheCap: 64, DefaultTimeLimit: 20 * time.Second})
 	budgets := make([]int64, 40)
 	for i := range budgets {
 		budgets[i] = int64(5 + i%8) // mostly feasible, heavy key reuse

@@ -1,0 +1,534 @@
+// Package store persists solved rematerialization schedules across process
+// restarts. It is the second tier behind the planning service's in-memory
+// LRU: the paper's economics (solve once, reuse for millions of iterations)
+// make a solved schedule far too expensive to lose to a redeploy, so the
+// service writes every finished solve through to a Store and consults it on
+// in-memory misses before paying for the solver again.
+//
+// The disk implementation is content-addressed: one JSON file per solve key,
+// named by the key's hex fingerprint, grouped into shard directories by
+// fingerprint prefix so no single directory grows unbounded. Writes are
+// atomic (temp file + rename), loads are corruption-tolerant (a truncated or
+// mangled file is logged, removed, and reported as a miss — never an error),
+// and a size/age sweep keeps the on-disk footprint bounded.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Store is a durable key→payload map over solve fingerprints. Payloads are
+// opaque bytes (the service stores serialized api.SolveResponse JSON).
+//
+// Get never returns an error: a missing, unreadable, or corrupt entry is a
+// miss, because the caller can always fall back to solving. Put returns its
+// error so callers can log persistence failures, but a failed Put must not
+// fail the request that produced the schedule.
+type Store interface {
+	Get(key graph.Fingerprint) ([]byte, bool)
+	Put(key graph.Fingerprint, payload []byte) error
+	Stats() Stats
+	Close() error
+}
+
+// Stats is a point-in-time snapshot of store activity. Entries and Bytes
+// are exact as of the last sweep and adjusted approximately by Puts since.
+type Stats struct {
+	Dir     string `json:"dir"`
+	Entries int64  `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	// Corrupt counts entries that failed envelope validation (bad JSON,
+	// key mismatch, checksum mismatch) and were removed.
+	Corrupt   int64 `json:"corrupt"`
+	Puts      int64 `json:"puts"`
+	PutErrors int64 `json:"put_errors"`
+	// EvictedAge / EvictedSize count sweep removals by reason.
+	EvictedAge  int64 `json:"evicted_age"`
+	EvictedSize int64 `json:"evicted_size"`
+	Sweeps      int64 `json:"sweeps"`
+}
+
+// envelope is the on-disk file format. The embedded key and payload checksum
+// make every file self-validating: a partially written or bit-flipped entry
+// fails verification and is treated as absent rather than served.
+type envelope struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"` // sha256(payload), hex
+	Payload json.RawMessage `json:"payload"`
+}
+
+const (
+	envelopeVersion = 1
+	// shardPrefixLen is the number of hex characters of the fingerprint used
+	// as the shard directory name: 2 chars → 256 shard directories.
+	shardPrefixLen = 2
+	tmpPrefix      = ".tmp-"
+	entryExt       = ".json"
+)
+
+// DiskOptions configure OpenDisk. Dir is required; zero limits disable the
+// corresponding eviction.
+type DiskOptions struct {
+	// Dir is the store root. Created (with shard subdirectories on demand)
+	// if absent.
+	Dir string
+	// MaxBytes bounds the total size of stored entries; the sweep evicts
+	// oldest-first when over. 0 = unbounded.
+	MaxBytes int64
+	// MaxAge bounds entry age by modification time. 0 = keep forever.
+	MaxAge time.Duration
+	// SweepEvery triggers a background sweep after this many Puts
+	// (default 256). Sweeps also run once at Open.
+	SweepEvery int
+	// SweepInterval additionally runs a sweep on a timer (default 10 min)
+	// whenever MaxBytes or MaxAge is set, so size and age bounds hold even
+	// on a read-mostly server that rarely Puts.
+	SweepInterval time.Duration
+	// Logf receives corruption and sweep diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Disk is the file-backed Store. Safe for concurrent use: entries are
+// written atomically via rename, and the sweep holds no lock that Get/Put
+// need.
+type Disk struct {
+	dir        string
+	maxBytes   int64
+	maxAge     time.Duration
+	sweepEvery int64
+	logf       func(format string, args ...any)
+
+	hits, misses, corrupt atomic.Int64
+	puts, putErrors       atomic.Int64
+	evictedAge            atomic.Int64
+	evictedSize           atomic.Int64
+	sweeps                atomic.Int64
+	entries, bytes        atomic.Int64
+
+	putsSinceSweep atomic.Int64
+	sweepMu        sync.Mutex // serializes sweeps
+
+	// closeMu orders background-sweep spawning against Close: wg.Add may
+	// not race wg.Wait, so the closed check and the Add happen under one
+	// lock.
+	closeMu sync.Mutex
+	closed  bool
+	stop    chan struct{} // closed once by Close; ends the periodic sweeper
+	wg      sync.WaitGroup
+
+	// keyLocks stripe-serializes Put's commit rename against Get's
+	// corrupt-entry removal for the same key, so a removal can never delete
+	// a valid entry a concurrent Put just renamed into place.
+	keyLocks [64]sync.Mutex
+}
+
+// keyLock returns the stripe lock covering key.
+func (d *Disk) keyLock(key graph.Fingerprint) *sync.Mutex {
+	return &d.keyLocks[int(key[0])%len(d.keyLocks)]
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at opts.Dir and
+// runs an initial sweep, which both enforces limits left over from a prior
+// process and counts the surviving entries.
+func OpenDisk(opts DiskOptions) (*Disk, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", opts.Dir, err)
+	}
+	d := &Disk{
+		dir:        opts.Dir,
+		maxBytes:   opts.MaxBytes,
+		maxAge:     opts.MaxAge,
+		sweepEvery: int64(opts.SweepEvery),
+		logf:       opts.Logf,
+		stop:       make(chan struct{}),
+	}
+	if d.sweepEvery <= 0 {
+		d.sweepEvery = 256
+	}
+	if d.logf == nil {
+		d.logf = log.Printf
+	}
+	if _, err := d.Sweep(); err != nil {
+		return nil, err
+	}
+	if d.maxBytes > 0 || d.maxAge > 0 {
+		interval := opts.SweepInterval
+		if interval <= 0 {
+			interval = 10 * time.Minute
+		}
+		d.wg.Add(1)
+		go d.sweepLoop(interval)
+	}
+	return d, nil
+}
+
+// sweepLoop enforces the size/age bounds on a timer, independent of Put
+// traffic, until Close.
+func (d *Disk) sweepLoop(interval time.Duration) {
+	defer d.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			if _, err := d.Sweep(); err != nil {
+				d.logf("store: periodic sweep: %v", err)
+			}
+		}
+	}
+}
+
+// path returns the entry file for key: <dir>/<hh>/<full fingerprint>.json.
+func (d *Disk) path(key graph.Fingerprint) string {
+	hexKey := key.String()
+	return filepath.Join(d.dir, hexKey[:shardPrefixLen], hexKey+entryExt)
+}
+
+// Get loads the payload stored under key. Any defect — missing file,
+// unreadable file, truncated JSON, wrong embedded key, checksum mismatch —
+// is a miss; defective files are removed so they are not re-parsed on every
+// lookup.
+func (d *Disk) Get(key graph.Fingerprint) ([]byte, bool) {
+	path := d.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			d.corrupt.Add(1)
+			d.logf("store: reading %s: %v (treating as miss)", path, err)
+		}
+		d.misses.Add(1)
+		return nil, false
+	}
+	payload, err := decodeEnvelope(raw, key)
+	if err != nil {
+		d.corrupt.Add(1)
+		d.misses.Add(1)
+		d.logf("store: corrupt entry %s: %v (removing, treating as miss)", path, err)
+		d.removeCorrupt(key, path)
+		return nil, false
+	}
+	d.hits.Add(1)
+	return payload, true
+}
+
+// removeCorrupt deletes the entry at path only if it is still corrupt. The
+// key lock excludes a concurrent Put's commit, and the re-read under the
+// lock notices an entry that was repaired between the failed decode and now
+// — without both, the remove could delete a freshly written valid entry.
+func (d *Disk) removeCorrupt(key graph.Fingerprint, path string) {
+	lock := d.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return // already gone
+	}
+	if _, err := decodeEnvelope(raw, key); err == nil {
+		return // repaired by a concurrent Put
+	}
+	if os.Remove(path) == nil {
+		d.entries.Add(-1)
+		d.bytes.Add(-int64(len(raw)))
+	}
+}
+
+func decodeEnvelope(raw []byte, key graph.Fingerprint) ([]byte, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("decoding envelope: %w", err)
+	}
+	if env.Version != envelopeVersion {
+		return nil, fmt.Errorf("envelope version %d, want %d", env.Version, envelopeVersion)
+	}
+	if env.Key != key.String() {
+		return nil, fmt.Errorf("entry is keyed %q, want %q", env.Key, key.String())
+	}
+	sum := sha256.Sum256(env.Payload)
+	if env.Sum != hex.EncodeToString(sum[:]) {
+		return nil, fmt.Errorf("payload checksum mismatch")
+	}
+	return env.Payload, nil
+}
+
+// Put durably stores payload under key, replacing any previous entry. The
+// write is atomic: a crash mid-Put leaves either the old entry or a stale
+// temp file (cleaned by the next sweep), never a half-written entry.
+func (d *Disk) Put(key graph.Fingerprint, payload []byte) error {
+	err := d.put(key, payload)
+	if err != nil {
+		d.putErrors.Add(1)
+		return err
+	}
+	d.puts.Add(1)
+	d.maybeSweep()
+	return nil
+}
+
+func (d *Disk) put(key graph.Fingerprint, payload []byte) error {
+	sum := sha256.Sum256(payload)
+	raw, err := json.Marshal(envelope{
+		Version: envelopeVersion,
+		Key:     key.String(),
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("store: encoding entry: %w", err)
+	}
+	path := d.path(key)
+	shardDir := filepath.Dir(path)
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		return fmt.Errorf("store: creating shard dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(shardDir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: writing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: closing entry: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: chmod entry: %w", err)
+	}
+	lock := d.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+	prev, statErr := os.Stat(path)
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: committing entry: %w", err)
+	}
+	if statErr == nil {
+		d.bytes.Add(int64(len(raw)) - prev.Size())
+	} else {
+		d.entries.Add(1)
+		d.bytes.Add(int64(len(raw)))
+	}
+	return nil
+}
+
+// maybeSweep kicks a background sweep after every sweepEvery-th Put when an
+// eviction limit is configured.
+func (d *Disk) maybeSweep() {
+	if d.maxBytes <= 0 && d.maxAge <= 0 {
+		return
+	}
+	if d.putsSinceSweep.Add(1) < d.sweepEvery {
+		return
+	}
+	d.putsSinceSweep.Store(0)
+	d.closeMu.Lock()
+	if d.closed {
+		d.closeMu.Unlock()
+		return
+	}
+	d.wg.Add(1)
+	d.closeMu.Unlock()
+	go func() {
+		defer d.wg.Done()
+		if _, err := d.Sweep(); err != nil {
+			d.logf("store: background sweep: %v", err)
+		}
+	}()
+}
+
+// SweepResult reports what one sweep did.
+type SweepResult struct {
+	Scanned     int
+	RemovedAge  int
+	RemovedSize int
+	RemovedTemp int
+	Entries     int
+	Bytes       int64
+}
+
+type sweepEntry struct {
+	key   graph.Fingerprint
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// removeSwept deletes e's file only if it is still exactly the file the
+// sweep scanned: the key lock excludes a concurrent Put's commit, and the
+// stat re-check skips an entry that was rewritten after the scan — removing
+// it would throw away a fresh, valid schedule.
+func (d *Disk) removeSwept(e sweepEntry) bool {
+	lock := d.keyLock(e.key)
+	lock.Lock()
+	defer lock.Unlock()
+	info, err := os.Stat(e.path)
+	if err != nil {
+		return false
+	}
+	if !info.ModTime().Equal(e.mtime) || info.Size() != e.size {
+		return false
+	}
+	return os.Remove(e.path) == nil
+}
+
+// Sweep walks the store once, removing stale temp files, entries older than
+// MaxAge, and then — oldest first — enough entries to fit MaxBytes. It also
+// recounts the exact entry count and byte total.
+func (d *Disk) Sweep() (SweepResult, error) {
+	d.sweepMu.Lock()
+	defer d.sweepMu.Unlock()
+
+	var res SweepResult
+	var entries []sweepEntry
+	now := time.Now()
+
+	shards, err := os.ReadDir(d.dir)
+	if err != nil {
+		return res, fmt.Errorf("store: reading %s: %w", d.dir, err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != shardPrefixLen {
+			continue
+		}
+		shardDir := filepath.Join(d.dir, shard.Name())
+		files, err := os.ReadDir(shardDir)
+		if err != nil {
+			d.logf("store: sweep: reading %s: %v", shardDir, err)
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			path := filepath.Join(shardDir, f.Name())
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			if strings.HasPrefix(f.Name(), tmpPrefix) {
+				// A temp file is only stale if its writer is gone; a minute
+				// is far beyond any plausible in-flight Put.
+				if now.Sub(info.ModTime()) > time.Minute {
+					if os.Remove(path) == nil {
+						res.RemovedTemp++
+					}
+				}
+				continue
+			}
+			if !strings.HasSuffix(f.Name(), entryExt) {
+				continue
+			}
+			// Only well-named entries participate in eviction: the name is
+			// the key, and the key's stripe lock guards removal. Foreign
+			// files are left untouched.
+			key, err := graph.ParseFingerprint(strings.TrimSuffix(f.Name(), entryExt))
+			if err != nil {
+				continue
+			}
+			res.Scanned++
+			entries = append(entries, sweepEntry{key: key, path: path, size: info.Size(), mtime: info.ModTime()})
+		}
+	}
+
+	// Age eviction first: an expired entry is gone regardless of space.
+	if d.maxAge > 0 {
+		kept := entries[:0]
+		for _, e := range entries {
+			if now.Sub(e.mtime) > d.maxAge && d.removeSwept(e) {
+				res.RemovedAge++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		entries = kept
+	}
+
+	// Size eviction: oldest first until under budget.
+	if d.maxBytes > 0 {
+		var total int64
+		for _, e := range entries {
+			total += e.size
+		}
+		if total > d.maxBytes {
+			sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+			kept := entries[:0]
+			for _, e := range entries {
+				if total > d.maxBytes && d.removeSwept(e) {
+					res.RemovedSize++
+					total -= e.size
+					continue
+				}
+				kept = append(kept, e)
+			}
+			entries = kept
+		}
+	}
+
+	var bytes int64
+	for _, e := range entries {
+		bytes += e.size
+	}
+	res.Entries = len(entries)
+	res.Bytes = bytes
+	d.entries.Store(int64(len(entries)))
+	d.bytes.Store(bytes)
+	d.evictedAge.Add(int64(res.RemovedAge))
+	d.evictedSize.Add(int64(res.RemovedSize))
+	d.sweeps.Add(1)
+	return res, nil
+}
+
+// Stats snapshots the store counters.
+func (d *Disk) Stats() Stats {
+	return Stats{
+		Dir:         d.dir,
+		Entries:     d.entries.Load(),
+		Bytes:       d.bytes.Load(),
+		Hits:        d.hits.Load(),
+		Misses:      d.misses.Load(),
+		Corrupt:     d.corrupt.Load(),
+		Puts:        d.puts.Load(),
+		PutErrors:   d.putErrors.Load(),
+		EvictedAge:  d.evictedAge.Load(),
+		EvictedSize: d.evictedSize.Load(),
+		Sweeps:      d.sweeps.Load(),
+	}
+}
+
+// Close waits for any background sweep to finish. The store holds no open
+// file handles between calls, so Close has nothing else to release.
+func (d *Disk) Close() error {
+	d.closeMu.Lock()
+	if !d.closed {
+		d.closed = true
+		close(d.stop)
+	}
+	d.closeMu.Unlock()
+	d.wg.Wait()
+	return nil
+}

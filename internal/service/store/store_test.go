@@ -1,0 +1,449 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func testKey(i int) graph.Fingerprint {
+	d := graph.NewDigest()
+	d.Int(i)
+	return d.Sum()
+}
+
+func openTestDisk(t *testing.T, opts DiskOptions) *Disk {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	d, err := OpenDisk(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestDiskPutGetRoundTrip(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	key := testKey(1)
+	payload := []byte(`{"fingerprint":"abc","plan":[1,2,3]}`)
+	if err := d.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(key)
+	if !ok {
+		t.Fatalf("entry missing after Put")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mangled: %s", got)
+	}
+	if _, ok := d.Get(testKey(2)); ok {
+		t.Fatalf("absent key reported present")
+	}
+	st := d.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDiskEntriesShardedByPrefix(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, DiskOptions{Dir: dir})
+	for i := 0; i < 16; i++ {
+		if err := d.Put(testKey(i), []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nShards, nFiles int
+	for _, s := range shards {
+		if !s.IsDir() {
+			t.Fatalf("non-directory %s at store root", s.Name())
+		}
+		if len(s.Name()) != shardPrefixLen {
+			t.Fatalf("shard dir %q is not a %d-char prefix", s.Name(), shardPrefixLen)
+		}
+		nShards++
+		files, _ := os.ReadDir(filepath.Join(dir, s.Name()))
+		for _, f := range files {
+			if !strings.HasPrefix(f.Name(), s.Name()) {
+				t.Fatalf("entry %s in shard %s does not share the prefix", f.Name(), s.Name())
+			}
+			nFiles++
+		}
+	}
+	if nFiles != 16 {
+		t.Fatalf("%d entry files, want 16", nFiles)
+	}
+	if nShards < 2 {
+		t.Fatalf("all 16 entries landed in %d shard dir(s); prefix sharding broken", nShards)
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, DiskOptions{Dir: dir})
+	key := testKey(7)
+	if err := d.Put(key, []byte(`{"v":7}`)); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	re := openTestDisk(t, DiskOptions{Dir: dir})
+	got, ok := re.Get(key)
+	if !ok || string(got) != `{"v":7}` {
+		t.Fatalf("entry lost across reopen: ok=%v got=%s", ok, got)
+	}
+	if st := re.Stats(); st.Entries != 1 {
+		t.Fatalf("reopen counted %d entries, want 1", st.Entries)
+	}
+}
+
+func TestDiskOverwriteReplacesEntry(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{})
+	key := testKey(3)
+	if err := d.Put(key, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(key, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(key)
+	if !ok || string(got) != `{"v":2}` {
+		t.Fatalf("overwrite lost: %s", got)
+	}
+	if _, err := d.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Entries != 1 {
+		t.Fatalf("overwrite duplicated the entry: %d entries", st.Entries)
+	}
+}
+
+// corruptOneEntry mangles the single entry file under dir and returns its path.
+func corruptOneEntry(t *testing.T, dir string, mode string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "??", "*"+entryExt))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no entry file found: %v %v", matches, err)
+	}
+	path := matches[0]
+	switch mode {
+	case "truncate":
+		raw, _ := os.ReadFile(path)
+		if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	case "garbage":
+		if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	case "bitflip":
+		raw, _ := os.ReadFile(path)
+		// Flip a byte inside the payload (past the envelope preamble) so the
+		// JSON stays parseable but the checksum no longer matches.
+		raw[len(raw)-10] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown mode %q", mode)
+	}
+	return path
+}
+
+func TestDiskCorruptEntriesAreMissesAndRemoved(t *testing.T) {
+	for _, mode := range []string{"truncate", "garbage", "bitflip"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			var logged []string
+			d := openTestDisk(t, DiskOptions{Dir: dir, Logf: func(f string, a ...any) {
+				logged = append(logged, fmt.Sprintf(f, a...))
+			}})
+			key := testKey(9)
+			if err := d.Put(key, []byte(`{"v":"precious schedule payload bytes"}`)); err != nil {
+				t.Fatal(err)
+			}
+			path := corruptOneEntry(t, dir, mode)
+
+			got, ok := d.Get(key)
+			if ok {
+				t.Fatalf("corrupt entry served as a hit: %s", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not removed: %v", err)
+			}
+			st := d.Stats()
+			if st.Corrupt != 1 || st.Hits != 0 {
+				t.Fatalf("stats after corruption: %+v", st)
+			}
+			if len(logged) == 0 || !strings.Contains(strings.Join(logged, "\n"), "corrupt") {
+				t.Fatalf("corruption was not logged: %v", logged)
+			}
+			// A fresh Put must repair the slot.
+			if err := d.Put(key, []byte(`{"v":"rewritten"}`)); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := d.Get(key); !ok || string(got) != `{"v":"rewritten"}` {
+				t.Fatalf("slot unusable after corruption: ok=%v got=%s", ok, got)
+			}
+		})
+	}
+}
+
+func TestDiskGetRejectsWrongKeyedEntry(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, DiskOptions{Dir: dir})
+	if err := d.Put(testKey(1), []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the valid entry for key 1 into key 2's slot: internally consistent
+	// JSON, but content-addressing must reject the mismatched name.
+	src, _ := filepath.Glob(filepath.Join(dir, "??", "*"+entryExt))
+	raw, _ := os.ReadFile(src[0])
+	dst := d.path(testKey(2))
+	os.MkdirAll(filepath.Dir(dst), 0o755)
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(testKey(2)); ok {
+		t.Fatalf("entry with mismatched embedded key was served")
+	}
+	if st := d.Stats(); st.Corrupt != 1 {
+		t.Fatalf("key mismatch not counted corrupt: %+v", st)
+	}
+}
+
+func TestDiskSweepEvictsByAge(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, DiskOptions{Dir: dir, MaxAge: time.Hour})
+	old, fresh := testKey(1), testKey(2)
+	if err := d.Put(old, []byte(`{"v":"old"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(fresh, []byte(`{"v":"fresh"}`)); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(d.path(old), past, past); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedAge != 1 || res.Entries != 1 {
+		t.Fatalf("sweep result: %+v", res)
+	}
+	if _, ok := d.Get(old); ok {
+		t.Fatalf("expired entry survived the sweep")
+	}
+	if _, ok := d.Get(fresh); !ok {
+		t.Fatalf("fresh entry evicted")
+	}
+}
+
+func TestDiskSweepEvictsOldestWhenOverSize(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, DiskOptions{Dir: dir, MaxBytes: 1}) // everything is over budget but the sweep keeps removing only until under
+	payload := []byte(`{"v":"0123456789012345678901234567890123456789"}`)
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		if err := d.Put(testKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+		// Stamp distinct mtimes so eviction order is deterministic.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(d.path(testKey(i)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget for roughly two entries.
+	var entrySize int64
+	if info, err := os.Stat(d.path(testKey(0))); err == nil {
+		entrySize = info.Size()
+	}
+	d.maxBytes = 2 * entrySize
+	res, err := d.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedSize != 3 || res.Entries != 2 {
+		t.Fatalf("sweep result: %+v", res)
+	}
+	// The two newest (3, 4) must be the survivors.
+	for i := 0; i < 3; i++ {
+		if _, ok := d.Get(testKey(i)); ok {
+			t.Fatalf("old entry %d survived size eviction", i)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if _, ok := d.Get(testKey(i)); !ok {
+			t.Fatalf("new entry %d was evicted", i)
+		}
+	}
+}
+
+func TestDiskSweepRemovesStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, DiskOptions{Dir: dir})
+	if err := d.Put(testKey(1), []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Dir(d.path(testKey(1)))
+	stale := filepath.Join(shardDir, tmpPrefix+"stale")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(stale, past, past); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh temp file (a Put in flight) must be left alone.
+	inflight := filepath.Join(shardDir, tmpPrefix+"fresh")
+	if err := os.WriteFile(inflight, []byte("writing"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedTemp != 1 {
+		t.Fatalf("sweep removed %d temp files, want 1", res.RemovedTemp)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived")
+	}
+	if _, err := os.Stat(inflight); err != nil {
+		t.Fatalf("in-flight temp file removed: %v", err)
+	}
+}
+
+func TestDiskConcurrentPutGet(t *testing.T) {
+	d := openTestDisk(t, DiskOptions{MaxBytes: 1 << 20})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				key := testKey(i % 10)
+				if err := d.Put(key, []byte(fmt.Sprintf(`{"w":%d,"i":%d}`, w, i))); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if payload, ok := d.Get(key); ok {
+					// Whatever writer won, the payload must be intact JSON.
+					if !strings.HasPrefix(string(payload), `{"w":`) {
+						t.Errorf("torn read: %s", payload)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+func BenchmarkDiskPut(b *testing.B) {
+	d, err := OpenDisk(DiskOptions{Dir: b.TempDir(), Logf: b.Logf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = '#'
+	}
+	payload[0], payload[len(payload)-1] = '"', '"'
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Put(testKey(i%64), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiskGet(b *testing.B) {
+	d, err := OpenDisk(DiskOptions{Dir: b.TempDir(), Logf: b.Logf})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 64; i++ {
+		if err := d.Put(testKey(i), []byte(`{"v":"payload"}`)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Get(testKey(i % 64)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// TestDiskCloseDuringPutsDoesNotPanic races Close against Puts that trigger
+// background sweeps on every write: wg.Add must never race wg.Wait.
+func TestDiskCloseDuringPutsDoesNotPanic(t *testing.T) {
+	d, err := OpenDisk(DiskOptions{Dir: t.TempDir(), MaxBytes: 1 << 20, SweepEvery: 1, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d.Put(testKey(w*100+i), []byte(`{"v":1}`))
+			}
+		}(w)
+	}
+	d.Close()
+	wg.Wait()
+	d.Close() // idempotent
+}
+
+// TestDiskPeriodicSweepRunsWithoutPuts verifies the age bound is enforced by
+// the timer-driven sweep alone: no Put traffic after the entry expires.
+func TestDiskPeriodicSweepRunsWithoutPuts(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDisk(t, DiskOptions{Dir: dir, MaxAge: time.Hour, SweepInterval: 10 * time.Millisecond})
+	key := testKey(1)
+	if err := d.Put(key, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(d.path(key), past, past); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := d.Get(key); !ok {
+			break // swept
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expired entry never removed by the periodic sweep")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := d.Stats(); st.EvictedAge == 0 {
+		t.Fatalf("age eviction not counted: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math"
 	"net/http/httptest"
@@ -348,6 +349,88 @@ func BenchmarkServiceSolve(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMILPWarmStart compares branch-and-bound with dual-simplex basis
+// inheritance (the default) against cold two-phase solves at every node.
+// The interesting metric is simplex iterations per node: warm-started nodes
+// reoptimize from the parent basis in a handful of dual pivots.
+func BenchmarkMILPWarmStart(b *testing.B) {
+	g := trainGraph(b, 10)
+	minB := core.MinBudgetLowerBound(g, 0)
+	peak := int64(core.CheckpointAll(g).Peak(g, 0))
+	budget := minB + (peak-minB)/5 // tight budget => real search tree
+	for _, mode := range []struct {
+		name string
+		cold bool
+	}{{"warm", false}, {"cold", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.SolveILP(core.Instance{G: g, Budget: budget}, core.SolveOptions{
+					TimeLimit: 60 * time.Second, DisableRounding: true, ColdStart: mode.cold,
+				})
+				if err != nil || res.Sched == nil {
+					b.Fatalf("err=%v", err)
+				}
+				b.ReportMetric(float64(res.Solver.SimplexIters)/float64(res.Nodes), "iters/node")
+				b.ReportMetric(float64(res.Nodes), "bbnodes")
+			}
+		})
+	}
+}
+
+// BenchmarkSweepWarmStart measures the budget-sweep fast path: consecutive
+// solves differ only in the budget RHS, so SweepILP threads the root basis
+// (and incumbent) between points instead of cold-solving each one.
+func BenchmarkSweepWarmStart(b *testing.B) {
+	g := trainGraph(b, 10)
+	minB := core.MinBudgetLowerBound(g, 0)
+	peak := int64(core.CheckpointAll(g).Peak(g, 0))
+	budgets := make([]int64, 5)
+	for i := range budgets {
+		budgets[i] = minB + (peak-minB)*int64(i+1)/int64(len(budgets))
+	}
+	opt := core.SolveOptions{TimeLimit: 60 * time.Second, RelGap: 0.01}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SweepILP(context.Background(), core.Instance{G: g}, budgets, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, budget := range budgets {
+				o := opt
+				o.ColdStart = true
+				if _, err := core.SolveILP(core.Instance{G: g, Budget: budget}, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkParallelBB measures tree-search scaling across Threads values on
+// a branchy instance with the rounding heuristic off.
+func BenchmarkParallelBB(b *testing.B) {
+	g := trainGraph(b, 10)
+	minB := core.MinBudgetLowerBound(g, 0)
+	peak := int64(core.CheckpointAll(g).Peak(g, 0))
+	budget := minB + (peak-minB)/5
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.SolveILP(core.Instance{G: g, Budget: budget}, core.SolveOptions{
+					TimeLimit: 60 * time.Second, DisableRounding: true, Threads: threads,
+				})
+				if err != nil || res.Sched == nil {
+					b.Fatalf("err=%v", err)
+				}
+				b.ReportMetric(res.Solver.NodesPerSec, "nodes/s")
+			}
+		})
+	}
 }
 
 // ---- Ablation benchmarks for design choices (see DESIGN.md) ----

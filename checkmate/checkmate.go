@@ -143,6 +143,12 @@ func (w *Workload) SolveKey(budget int64, opt SolveOptions, approximate bool) gr
 	if !approximate {
 		d.Float64(opt.RelGap)
 		d.Bool(opt.Unpartitioned)
+		// Parallel search may return a different (equally optimal) schedule
+		// among cost ties, so Threads is part of the key. Serial solves
+		// (0 or 1) are not digested, keeping keys from older stores valid.
+		if opt.Threads > 1 {
+			d.Int64(int64(opt.Threads))
+		}
 	}
 	return d.Sum()
 }
@@ -166,7 +172,9 @@ func (w *Workload) SolveKey(budget int64, opt SolveOptions, approximate bool) gr
 //     scales the estimate by up to 10×.
 //   - Solver choice scales. The two-phase LP rounding (Section 5) skips the
 //     integer search; proving exact optimality (RelGap ≈ 0) costs extra
-//     branch-and-bound relative to accepting a gap.
+//     branch-and-bound relative to accepting a gap; parallel tree search
+//     (Threads) divides wall-clock by a conservatively assumed ~50%
+//     efficiency.
 //
 // The result is clamped to [1, TimeLimit in ms]: the time limit is a hard
 // ceiling on how much work the solver is allowed to do.
@@ -199,6 +207,15 @@ func (w *Workload) EstimateSolveCost(budget int64, opt SolveOptions, approximate
 		// Proving optimality (the default) pays for the full gap-closing
 		// search; a caller-accepted gap stops early.
 		cost *= 2
+	}
+	if !approximate && opt.Threads > 1 {
+		// Parallel tree search shortens the wall clock the admission budget
+		// is calibrated against — but tree shapes rarely keep every worker
+		// busy, so assume a deliberately conservative ~50% efficiency.
+		// Under-discounting only delays admission; over-discounting admits
+		// more concurrent solver work than the budget intends, each solve
+		// additionally holding Threads cores.
+		cost /= 1 + 0.5*float64(opt.Threads-1)
 	}
 
 	if opt.TimeLimit > 0 {
@@ -244,6 +261,10 @@ type SolveOptions struct {
 	RelGap float64
 	// Unpartitioned disables frontier-advancing stages (Appendix A).
 	Unpartitioned bool
+	// Threads is the number of parallel branch-and-bound workers (0 or 1 =
+	// serial). Any value proves the same optimal objective; only wall-clock
+	// and, among cost ties, the particular schedule may differ.
+	Threads int
 }
 
 // Schedule is a solved rematerialization schedule with its execution plan.
@@ -265,6 +286,10 @@ type Schedule struct {
 	Nodes     int
 	LPVars    int
 	LPRows    int
+	// Solver aggregates simplex and branch-and-bound performance counters
+	// (pivot counts, warm-start hit rate, node throughput); zero for
+	// approximate solves and cache hits.
+	Solver milp.Counters
 }
 
 // Overhead returns the relative execution overhead versus the ideal
@@ -287,6 +312,7 @@ func (w *Workload) SolveOptimalCtx(ctx context.Context, budget int64, opt SolveO
 		TimeLimit:     opt.TimeLimit,
 		RelGap:        opt.RelGap,
 		Unpartitioned: opt.Unpartitioned,
+		Threads:       opt.Threads,
 	})
 	if err != nil {
 		return nil, err
@@ -339,8 +365,60 @@ func (w *Workload) finish(s *core.Sched, optimal bool, res *core.Result) (*Sched
 		out.Nodes = res.Nodes
 		out.LPVars = res.Vars
 		out.LPRows = res.Rows
+		out.Solver = res.Solver
 	}
 	return out, nil
+}
+
+// SweepPoint is one budget's outcome within SolveSweep.
+type SweepPoint struct {
+	Budget int64
+	// Schedule is nil when the budget is infeasible or the solver hit its
+	// limits without a feasible schedule; Err then holds the corresponding
+	// ErrInfeasible/ErrSolveLimit sentinel.
+	Schedule *Schedule
+	Err      error
+}
+
+// SolveSweep solves the workload at several budgets — the paper's Figure 5
+// curve — warm-starting each solve from its neighbor: budgets are processed
+// in decreasing order, each MILP seeded with the previous point's root basis
+// (dual-simplex reoptimization instead of a cold solve) and the previous
+// schedule as incumbent. Points are returned aligned with budgets, which may
+// be in any order. Per-point infeasibility is recorded in the point, not
+// returned as an error; the error return covers whole-sweep failures
+// (cancellation, malformed instance).
+func (w *Workload) SolveSweep(ctx context.Context, budgets []int64, opt SolveOptions) ([]SweepPoint, error) {
+	if opt.TimeLimit == 0 {
+		opt.TimeLimit = 60 * time.Second
+	}
+	results, err := core.SweepILP(ctx, core.Instance{G: w.Graph, Overhead: w.Overhead}, budgets, core.SolveOptions{
+		TimeLimit:     opt.TimeLimit,
+		RelGap:        opt.RelGap,
+		Unpartitioned: opt.Unpartitioned,
+		Threads:       opt.Threads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(budgets))
+	for i, res := range results {
+		points[i].Budget = budgets[i]
+		switch res.Status {
+		case milp.StatusInfeasible:
+			points[i].Err = fmt.Errorf("%w: budget %d (min feasible ≥ %d)", ErrInfeasible, budgets[i], w.MinBudget())
+			continue
+		case milp.StatusLimit:
+			points[i].Err = fmt.Errorf("%w: budget %d", ErrSolveLimit, budgets[i])
+			continue
+		}
+		sched, err := w.finish(res.Sched, res.Status == milp.StatusOptimal, res)
+		if err != nil {
+			return nil, err
+		}
+		points[i].Schedule = sched
+	}
+	return points, nil
 }
 
 // BaselineTarget adapts the workload for package baselines.

@@ -6,12 +6,20 @@
 //
 //	checkmate-bench -experiment fig5 -model unet -batch 4
 //	checkmate-bench -experiment all -timelimit 30s
+//
+// The "solver" experiment benchmarks the MILP engine itself (cold vs
+// warm-started dual simplex, parallel branch-and-bound, budget-sweep basis
+// chaining) and with -solver-json writes a machine-readable record, tracked
+// per commit as a CI artifact:
+//
+//	checkmate-bench -experiment solver -solver-json BENCH_solver.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -20,13 +28,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "one of: fig1, fig3, table1, fig5, fig6, table2, fig7, fig8, appendixA, all")
-		model    = flag.String("model", "", "model for fig5 (default runs the paper's three panels)")
-		batch    = flag.Int("batch", 0, "batch size for fig5 (0 = paper panel defaults, scaled)")
-		segments = flag.Int("segments", 0, "coarse block count (0 = default 12)")
-		points   = flag.Int("points", 0, "budget points per curve (0 = default 5)")
-		limit    = flag.Duration("timelimit", 0, "ILP time limit per solve (0 = default 45s)")
-		gap      = flag.Float64("gap", 0, "accepted ILP gap (0 = default 0.02)")
+		exp        = flag.String("experiment", "all", "one of: fig1, fig3, table1, fig5, fig6, table2, fig7, fig8, appendixA, solver, all")
+		model      = flag.String("model", "", "model for fig5 (default runs the paper's three panels)")
+		batch      = flag.Int("batch", 0, "batch size for fig5 (0 = paper panel defaults, scaled)")
+		segments   = flag.Int("segments", 0, "coarse block count (0 = default 12)")
+		points     = flag.Int("points", 0, "budget points per curve (0 = default 5)")
+		limit      = flag.Duration("timelimit", 0, "ILP time limit per solve (0 = default 45s)")
+		gap        = flag.Float64("gap", 0, "accepted ILP gap (0 = default 0.02)")
+		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for the solver benchmark")
+		solverJSON = flag.String("solver-json", "", "write the solver benchmark record to this file (e.g. BENCH_solver.json)")
 	)
 	flag.Parse()
 	sc := experiments.Scale{Segments: *segments, BudgetPoints: *points, TimeLimit: *limit, RelGap: *gap}
@@ -100,6 +110,27 @@ func main() {
 		run("appendixA", func() error {
 			_, err := experiments.AppendixA(w, sc)
 			return err
+		})
+	}
+	if want("solver") {
+		run("solver", func() error {
+			perf, err := experiments.SolverBench(w, sc, *threads)
+			if err != nil {
+				return err
+			}
+			if *solverJSON == "" {
+				return nil
+			}
+			f, err := os.Create(*solverJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := perf.WriteJSON(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "(solver record written to %s)\n", *solverJSON)
+			return nil
 		})
 	}
 }

@@ -29,6 +29,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8780", "listen address")
 		workers     = flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS)")
+		threads     = flag.Int("threads", 1, "parallel branch-and-bound workers per solve (1 = serial; workers × threads ≈ cores)")
 		queue       = flag.Int("queue", 64, "bounded solve-queue capacity (full queue => 503)")
 		cacheCap    = flag.Int("cache", 256, "in-memory schedule cache capacity (entries)")
 		cacheShards = flag.Int("cache-shards", 8, "in-memory cache shard count (per-shard locks)")
@@ -43,6 +44,7 @@ func main() {
 
 	srv, err := service.New(service.Config{
 		Workers:            *workers,
+		SolveThreads:       *threads,
 		QueueCap:           *queue,
 		CacheCap:           *cacheCap,
 		CacheShards:        *cacheShards,

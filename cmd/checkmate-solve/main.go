@@ -35,6 +35,7 @@ func main() {
 		useApx   = flag.Bool("approx", false, "use two-phase LP rounding instead of the exact ILP")
 		limit    = flag.Duration("timelimit", 60*time.Second, "ILP time limit")
 		gap      = flag.Float64("gap", 0.01, "accepted relative optimality gap")
+		threads  = flag.Int("threads", 1, "parallel branch-and-bound workers (1 = serial)")
 		showPlan = flag.Bool("plan", false, "print the generated execution plan")
 		res      = flag.String("input", "", "override input resolution as CxHxW, e.g. 3x416x608")
 	)
@@ -66,7 +67,7 @@ func main() {
 	if *useApx {
 		sched, err = wl.SolveApprox(bud)
 	} else {
-		sched, err = wl.SolveOptimal(bud, checkmate.SolveOptions{TimeLimit: *limit, RelGap: *gap})
+		sched, err = wl.SolveOptimal(bud, checkmate.SolveOptions{TimeLimit: *limit, RelGap: *gap, Threads: *threads})
 	}
 	if err != nil {
 		fatal(err)
@@ -76,6 +77,11 @@ func main() {
 	if sched.Nodes > 0 {
 		fmt.Printf("solve: %v, %d branch-and-bound nodes, MILP %d vars × %d rows\n",
 			sched.SolveTime.Round(time.Millisecond), sched.Nodes, sched.LPVars, sched.LPRows)
+		ctr := sched.Solver
+		if hits, misses := ctr.WarmHits, ctr.WarmMisses; hits+misses > 0 {
+			fmt.Printf("solver: %d simplex iters (%d dual), warm-start hit rate %.0f%%, %d phase-1 skips, %.0f nodes/s\n",
+				ctr.SimplexIters, ctr.DualIters, 100*float64(hits)/float64(hits+misses), ctr.Phase1Skipped, ctr.NodesPerSec)
+		}
 	}
 	fmt.Printf("plan: %d statements, %d recomputations\n", len(sched.Plan.Stmts), sched.Sched.Recomputations())
 	if *showPlan {

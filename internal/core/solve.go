@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/graph"
@@ -31,6 +32,15 @@ type SolveOptions struct {
 	// AggregatedFree uses the paper's exact big-κ linearization (7c)
 	// instead of the tightened disaggregation (ablation only).
 	AggregatedFree bool
+	// Threads is the number of parallel branch-and-bound workers
+	// (0 or 1 = serial).
+	Threads int
+	// RootBasis warm-starts the root LP relaxation with a basis from a
+	// structurally identical earlier solve (Result.RootBasis) — the
+	// budget-sweep fast path. An incompatible basis is ignored.
+	RootBasis *lp.Basis
+	// ColdStart disables all simplex warm starting (benchmarks/ablation).
+	ColdStart bool
 }
 
 // Result is the outcome of an optimal or approximate solve.
@@ -45,6 +55,13 @@ type Result struct {
 	// RootLPObj is the root LP relaxation objective (cost units); the
 	// integrality gap of Appendix A is Cost/RootLPObj.
 	RootLPObj float64
+	// RootBasis is the root relaxation's optimal basis; feed it to the next
+	// solve of the same graph at a different budget (SolveOptions.RootBasis)
+	// so even the root LP starts warm. Nil when the root did not reach
+	// optimality.
+	RootBasis *lp.Basis
+	// Solver aggregates simplex/branch-and-bound performance counters.
+	Solver    milp.Counters
 	Nodes     int
 	Vars      int
 	Rows      int
@@ -75,6 +92,9 @@ func SolveILPCtx(ctx context.Context, inst Instance, opt SolveOptions) (*Result,
 		MaxNodes:  opt.MaxNodes,
 		RelGap:    opt.RelGap,
 		Context:   ctx,
+		Threads:   opt.Threads,
+		RootBasis: opt.RootBasis,
+		ColdStart: opt.ColdStart,
 	}
 	if !opt.DisableRounding && !opt.Unpartitioned {
 		mopt.Heuristic = RoundingHeuristic(f)
@@ -107,6 +127,8 @@ func SolveILPCtx(ctx context.Context, inst Instance, opt SolveOptions) (*Result,
 		SolveTime: time.Since(start),
 		RootLPObj: f.TrueCost(sol.RootLPObj),
 		Bound:     f.TrueCost(sol.Bound),
+		RootBasis: sol.RootBasis,
+		Solver:    sol.Counters,
 	}
 	res.Vars, res.Rows = f.Stats()
 	if sol.Status == milp.StatusOptimal || sol.Status == milp.StatusFeasible {
@@ -117,6 +139,48 @@ func SolveILPCtx(ctx context.Context, inst Instance, opt SolveOptions) (*Result,
 		}
 	}
 	return res, nil
+}
+
+// SweepILP solves the instance at several budgets — the Figure 5 trade-off
+// curve — threading warm starts between the points. Budgets are solved in
+// decreasing order, each solve seeded with the previous point's root basis
+// (the problems differ only in the budget rows' RHS, so the basis stays
+// dual-feasible and the root LP reoptimizes in a handful of dual pivots) and
+// with the previous schedule as the MILP incumbent when it still fits.
+// Results are returned aligned with the budgets slice; a point whose budget
+// is infeasible yields a Result with Status milp.StatusInfeasible, exactly
+// as SolveILP would. inst.Budget is ignored.
+func SweepILP(ctx context.Context, inst Instance, budgets []int64, opt SolveOptions) ([]*Result, error) {
+	order := make([]int, len(budgets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return budgets[order[a]] > budgets[order[b]] })
+
+	results := make([]*Result, len(budgets))
+	var prevBasis *lp.Basis
+	var prevSched *Sched
+	for _, i := range order {
+		pinst := inst
+		pinst.Budget = budgets[i]
+		popt := opt
+		popt.RootBasis = prevBasis
+		if popt.Seed == nil {
+			popt.Seed = prevSched // SolveILP drops it if it no longer fits
+		}
+		res, err := SolveILPCtx(ctx, pinst, popt)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at budget %d: %w", budgets[i], err)
+		}
+		results[i] = res
+		if res.RootBasis != nil {
+			prevBasis = res.RootBasis
+		}
+		if res.Sched != nil {
+			prevSched = res.Sched
+		}
+	}
+	return results, nil
 }
 
 // SolveRelaxation solves the LP relaxation of problem (9) (Section 5.1),

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -229,15 +230,22 @@ func Fig5(w io.Writer, model string, batch int, sc Scale) ([]CurvePoint, error) 
 	var out []CurvePoint
 	fmt.Fprintf(w, "# Figure 5 panel: %s (batch %d) — overhead (x) vs budget (GB)\n", model, batch)
 	fmt.Fprintf(w, "# ideal cost %.4g, checkpoint-all peak %.2f GB, min feasible %.2f GB\n", ideal, gib(peak), gib(minB))
+	// All ILP points solve as one warm-started sweep: SweepILP walks budgets
+	// in decreasing order, reoptimizing each root LP from the previous basis
+	// by dual simplex instead of cold-solving every point.
+	budgets := make([]int64, sc.BudgetPoints)
 	for p := 0; p < sc.BudgetPoints; p++ {
 		frac := float64(p) / float64(sc.BudgetPoints-1)
-		budget := minB + (peak*1.02-minB)*frac
-		// Checkmate ILP.
-		res, err := core.SolveILP(core.Instance{G: g, Budget: int64(budget), Overhead: tg.Overhead},
-			core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap})
-		if err != nil {
-			return nil, err
-		}
+		budgets[p] = int64(minB + (peak*1.02-minB)*frac)
+	}
+	ilp, err := core.SweepILP(context.Background(), core.Instance{G: g, Overhead: tg.Overhead}, budgets,
+		core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap})
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < sc.BudgetPoints; p++ {
+		budget := float64(budgets[p])
+		res := ilp[p]
 		cp := CurvePoint{Strategy: "checkmate-ilp", BudgetGB: gib(budget)}
 		if res.Sched != nil {
 			cp.Overhead = res.Cost / ideal
@@ -432,13 +440,22 @@ func Table2(w io.Writer, models []string, sc Scale) ([]Table2Row, error) {
 		}
 		apS := baselines.APSqrtN(tg)
 
-		var rAPS, rAPG, rREV, rTP []float64
+		// One warm-started sweep covers every ILP reference point.
+		budgets := make([]int64, sc.BudgetPoints)
 		for p := 0; p < sc.BudgetPoints; p++ {
 			frac := float64(p+1) / float64(sc.BudgetPoints+1)
-			budget := minB + (peak-minB)*frac
-			res, err := core.SolveILP(core.Instance{G: g, Budget: int64(budget), Overhead: tg.Overhead},
-				core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap})
-			if err != nil || res.Sched == nil {
+			budgets[p] = int64(minB + (peak-minB)*frac)
+		}
+		ilp, err := core.SweepILP(context.Background(), core.Instance{G: g, Overhead: tg.Overhead}, budgets,
+			core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap})
+		if err != nil {
+			return nil, err
+		}
+		var rAPS, rAPG, rREV, rTP []float64
+		for p := 0; p < sc.BudgetPoints; p++ {
+			budget := float64(budgets[p])
+			res := ilp[p]
+			if res.Sched == nil {
 				continue
 			}
 			opt := res.Cost

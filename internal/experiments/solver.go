@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/autodiff"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// SolverPerf is the machine-readable record of the solver microbenchmark
+// (cmd/checkmate-bench -experiment solver writes it as BENCH_solver.json).
+// It tracks the wins of dual-simplex warm starting so the perf trajectory is
+// visible across commits: per-node simplex work cold vs warm, the warm-start
+// hit rate, and the wall-clock of a budget sweep with and without basis
+// reuse.
+type SolverPerf struct {
+	// Instance description.
+	GraphNodes int   `json:"graph_nodes"`
+	LPVars     int   `json:"lp_vars"`
+	LPRows     int   `json:"lp_rows"`
+	Budget     int64 `json:"budget"`
+
+	// Single-MILP comparison at a tight budget (rounding heuristic off so
+	// branch-and-bound does the work being measured).
+	ColdNodes        int     `json:"cold_nodes"`
+	WarmNodes        int     `json:"warm_nodes"`
+	ColdSimplexIters int64   `json:"cold_simplex_iters"`
+	WarmSimplexIters int64   `json:"warm_simplex_iters"`
+	ColdItersPerNode float64 `json:"cold_iters_per_node"`
+	WarmItersPerNode float64 `json:"warm_iters_per_node"`
+	// IterRatio is cold/warm per-node simplex iterations (the acceptance
+	// metric: ≥ 3 means warm-started nodes reoptimize in ≤ 1/3 the pivots).
+	IterRatio    float64 `json:"iter_ratio"`
+	WarmHitRate  float64 `json:"warm_hit_rate"`
+	Phase1Skips  int64   `json:"phase1_skipped"`
+	DualIters    int64   `json:"dual_iters"`
+	ColdSolveMS  float64 `json:"cold_solve_ms"`
+	WarmSolveMS  float64 `json:"warm_solve_ms"`
+	ThreadsUsed  int     `json:"threads_used"`
+	ParallelMS   float64 `json:"parallel_solve_ms"`
+	NodesPerSec  float64 `json:"nodes_per_sec"`
+	ParNodesPerS float64 `json:"parallel_nodes_per_sec"`
+
+	// Budget-sweep comparison: same budgets, cold per-point solves versus
+	// the warm-started SweepILP chain.
+	SweepPoints  int     `json:"sweep_points"`
+	SweepColdMS  float64 `json:"sweep_cold_ms"`
+	SweepWarmMS  float64 `json:"sweep_warm_ms"`
+	SweepSpeedup float64 `json:"sweep_speedup"`
+}
+
+// solverBenchGraph builds the unit-cost training chain the solver benchmark
+// runs on: large enough to force real branch-and-bound work, small enough to
+// finish in seconds.
+func solverBenchGraph(layers int) (*graph.Graph, error) {
+	fwd := graph.New(layers)
+	for i := 0; i < layers; i++ {
+		fwd.AddNode(graph.Node{Cost: 1, Mem: 1})
+	}
+	for i := 1; i < layers; i++ {
+		fwd.MustEdge(graph.NodeID(i-1), graph.NodeID(i))
+	}
+	res, err := autodiff.Differentiate(fwd, autodiff.Options{UnitCost: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Graph, nil
+}
+
+// SolverBench measures cold-start versus warm-started solver performance and
+// prints a human-readable summary; the returned record is what
+// cmd/checkmate-bench serializes to BENCH_solver.json. threads selects the
+// worker count for the parallel measurement (0 = skip it).
+func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
+	sc = sc.withDefaults()
+	g, err := solverBenchGraph(10)
+	if err != nil {
+		return nil, err
+	}
+	minB := core.MinBudgetLowerBound(g, 0)
+	peak := int64(core.CheckpointAll(g).Peak(g, 0))
+	budget := minB + (peak-minB)/5 // tight: forces a real search tree
+	inst := core.Instance{G: g, Budget: budget}
+	// The rounding heuristic would close most of the tree at the root; this
+	// benchmark isolates the LP engine, so it is disabled and optimality is
+	// proven exactly.
+	opt := core.SolveOptions{TimeLimit: sc.TimeLimit, DisableRounding: true}
+
+	perf := &SolverPerf{GraphNodes: g.Len(), Budget: budget}
+
+	t0 := time.Now()
+	cold, err := core.SolveILP(inst, func() core.SolveOptions { o := opt; o.ColdStart = true; return o }())
+	if err != nil {
+		return nil, fmt.Errorf("cold solve: %w", err)
+	}
+	perf.ColdSolveMS = msSince(t0)
+
+	t0 = time.Now()
+	warm, err := core.SolveILP(inst, opt)
+	if err != nil {
+		return nil, fmt.Errorf("warm solve: %w", err)
+	}
+	perf.WarmSolveMS = msSince(t0)
+
+	perf.LPVars, perf.LPRows = cold.Vars, cold.Rows
+	perf.ColdNodes, perf.WarmNodes = cold.Nodes, warm.Nodes
+	perf.ColdSimplexIters = cold.Solver.SimplexIters
+	perf.WarmSimplexIters = warm.Solver.SimplexIters
+	if cold.Nodes > 0 {
+		perf.ColdItersPerNode = float64(cold.Solver.SimplexIters) / float64(cold.Nodes)
+	}
+	if warm.Nodes > 0 {
+		perf.WarmItersPerNode = float64(warm.Solver.SimplexIters) / float64(warm.Nodes)
+	}
+	if perf.WarmItersPerNode > 0 {
+		perf.IterRatio = perf.ColdItersPerNode / perf.WarmItersPerNode
+	}
+	if h, m := warm.Solver.WarmHits, warm.Solver.WarmMisses; h+m > 0 {
+		perf.WarmHitRate = float64(h) / float64(h+m)
+	}
+	perf.Phase1Skips = warm.Solver.Phase1Skipped
+	perf.DualIters = warm.Solver.DualIters
+	perf.NodesPerSec = warm.Solver.NodesPerSec
+
+	if threads > 1 {
+		perf.ThreadsUsed = threads
+		t0 = time.Now()
+		par, err := core.SolveILP(inst, func() core.SolveOptions { o := opt; o.Threads = threads; return o }())
+		if err != nil {
+			return nil, fmt.Errorf("parallel solve: %w", err)
+		}
+		perf.ParallelMS = msSince(t0)
+		perf.ParNodesPerS = par.Solver.NodesPerSec
+		if diff := par.Cost - warm.Cost; diff > 1e-6 || diff < -1e-6 {
+			return nil, fmt.Errorf("parallel objective %v != serial %v", par.Cost, warm.Cost)
+		}
+	}
+
+	// Budget sweep: the service's /v1/sweep shape. Cold solves every point
+	// from scratch; SweepILP chains bases point-to-point.
+	points := sc.BudgetPoints
+	if points < 3 {
+		points = 3
+	}
+	budgets := make([]int64, points)
+	for i := range budgets {
+		budgets[i] = minB + (peak-minB)*int64(i+1)/int64(points)
+	}
+	sweepOpt := core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap}
+	t0 = time.Now()
+	for _, b := range budgets {
+		o := sweepOpt
+		o.ColdStart = true
+		pinst := inst
+		pinst.Budget = b
+		if _, err := core.SolveILP(pinst, o); err != nil {
+			return nil, fmt.Errorf("cold sweep at %d: %w", b, err)
+		}
+	}
+	perf.SweepColdMS = msSince(t0)
+	t0 = time.Now()
+	if _, err := core.SweepILP(context.Background(), inst, budgets, sweepOpt); err != nil {
+		return nil, fmt.Errorf("warm sweep: %w", err)
+	}
+	perf.SweepWarmMS = msSince(t0)
+	perf.SweepPoints = points
+	if perf.SweepWarmMS > 0 {
+		perf.SweepSpeedup = perf.SweepColdMS / perf.SweepWarmMS
+	}
+
+	fmt.Fprintf(w, "# Solver warm-start benchmark: %d-node chain, budget %d (tight), LP %d vars × %d rows\n",
+		perf.GraphNodes, perf.Budget, perf.LPVars, perf.LPRows)
+	fmt.Fprintf(w, "cold:  %5d nodes, %7d simplex iters (%7.1f/node), %8.1f ms\n",
+		perf.ColdNodes, perf.ColdSimplexIters, perf.ColdItersPerNode, perf.ColdSolveMS)
+	fmt.Fprintf(w, "warm:  %5d nodes, %7d simplex iters (%7.1f/node), %8.1f ms  [%.0f%% hit rate, %d phase-1 skips, %d dual pivots]\n",
+		perf.WarmNodes, perf.WarmSimplexIters, perf.WarmItersPerNode, perf.WarmSolveMS,
+		100*perf.WarmHitRate, perf.Phase1Skips, perf.DualIters)
+	fmt.Fprintf(w, "per-node iteration ratio (cold/warm): %.2fx\n", perf.IterRatio)
+	if perf.ThreadsUsed > 1 {
+		fmt.Fprintf(w, "parallel (%d threads): %8.1f ms, %.0f nodes/s (serial %.0f nodes/s)\n",
+			perf.ThreadsUsed, perf.ParallelMS, perf.ParNodesPerS, perf.NodesPerSec)
+	}
+	fmt.Fprintf(w, "sweep (%d budgets): cold %.1f ms, warm %.1f ms — %.2fx\n",
+		perf.SweepPoints, perf.SweepColdMS, perf.SweepWarmMS, perf.SweepSpeedup)
+	return perf, nil
+}
+
+// WriteJSON serializes the record, indented for artifact diffing.
+func (p *SolverPerf) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1e3
+}

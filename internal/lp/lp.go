@@ -208,8 +208,23 @@ type Solution struct {
 	// By weak duality, DualBound(y) ≤ optimal objective for any sign-correct
 	// y, and equals Obj at optimality.
 	Duals []float64
-	// Iters is the total simplex iterations across both phases.
+	// Iters is the total simplex iterations across all phases (primal phase
+	// 1 and 2, plus any dual-simplex reoptimization pivots).
 	Iters int
+	// Phase1Iters is the portion of Iters spent in the phase-1 feasibility
+	// search; 0 when phase 1 was skipped (feasible start or warm start).
+	Phase1Iters int
+	// DualIters is the portion of Iters spent in dual-simplex
+	// reoptimization (warm-started solves only).
+	DualIters int
+	// Warm reports that a warm-start basis was accepted and drove the solve;
+	// false when no basis was offered or the solver fell back to a cold
+	// two-phase start.
+	Warm bool
+	// Basis is the optimal basis snapshot, exported when Status ==
+	// StatusOptimal. It warm-starts a later solve of the same problem after
+	// bound or RHS changes (see Options.WarmStart).
+	Basis *Basis
 }
 
 // DualBound evaluates the Lagrangian dual bound g(y) for the problem:
@@ -266,6 +281,15 @@ type Options struct {
 	// solve stopped early without a verdict. Callers that need to
 	// distinguish cancellation inspect their context afterwards.
 	Cancel <-chan struct{}
+	// WarmStart, when non-nil, seeds the solve with a basis exported from a
+	// previous solve (Solution.Basis) of this problem or of a structurally
+	// identical problem with different bounds or RHS. A primal-feasible
+	// start skips phase 1 entirely; a merely dual-feasible one (the usual
+	// state after a branching bound change or a budget/RHS change) is
+	// reoptimized by the dual simplex in a handful of pivots. An unusable
+	// basis falls back to a cold start, so warm starts never change the
+	// result, only the pivot count.
+	WarmStart *Basis
 }
 
 func (o Options) withDefaults(m, n int) Options {

@@ -51,10 +51,12 @@ type simplex struct {
 
 	iters     int
 	p1iters   int
+	dualIters int
 	degens    int
 	phase     int
 	blandLeft int // if > 0, use Bland's rule for this many iterations
 	degenRun  int
+	warm      bool // a warm-start basis was accepted and used
 
 	duals []float64 // y at phase-2 optimality, original-row indexed
 }
@@ -283,16 +285,59 @@ func (s *simplex) infeasibility() float64 {
 	return v
 }
 
-// solve runs the two-phase method.
+// solve optimizes the problem. With a warm-start basis it first attempts the
+// reoptimization fast paths (skip phase 1 when the basis is primal-feasible;
+// dual simplex when it is only dual-feasible); any warm-path breakdown falls
+// back to the cold two-phase primal method, so warm starts never affect
+// correctness, only pivot counts.
 func (s *simplex) solve() *Solution {
-	s.initialPoint()
-
 	tol := s.opt.Tol
+	if s.opt.WarmStart != nil && s.installBasis(s.opt.WarmStart) {
+		s.warm = true
+		if s.infeasibility() > tol {
+			// Primal-infeasible start: the textbook dual-simplex case if the
+			// basis is still dual-feasible (bound and RHS changes preserve
+			// dual feasibility). Otherwise restart cold.
+			handled := false
+			if s.dualFeasible(tol * 10) {
+				switch s.dualIterate() {
+				case StatusOptimal: // primal feasibility restored
+					handled = true
+				case StatusInfeasible:
+					// The dual ray says the primal is empty, but the warm
+					// start ran under loosened tolerances and tiny pivots
+					// were skipped — verdicts must never depend on the warm
+					// path, so fall through to a cold solve whose phase 1
+					// confirms (or refutes) infeasibility exactly.
+				case StatusIterLimit:
+					if s.iters >= s.opt.MaxIters || s.cancelled() {
+						return s.finishSolution(&Solution{Status: StatusIterLimit})
+					}
+					// Stalled or numerically stuck: fall through to cold.
+				}
+			}
+			if !handled {
+				s.warm = false
+			}
+		}
+	}
+	// Phase 1 (setupPhase1) installs artificials assuming the slack basis,
+	// so it must never run on a warm basis. The dual simplex stops when each
+	// basic variable is within tol of its bounds; if the *summed* residual
+	// still exceeds the phase-1 trigger, restart cold rather than corrupt
+	// the basis.
+	if s.warm && s.infeasibility() > tol {
+		s.warm = false
+	}
+	if !s.warm {
+		s.initialPoint()
+	}
+
 	if s.infeasibility() > tol {
 		// Phase 1: open artificial variables to absorb the residual of every
 		// infeasible row, producing a feasible start for min Σ artificials.
 		if !s.setupPhase1() {
-			return &Solution{Status: StatusInfeasible, Iters: s.iters}
+			return s.finishSolution(&Solution{Status: StatusInfeasible})
 		}
 		s.phase = 1
 		s.pcost = make([]float64, s.total)
@@ -305,12 +350,12 @@ func (s *simplex) solve() *Solution {
 			if st == StatusUnbounded {
 				// Phase-1 objective is bounded below by 0; an unbounded ray
 				// indicates numerical breakdown. Report iteration limit.
-				return &Solution{Status: StatusIterLimit, Iters: s.iters}
+				return s.finishSolution(&Solution{Status: StatusIterLimit})
 			}
-			return &Solution{Status: st, Iters: s.iters}
+			return s.finishSolution(&Solution{Status: st})
 		}
 		if s.phase1Obj() > 1e-6 {
-			return &Solution{Status: StatusInfeasible, Iters: s.iters}
+			return s.finishSolution(&Solution{Status: StatusInfeasible})
 		}
 		// Seal artificials at zero for phase 2.
 		for i := 0; i < s.m; i++ {
@@ -325,27 +370,31 @@ func (s *simplex) solve() *Solution {
 	// Phase 2 runs first with deterministically perturbed costs to break the
 	// massive dual degeneracy of scheduling LPs (many identical cost
 	// coefficients), then re-optimizes with the exact costs — typically a
-	// handful of extra pivots.
+	// handful of extra pivots. Warm starts skip the perturbation pass: the
+	// inherited basis is already optimal for the exact costs of a nearby
+	// problem, so perturbing would pivot away from it and back.
 	s.phase = 2
-	s.pcost = s.perturbedCosts()
-	if st := s.iterate(); st != StatusOptimal {
-		if st == StatusUnbounded {
-			// Unboundedness under perturbation implies unboundedness of a
-			// cost vector arbitrarily close to the original; verify with the
-			// exact costs below.
-			s.pcost = s.cost
-			if st2 := s.iterate(); st2 != StatusOptimal {
-				return &Solution{Status: st2, Iters: s.iters}
+	if !s.warm {
+		s.pcost = s.perturbedCosts()
+		if st := s.iterate(); st != StatusOptimal {
+			if st == StatusUnbounded {
+				// Unboundedness under perturbation implies unboundedness of a
+				// cost vector arbitrarily close to the original; verify with
+				// the exact costs below.
+				s.pcost = s.cost
+				if st2 := s.iterate(); st2 != StatusOptimal {
+					return s.finishSolution(&Solution{Status: st2})
+				}
+			} else {
+				return s.finishSolution(&Solution{Status: st})
 			}
-		} else {
-			return &Solution{Status: st, Iters: s.iters}
 		}
 	}
 	s.pcost = s.cost
 	st := s.iterate()
 	DebugCounters.Phase1Iters.Store(int64(s.p1iters))
 	DebugCounters.Degenerate.Store(int64(s.degens))
-	sol := &Solution{Status: st, Iters: s.iters}
+	sol := &Solution{Status: st}
 	if st == StatusOptimal || st == StatusIterLimit {
 		x := make([]float64, s.n)
 		for j := 0; j < s.n; j++ {
@@ -362,7 +411,223 @@ func (s *simplex) solve() *Solution {
 		sol.Obj = s.p.Objective(x)
 		sol.Duals = append([]float64(nil), s.duals...)
 	}
+	if st == StatusOptimal {
+		sol.Basis = s.exportBasis()
+	}
+	return s.finishSolution(sol)
+}
+
+// finishSolution stamps the iteration accounting shared by every solve exit.
+func (s *simplex) finishSolution(sol *Solution) *Solution {
+	sol.Iters = s.iters
+	sol.Phase1Iters = s.p1iters
+	sol.DualIters = s.dualIters
+	sol.Warm = s.warm
 	return sol
+}
+
+// cancelled reports whether the solve's cancel channel has closed.
+func (s *simplex) cancelled() bool {
+	if s.opt.Cancel == nil {
+		return false
+	}
+	select {
+	case <-s.opt.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// dualFeasible reports whether the current basis is dual-feasible for the
+// exact phase-2 costs: every nonbasic reduced cost has the sign its status
+// requires (≥ 0 at lower bound, ≤ 0 at upper, ≈ 0 free).
+func (s *simplex) dualFeasible(tol float64) bool {
+	y := s.bufY
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < s.m; i++ {
+		y[i] = s.cost[s.basis[i]]
+	}
+	s.f.btran(y)
+	for j := 0; j < s.total; j++ {
+		if s.stat[j] == statBasic || s.lower[j] == s.upper[j] {
+			continue
+		}
+		d := s.cost[j] - s.colDot(j, y)
+		switch s.stat[j] {
+		case statAtLower:
+			if d < -tol {
+				return false
+			}
+		case statAtUpper:
+			if d > tol {
+				return false
+			}
+		case statFree:
+			if d < -tol || d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dualIterate runs the bounded-variable dual simplex with the exact costs:
+// starting from a dual-feasible basis it drives out primal infeasibilities
+// one leaving row at a time, preserving dual feasibility via the dual ratio
+// test. Returns StatusOptimal once all basic variables are within bounds
+// (primal + dual feasible = optimal up to a final primal confirmation pass),
+// StatusInfeasible when a dual ray proves the primal empty, or
+// StatusIterLimit on iteration exhaustion, cancellation, or a stall — the
+// caller treats a stall as "fall back to a cold solve".
+func (s *simplex) dualIterate() Status {
+	tol := s.opt.Tol
+	const pivTol = 1e-9
+	// Stall guard: dual-degenerate pivots (entering reduced cost ~0) make no
+	// dual-objective progress; long runs risk cycling, and a cold solve is
+	// always available, so bail out after a bounded run.
+	stall := 0
+	maxStall := 200 + (s.m+s.n)/4
+	for {
+		if s.iters >= s.opt.MaxIters {
+			return StatusIterLimit
+		}
+		if s.opt.Cancel != nil && s.iters&63 == 0 && s.cancelled() {
+			return StatusIterLimit
+		}
+		if s.f.numEtas >= s.opt.RefactorEvery {
+			if !s.refactorAndRecompute() {
+				return StatusIterLimit
+			}
+		}
+
+		// Leaving row: the most primally infeasible basic variable.
+		leave, worst := -1, tol
+		var leaveAt int8
+		for i := 0; i < s.m; i++ {
+			j := s.basis[i]
+			if d := s.lower[j] - s.xB[i]; d > worst {
+				leave, worst, leaveAt = i, d, statAtLower
+			}
+			if d := s.xB[i] - s.upper[j]; d > worst {
+				leave, worst, leaveAt = i, d, statAtUpper
+			}
+		}
+		if leave < 0 {
+			return StatusOptimal // primal feasible
+		}
+		s.iters++
+		s.dualIters++
+
+		// Pivot row: ρ = B⁻ᵀ e_leave, α_j = aⱼᵀρ.
+		rho := s.bufR
+		for i := range rho {
+			rho[i] = 0
+		}
+		rho[leave] = 1
+		s.f.btran(rho)
+
+		// Reduced costs need y = B⁻ᵀ c_B as well.
+		y := s.bufY
+		for i := range y {
+			y[i] = 0
+		}
+		for i := 0; i < s.m; i++ {
+			y[i] = s.cost[s.basis[i]]
+		}
+		s.f.btran(y)
+
+		// Basic variable leaves at the violated bound. Moving it toward that
+		// bound requires the entering nonbasic to move in a direction that
+		// fixes the violation: xB[leave] changes at rate −α_j per unit of
+		// x_j's move, so eligibility depends on the sign of α_j and on which
+		// directions the entering variable's status allows.
+		needInc := leaveAt == statAtLower // basic below lower: must increase
+		q, bestRatio, bestAbs := -1, math.Inf(1), 0.0
+		for j := 0; j < s.total; j++ {
+			st := s.stat[j]
+			if st == statBasic || s.lower[j] == s.upper[j] {
+				continue
+			}
+			alpha := s.colDot(j, rho)
+			if math.Abs(alpha) < pivTol {
+				continue
+			}
+			// xB[leave] moves by −alpha·cdir·t for an entering step t ≥ 0 in
+			// the allowed direction cdir (+1 from lower, −1 from upper, either
+			// for free). The move must shrink the violation.
+			switch st {
+			case statAtLower:
+				if needInc == (alpha > 0) {
+					continue
+				}
+			case statAtUpper:
+				if needInc == (alpha < 0) {
+					continue
+				}
+			case statFree:
+				// Either direction available; always eligible, and with a
+				// near-zero reduced cost a free variable wins the ratio test.
+			}
+			d := s.cost[j] - s.colDot(j, y)
+			ratio := math.Abs(d) / math.Abs(alpha)
+			if ratio < bestRatio-1e-10 || (ratio < bestRatio+1e-10 && math.Abs(alpha) > bestAbs) {
+				q, bestRatio, bestAbs = j, ratio, math.Abs(alpha)
+			}
+		}
+		if q < 0 {
+			// No entering candidate: the dual is unbounded along this row,
+			// so the primal is infeasible.
+			return StatusInfeasible
+		}
+		if bestRatio <= 1e-12 {
+			stall++
+			if stall > maxStall {
+				return StatusIterLimit
+			}
+		} else {
+			stall = 0
+		}
+
+		// Step: the entering variable moves until xB[leave] reaches its bound.
+		alphaQ := s.colDot(q, rho)
+		var e float64 // signed violation
+		jb := s.basis[leave]
+		if leaveAt == statAtLower {
+			e = s.xB[leave] - s.lower[jb]
+		} else {
+			e = s.xB[leave] - s.upper[jb]
+		}
+		// Change of x_q; its sign matches the allowed direction by the
+		// eligibility test above.
+		delta := e / alphaQ
+
+		// FTRAN the entering column to update the basic values.
+		w := s.bufW
+		for i := range w {
+			w[i] = 0
+		}
+		s.scatterCol(q, w)
+		s.f.ftran(w)
+
+		enterVal := s.nonbasicValue(q) + delta
+		for i := 0; i < s.m; i++ {
+			if w[i] != 0 {
+				s.xB[i] -= w[i] * delta
+			}
+		}
+		s.stat[jb] = leaveAt
+		s.basis[leave] = int32(q)
+		s.stat[q] = statBasic
+		s.xB[leave] = enterVal
+		if !s.f.pushEta(leave, w) {
+			if !s.refactorAndRecompute() {
+				return StatusIterLimit
+			}
+		}
+	}
 }
 
 // setupPhase1 installs one artificial per infeasible row so the slack basis

@@ -1,0 +1,205 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomFeasibleLP builds an LP that is feasible by construction (rows are
+// consistent with a known interior point), mirroring the generator in
+// lp_test.go but returning the problem for reuse across warm-start trials.
+func randomFeasibleLP(rng *rand.Rand) (*Problem, []float64) {
+	n := 3 + rng.Intn(10)
+	m := 2 + rng.Intn(10)
+	p := &Problem{}
+	x0 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		p.AddVar(0, 10, float64(rng.Intn(21)-10), "v")
+		x0[j] = float64(rng.Intn(11))
+	}
+	for i := 0; i < m; i++ {
+		var idx []int32
+		var val []float64
+		var lhs float64
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				c := float64(rng.Intn(11) - 5)
+				idx = append(idx, int32(j))
+				val = append(val, c)
+				lhs += c * x0[j]
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddRow(LE, lhs+float64(rng.Intn(5)), idx, val)
+		case 1:
+			p.AddRow(GE, lhs-float64(rng.Intn(5)), idx, val)
+		default:
+			p.AddRow(EQ, lhs, idx, val)
+		}
+	}
+	return p, x0
+}
+
+// TestBasisRoundTrip re-solves a problem from its own exported basis: the
+// start is primal- and dual-feasible, so the warm solve must accept the
+// basis, skip phase 1, and reach the same objective in very few pivots.
+func TestBasisRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 60; trial++ {
+		p, _ := randomFeasibleLP(rng)
+		cold := p.Solve(Options{})
+		if cold.Status != StatusOptimal {
+			continue
+		}
+		if cold.Basis == nil {
+			t.Fatalf("trial %d: optimal solve exported no basis", trial)
+		}
+		if cold.Basis.NumVars() != p.NumVars() || cold.Basis.NumRows() != p.NumRows() {
+			t.Fatalf("trial %d: basis shape %dx%d, want %dx%d",
+				trial, cold.Basis.NumVars(), cold.Basis.NumRows(), p.NumVars(), p.NumRows())
+		}
+		warm := p.Solve(Options{WarmStart: cold.Basis})
+		if warm.Status != StatusOptimal {
+			t.Fatalf("trial %d: warm status=%v", trial, warm.Status)
+		}
+		if !warm.Warm {
+			t.Fatalf("trial %d: round-trip basis rejected", trial)
+		}
+		if warm.Phase1Iters != 0 {
+			t.Fatalf("trial %d: warm restart ran %d phase-1 iterations", trial, warm.Phase1Iters)
+		}
+		if !approxEq(warm.Obj, cold.Obj, 1e-6*(1+math.Abs(cold.Obj))) {
+			t.Fatalf("trial %d: warm obj %v != cold %v", trial, warm.Obj, cold.Obj)
+		}
+		if warm.Iters > cold.Iters {
+			t.Fatalf("trial %d: warm restart took %d iters, cold took %d", trial, warm.Iters, cold.Iters)
+		}
+	}
+}
+
+// TestWarmStartAfterBoundChange is the branch-and-bound reoptimization
+// property test: solve, tighten one variable's bounds (as branching does),
+// and verify the warm-started dual simplex reaches the same objective as a
+// cold solve of the modified problem.
+func TestWarmStartAfterBoundChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	agreed, dualUsed := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		p, _ := randomFeasibleLP(rng)
+		base := p.Solve(Options{})
+		if base.Status != StatusOptimal {
+			continue
+		}
+		// Branch-style tightening on a random variable around its optimum.
+		j := rng.Intn(p.NumVars())
+		lo, hi := p.Bounds(j)
+		v := base.X[j]
+		if rng.Intn(2) == 0 {
+			hi = math.Floor(v)
+		} else {
+			lo = math.Ceil(v)
+		}
+		if lo > hi {
+			continue
+		}
+		q := p.Clone()
+		q.SetBounds(j, lo, hi)
+
+		cold := q.Solve(Options{})
+		warm := q.Solve(Options{WarmStart: base.Basis})
+		if warm.Warm && warm.DualIters > 0 {
+			dualUsed++
+		}
+		if cold.Status != warm.Status {
+			t.Fatalf("trial %d: cold=%v warm=%v", trial, cold.Status, warm.Status)
+		}
+		if cold.Status != StatusOptimal {
+			continue
+		}
+		if err := q.CheckFeasible(warm.X, 1e-5); err != nil {
+			t.Fatalf("trial %d: warm solution infeasible: %v", trial, err)
+		}
+		if !approxEq(cold.Obj, warm.Obj, 1e-5*(1+math.Abs(cold.Obj))) {
+			t.Fatalf("trial %d: warm obj %v != cold %v", trial, warm.Obj, cold.Obj)
+		}
+		agreed++
+	}
+	if agreed < 40 {
+		t.Fatalf("too few informative trials: %d", agreed)
+	}
+	if dualUsed == 0 {
+		t.Fatal("dual simplex path never exercised across 200 bound-change trials")
+	}
+}
+
+// TestWarmStartAfterRHSChange models a budget sweep: the same constraint
+// structure rebuilt with perturbed right-hand sides, warm-started from the
+// previous basis (dual feasibility survives any RHS change).
+func TestWarmStartAfterRHSChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	agreed := 0
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(8)
+		type row struct {
+			sense Sense
+			rhs   float64
+			idx   []int32
+			val   []float64
+		}
+		costs := make([]float64, n)
+		for j := range costs {
+			costs[j] = float64(rng.Intn(21) - 10)
+		}
+		var rows []row
+		for i := 0; i < m; i++ {
+			r := row{sense: LE, rhs: float64(5 + rng.Intn(20))}
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					r.idx = append(r.idx, int32(j))
+					r.val = append(r.val, float64(1+rng.Intn(5)))
+				}
+			}
+			if len(r.idx) == 0 {
+				continue
+			}
+			rows = append(rows, r)
+		}
+		build := func(shrink float64) *Problem {
+			p := &Problem{}
+			for j := 0; j < n; j++ {
+				p.AddVar(0, 10, costs[j], "v")
+			}
+			for _, r := range rows {
+				p.AddRow(r.sense, r.rhs*shrink, r.idx, r.val)
+			}
+			return p
+		}
+		base := build(1.0).Solve(Options{})
+		if base.Status != StatusOptimal {
+			continue
+		}
+		// Tighten every RHS, as a decreasing budget sweep does.
+		q := build(0.5 + 0.4*rng.Float64())
+		cold := q.Solve(Options{})
+		warm := q.Solve(Options{WarmStart: base.Basis})
+		if cold.Status != warm.Status {
+			t.Fatalf("trial %d: cold=%v warm=%v", trial, cold.Status, warm.Status)
+		}
+		if cold.Status != StatusOptimal {
+			continue
+		}
+		if !approxEq(cold.Obj, warm.Obj, 1e-5*(1+math.Abs(cold.Obj))) {
+			t.Fatalf("trial %d: warm obj %v != cold %v", trial, warm.Obj, cold.Obj)
+		}
+		agreed++
+	}
+	if agreed < 40 {
+		t.Fatalf("too few informative trials: %d", agreed)
+	}
+}

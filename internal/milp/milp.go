@@ -9,15 +9,20 @@
 // are typically required.
 //
 // Features: most-fractional branching, best-bound node selection with
-// depth-first diving ties, incumbent seeding, a user-pluggable rounding
-// heuristic (Checkmate plugs in its two-phase LP rounding), relative gap and
-// wall-clock termination.
+// depth-first diving ties, dual-simplex warm starts (every node inherits its
+// parent's optimal basis, so reoptimization after a branching bound change
+// takes a handful of pivots instead of a cold two-phase solve), parallel
+// tree search (Options.Threads workers share the best-bound heap, each
+// owning a cloned working problem), incumbent seeding, a user-pluggable
+// rounding heuristic (Checkmate plugs in its two-phase LP rounding),
+// relative gap and wall-clock termination.
 package milp
 
 import (
 	"container/heap"
 	"context"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/lp"
@@ -62,6 +67,25 @@ func (s Status) String() string {
 	return "unknown"
 }
 
+// Counters aggregates solver performance statistics across one solve.
+type Counters struct {
+	// SimplexIters is the total simplex iterations over every node LP
+	// (primal and dual); DualIters is the dual-simplex share of that total.
+	SimplexIters int64
+	DualIters    int64
+	// WarmHits counts node LPs that accepted an inherited basis; WarmMisses
+	// counts nodes where a basis was offered but the LP fell back to a cold
+	// start. Their ratio is the warm-start hit rate.
+	WarmHits   int64
+	WarmMisses int64
+	// Phase1Skipped counts node LPs that reached a verdict with zero
+	// phase-1 iterations — because a warm basis (or the slack basis) was
+	// already feasible, or the dual simplex restored feasibility.
+	Phase1Skipped int64
+	// NodesPerSec is the branch-and-bound node throughput of the solve.
+	NodesPerSec float64
+}
+
 // Solution is the result of a MILP solve.
 type Solution struct {
 	Status Status
@@ -69,7 +93,9 @@ type Solution struct {
 	// StatusFeasible).
 	Obj float64
 	X   []float64
-	// Bound is the best proven lower bound on the optimum.
+	// Bound is the best proven lower bound on the optimum. Subtrees
+	// abandoned because their LP hit an iteration limit fold their bound in
+	// here, so Bound stays valid even when parts of the tree were lost.
 	Bound float64
 	// Gap is (Obj-Bound)/max(|Obj|,1e-9), NaN when no incumbent exists.
 	Gap float64
@@ -78,13 +104,20 @@ type Solution struct {
 	// RootLPObj is the objective of the root LP relaxation; the paper's
 	// integrality-gap analysis (Appendix A) is the ratio Obj/RootLPObj.
 	RootLPObj float64
+	// RootBasis is the optimal basis of the root relaxation, exported for
+	// reuse: a budget sweep passes it as Options.RootBasis of the next
+	// (structurally identical) solve so even the root LP starts warm.
+	RootBasis *lp.Basis
+	// Counters holds the solve's performance statistics.
+	Counters Counters
 }
 
 // Heuristic attempts to repair an LP-relaxation point x into an
 // integer-feasible solution. It returns the repaired point, its objective,
 // and whether it succeeded. The Checkmate system plugs its two-phase
 // rounding (paper Algorithm 2) in here so every node can tighten the
-// incumbent.
+// incumbent. With Options.Threads > 1 the heuristic is called concurrently
+// from several workers and must be safe for concurrent use.
 type Heuristic func(x []float64) (xInt []float64, obj float64, ok bool)
 
 // Options tunes the branch-and-bound search. The zero value means defaults.
@@ -104,13 +137,27 @@ type Options struct {
 	Incumbent []float64
 	// LPOpts are passed through to the simplex solver.
 	LPOpts lp.Options
-	// OnImprove, if set, is called whenever the incumbent improves.
+	// OnImprove, if set, is called whenever the incumbent improves. With
+	// Threads > 1 calls may arrive concurrently and slightly out of order.
 	OnImprove func(obj float64)
 	// Context, when non-nil, cancels the search: the branch-and-bound loop
 	// stops at the next node boundary and the in-flight LP relaxation is
 	// interrupted via LPOpts.Cancel. Cancellation is reported like a limit
 	// (StatusFeasible with the incumbent so far, or StatusLimit without one).
 	Context context.Context
+	// Threads is the number of parallel tree-search workers (0 or 1 =
+	// serial). Workers pull from the shared best-bound heap, each owning a
+	// cloned working problem; incumbent and bound updates are synchronized,
+	// so any Threads value returns the same optimal objective.
+	Threads int
+	// RootBasis warm-starts the root relaxation with a basis exported from
+	// a structurally identical solve (Solution.RootBasis) — the budget-sweep
+	// fast path, where consecutive solves differ only in one RHS value.
+	RootBasis *lp.Basis
+	// ColdStart disables all warm starting (node basis inheritance and
+	// RootBasis), forcing a cold two-phase LP solve at every node. For
+	// benchmarks and ablation only.
+	ColdStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -123,14 +170,28 @@ func (o Options) withDefaults() Options {
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
 	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
 	return o
 }
 
-// node is a branch-and-bound subproblem: bound changes relative to the root.
+// node is a branch-and-bound subproblem. Bound changes are stored as a
+// parent-pointer chain — one boundChange per node, walked root-ward at
+// expansion — rather than a per-node copy of the whole path, which cost
+// O(depth²) memory on deep dives.
 type node struct {
-	bound   float64 // parent LP objective (lower bound for this subtree)
-	depth   int
-	changes []boundChange
+	bound  float64 // parent LP objective (lower bound for this subtree)
+	depth  int
+	parent *node
+	change boundChange // the single change this node adds (parent != nil)
+	// basis is the parent LP's optimal basis, inherited as a dual-simplex
+	// warm start; shared read-only between siblings.
+	basis *lp.Basis
+	// retried marks a node already re-queued once after its LP hit an
+	// iteration limit; a second failure abandons the subtree (folding its
+	// bound into the solution bound).
+	retried bool
 }
 
 type boundChange struct {
@@ -157,6 +218,34 @@ func (h *nodeHeap) Pop() any {
 	return it
 }
 
+// search is the shared state of one branch-and-bound run. All fields below
+// mu are guarded by it; workers hold the lock only between node expansions.
+type search struct {
+	prob *Problem
+	opt  Options
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	open nodeHeap
+	// inflight[w] is the bound of the node worker w is expanding (+Inf when
+	// idle); the global proven bound is the min over open and inflight.
+	inflight  []float64
+	incumbent []float64
+	incObj    float64
+	nodes     int
+	// lost is the min bound over subtrees abandoned after repeated LP
+	// iteration limits; dangling over nodes popped but never expanded
+	// (gap-stop, cancellation). Both fold into the final Solution.Bound.
+	lost      float64
+	dangling  float64
+	stopLimit bool // node/time/context limit reached
+	stopGap   bool // incumbent proven within RelGap of the global bound
+	rootObj   float64
+	rootBasis *lp.Basis
+	ctr       Counters
+	start     time.Time
+}
+
 // Solve runs branch-and-bound.
 func Solve(prob *Problem, opt Options) *Solution {
 	opt = opt.withDefaults()
@@ -176,133 +265,313 @@ func Solve(prob *Problem, opt Options) *Solution {
 	if opt.Context != nil && opt.LPOpts.Cancel == nil {
 		opt.LPOpts.Cancel = opt.Context.Done()
 	}
-	res := &Solution{Status: StatusLimit, Bound: math.Inf(-1), Gap: math.NaN(), RootLPObj: math.NaN()}
 
-	var incumbent []float64
-	incObj := math.Inf(1)
+	s := &search{
+		prob:     prob,
+		opt:      opt,
+		inflight: make([]float64, opt.Threads),
+		incObj:   math.Inf(1),
+		lost:     math.Inf(1),
+		dangling: math.Inf(1),
+		rootObj:  math.NaN(),
+		start:    time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.inflight {
+		s.inflight[i] = math.Inf(1)
+	}
 	if opt.Incumbent != nil {
-		incumbent = append([]float64(nil), opt.Incumbent...)
-		incObj = prob.LP.Objective(incumbent)
+		s.incumbent = append([]float64(nil), opt.Incumbent...)
+		s.incObj = prob.LP.Objective(s.incumbent)
 		if opt.OnImprove != nil {
-			opt.OnImprove(incObj)
+			opt.OnImprove(s.incObj)
 		}
 	}
+	root := &node{bound: math.Inf(-1)}
+	if !opt.ColdStart {
+		root.basis = opt.RootBasis
+	}
+	s.open = nodeHeap{root}
+	heap.Init(&s.open)
 
-	work := prob.LP.Clone()
+	if opt.Threads == 1 {
+		s.worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for id := 0; id < opt.Threads; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				s.worker(id)
+			}(id)
+		}
+		wg.Wait()
+	}
+	return s.finish()
+}
+
+// minInflight returns the smallest bound among nodes other workers are
+// currently expanding. Caller holds s.mu.
+func (s *search) minInflight() float64 {
+	mb := math.Inf(1)
+	for _, b := range s.inflight {
+		if b < mb {
+			mb = b
+		}
+	}
+	return mb
+}
+
+// allIdle reports whether no worker is expanding a node. Caller holds s.mu.
+func (s *search) allIdle() bool {
+	for _, b := range s.inflight {
+		if !math.IsInf(b, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// worker is one tree-search loop: pop the best-bound node, expand it on a
+// private problem clone, merge results back. Workers exit when a limit or
+// the gap target is hit, or when the heap is empty and nobody is expanding.
+func (s *search) worker(id int) {
+	work := s.prob.LP.Clone()
 	rootLB, rootHB := snapshotBounds(work)
+	var chain []boundChange
 
-	open := &nodeHeap{{bound: math.Inf(-1)}}
-	heap.Init(open)
-	bestBound := math.Inf(-1)
-	exhausted := true
-
-	for open.Len() > 0 {
-		// The time limit lives in opt.Context (folded in above), so one
-		// check covers limit expiry and caller cancellation alike.
-		if res.Nodes >= opt.MaxNodes || (opt.Context != nil && opt.Context.Err() != nil) {
-			exhausted = false
+	s.mu.Lock()
+	for {
+		if s.stopLimit || s.stopGap {
 			break
 		}
-		nd := heap.Pop(open).(*node)
-		// The best bound over open nodes (this heap is best-first).
-		bestBound = nd.bound
-		if incObj < math.Inf(1) && gapOf(incObj, bestBound) <= opt.RelGap {
-			// Remaining nodes cannot improve the incumbent beyond the gap.
-			exhausted = true
+		if s.nodes >= s.opt.MaxNodes || (s.opt.Context != nil && s.opt.Context.Err() != nil) {
+			s.stopLimit = true
+			s.cond.Broadcast()
 			break
 		}
-
-		// Apply node bounds on the shared working problem.
-		restoreBounds(work, rootLB, rootHB)
-		infeasibleNode := false
-		for _, ch := range nd.changes {
-			lo, hi := work.Bounds(ch.j)
-			nlo, nhi := math.Max(lo, ch.lo), math.Min(hi, ch.hi)
-			if nlo > nhi {
-				infeasibleNode = true
+		if len(s.open) == 0 {
+			if s.allIdle() {
+				s.cond.Broadcast() // wake the others so they can exit too
 				break
 			}
-			work.SetBounds(ch.j, nlo, nhi)
-		}
-		if infeasibleNode {
+			s.cond.Wait()
 			continue
 		}
-		res.Nodes++
-		sol := work.Solve(opt.LPOpts)
-		if res.Nodes == 1 {
-			if sol.Status == lp.StatusOptimal {
-				res.RootLPObj = sol.Obj
-			}
+		nd := heap.Pop(&s.open).(*node)
+		// The global proven bound: nothing in the tree lies below the best
+		// open node or any node currently being expanded.
+		globalBound := math.Min(nd.bound, s.minInflight())
+		if s.incObj < math.Inf(1) && gapOf(s.incObj, globalBound) <= s.opt.RelGap {
+			// Remaining nodes cannot improve the incumbent beyond the gap.
+			s.dangling = math.Min(s.dangling, nd.bound)
+			s.stopGap = true
+			s.cond.Broadcast()
+			break
 		}
-		switch sol.Status {
-		case lp.StatusInfeasible:
-			continue
-		case lp.StatusUnbounded:
-			// An unbounded relaxation of a node: the MILP is unbounded or
-			// the formulation is broken. Treat as no useful bound.
-			continue
-		case lp.StatusIterLimit:
-			exhausted = false
-			continue
+		if !nd.retried {
+			// A node re-queued after an LP iteration limit is the same
+			// subproblem; count it once so Nodes, nodes/sec, and the
+			// MaxNodes budget speak in distinct subproblems.
+			s.nodes++
 		}
-		if sol.Obj >= incObj-math.Abs(incObj)*opt.RelGap {
-			continue // pruned by bound
-		}
+		s.inflight[id] = nd.bound
+		s.mu.Unlock()
 
-		// Run the rounding heuristic for a quick incumbent.
-		if opt.Heuristic != nil {
-			if xh, objH, ok := opt.Heuristic(sol.X); ok && objH < incObj-1e-12 {
-				incumbent = append(incumbent[:0], xh...)
-				incObj = objH
-				if opt.OnImprove != nil {
-					opt.OnImprove(incObj)
-				}
-			}
-		}
+		s.expand(work, rootLB, rootHB, &chain, nd)
 
-		// Find the most fractional integer variable.
-		branchJ, worstFrac := -1, opt.IntTol
-		for j, isInt := range prob.Integer {
-			if !isInt {
-				continue
-			}
-			f := sol.X[j] - math.Floor(sol.X[j])
-			dist := math.Min(f, 1-f)
-			if dist > worstFrac {
-				branchJ, worstFrac = j, dist
-			}
+		s.mu.Lock()
+		s.inflight[id] = math.Inf(1)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// expand solves one node's LP relaxation and branches. Called without s.mu;
+// takes it only for the short merge sections.
+func (s *search) expand(work *lp.Problem, rootLB, rootHB []float64, chain *[]boundChange, nd *node) {
+	// Apply the node's bound changes by walking the parent chain (leaf to
+	// root; changes only ever tighten, so application order is irrelevant).
+	restoreBounds(work, rootLB, rootHB)
+	cs := (*chain)[:0]
+	for p := nd; p.parent != nil; p = p.parent {
+		cs = append(cs, p.change)
+	}
+	*chain = cs
+	for _, ch := range cs {
+		lo, hi := work.Bounds(ch.j)
+		nlo, nhi := math.Max(lo, ch.lo), math.Min(hi, ch.hi)
+		if nlo > nhi {
+			return // bounds alone prove the node infeasible
 		}
-		if branchJ < 0 {
-			// Integral: candidate incumbent.
-			if sol.Obj < incObj-1e-12 {
-				incumbent = append(incumbent[:0], roundIntegers(prob, sol.X, opt.IntTol)...)
-				incObj = prob.LP.Objective(incumbent)
-				if opt.OnImprove != nil {
-					opt.OnImprove(incObj)
-				}
-			}
-			continue
-		}
-		v := sol.X[branchJ]
-		down := &node{bound: sol.Obj, depth: nd.depth + 1,
-			changes: appendChange(nd.changes, boundChange{branchJ, math.Inf(-1), math.Floor(v)})}
-		up := &node{bound: sol.Obj, depth: nd.depth + 1,
-			changes: appendChange(nd.changes, boundChange{branchJ, math.Ceil(v), math.Inf(1)})}
-		heap.Push(open, down)
-		heap.Push(open, up)
+		work.SetBounds(ch.j, nlo, nhi)
 	}
 
-	if open.Len() == 0 && exhausted {
-		bestBound = incObj // tree exhausted: bound = incumbent
-	} else if open.Len() > 0 {
-		bestBound = math.Min(bestBound, (*open)[0].bound)
+	lpopt := s.opt.LPOpts
+	if !s.opt.ColdStart {
+		lpopt.WarmStart = nd.basis
 	}
-	res.Bound = bestBound
-	if incumbent != nil {
-		res.Obj = incObj
-		res.X = incumbent
-		res.Gap = gapOf(incObj, bestBound)
-		if res.Gap <= opt.RelGap || (open.Len() == 0 && exhausted) {
+	sol := work.Solve(lpopt)
+
+	s.mu.Lock()
+	s.ctr.SimplexIters += int64(sol.Iters)
+	s.ctr.DualIters += int64(sol.DualIters)
+	if sol.Status != lp.StatusInfeasible && sol.Phase1Iters == 0 {
+		s.ctr.Phase1Skipped++
+	}
+	if lpopt.WarmStart != nil {
+		if sol.Warm {
+			s.ctr.WarmHits++
+		} else {
+			s.ctr.WarmMisses++
+		}
+	}
+	if nd.parent == nil && sol.Status == lp.StatusOptimal {
+		s.rootObj = sol.Obj
+		s.rootBasis = sol.Basis
+	}
+	inc := s.incObj
+	s.mu.Unlock()
+
+	switch sol.Status {
+	case lp.StatusInfeasible:
+		return
+	case lp.StatusUnbounded:
+		// An unbounded relaxation of a node: the MILP is unbounded or the
+		// formulation is broken. Treat as no useful bound.
+		return
+	case lp.StatusIterLimit:
+		cancelled := s.opt.Context != nil && s.opt.Context.Err() != nil
+		s.mu.Lock()
+		switch {
+		case cancelled:
+			s.stopLimit = true
+			s.dangling = math.Min(s.dangling, nd.bound)
+		case !nd.retried:
+			// Re-queue once with a cold start: iteration limits on node LPs
+			// are usually warm-start stalls or an unlucky starting basis.
+			nd.retried = true
+			nd.basis = nil
+			heap.Push(&s.open, nd)
+		default:
+			// Abandon the subtree but keep its bound, so Solution.Bound
+			// stays a valid lower bound (previously the bound was silently
+			// lost and the final "proven" bound could overshoot it).
+			s.lost = math.Min(s.lost, nd.bound)
+		}
+		s.mu.Unlock()
+		return
+	}
+	if prunedBy(sol.Obj, inc, s.opt.RelGap) {
+		return // pruned by bound
+	}
+
+	// Run the rounding heuristic for a quick incumbent.
+	if s.opt.Heuristic != nil {
+		if xh, objH, ok := s.opt.Heuristic(sol.X); ok {
+			s.offerIncumbent(xh, objH)
+		}
+	}
+
+	// Find the most fractional integer variable.
+	branchJ, worstFrac := -1, s.opt.IntTol
+	for j, isInt := range s.prob.Integer {
+		if !isInt {
+			continue
+		}
+		f := sol.X[j] - math.Floor(sol.X[j])
+		if dist := math.Min(f, 1-f); dist > worstFrac {
+			branchJ, worstFrac = j, dist
+		}
+	}
+	if branchJ < 0 {
+		// Integral: candidate incumbent.
+		x := roundIntegers(s.prob, sol.X, s.opt.IntTol)
+		s.offerIncumbent(x, s.prob.LP.Objective(x))
+		return
+	}
+	var childBasis *lp.Basis
+	if !s.opt.ColdStart {
+		childBasis = sol.Basis // shared read-only by both children
+	}
+	v := sol.X[branchJ]
+	down := &node{bound: sol.Obj, depth: nd.depth + 1, parent: nd,
+		change: boundChange{branchJ, math.Inf(-1), math.Floor(v)}, basis: childBasis}
+	up := &node{bound: sol.Obj, depth: nd.depth + 1, parent: nd,
+		change: boundChange{branchJ, math.Ceil(v), math.Inf(1)}, basis: childBasis}
+	s.mu.Lock()
+	// Re-check pruning: the incumbent may have improved during the solve.
+	if !prunedBy(sol.Obj, s.incObj, s.opt.RelGap) {
+		heap.Push(&s.open, down)
+		heap.Push(&s.open, up)
+	}
+	s.mu.Unlock()
+}
+
+// prunedBy reports whether a subtree with LP bound obj cannot improve the
+// incumbent beyond the relative gap. False when no incumbent exists.
+func prunedBy(obj, incObj, relGap float64) bool {
+	if math.IsInf(incObj, 1) {
+		return false
+	}
+	return obj >= incObj-math.Abs(incObj)*relGap
+}
+
+// offerIncumbent installs x as the incumbent if it improves on the current
+// one. Called without s.mu.
+func (s *search) offerIncumbent(x []float64, obj float64) {
+	s.mu.Lock()
+	if obj >= s.incObj-1e-12 {
+		s.mu.Unlock()
+		return
+	}
+	s.incumbent = append(s.incumbent[:0], x...)
+	s.incObj = obj
+	cb := s.opt.OnImprove
+	s.mu.Unlock()
+	if cb != nil {
+		cb(obj)
+	}
+}
+
+// finish assembles the Solution after every worker has exited.
+func (s *search) finish() *Solution {
+	res := &Solution{
+		Status:    StatusLimit,
+		Bound:     math.Inf(-1),
+		Gap:       math.NaN(),
+		Nodes:     s.nodes,
+		RootLPObj: s.rootObj,
+		RootBasis: s.rootBasis,
+	}
+	if el := time.Since(s.start).Seconds(); el > 0 {
+		s.ctr.NodesPerSec = float64(s.nodes) / el
+	}
+	res.Counters = s.ctr
+
+	// The proven bound: every unexplored leaf lives under an open, dangling,
+	// or lost node (all workers are idle by now).
+	bound := math.Min(s.lost, s.dangling)
+	for _, nd := range s.open {
+		bound = math.Min(bound, nd.bound)
+	}
+	// The tree was fully explored iff no limit stopped the search and no
+	// subtree's proof was abandoned.
+	exhausted := len(s.open) == 0 && !s.stopLimit && math.IsInf(s.lost, 1)
+	if exhausted && math.IsInf(bound, 1) {
+		bound = s.incObj // tree exhausted: bound = incumbent (or +Inf if none)
+	}
+	if s.incumbent != nil {
+		// Subtrees pruned against the incumbent are absent from the bound
+		// candidates; the incumbent itself caps what any of them can prove.
+		bound = math.Min(bound, s.incObj)
+	}
+	res.Bound = bound
+	if s.incumbent != nil {
+		res.Obj = s.incObj
+		res.X = s.incumbent
+		res.Gap = gapOf(s.incObj, bound)
+		if res.Gap <= s.opt.RelGap || exhausted {
 			res.Status = StatusOptimal
 			res.Gap = math.Max(res.Gap, 0)
 		} else {
@@ -310,8 +579,9 @@ func Solve(prob *Problem, opt Options) *Solution {
 		}
 		return res
 	}
-	if open.Len() == 0 && exhausted {
+	if exhausted {
 		res.Status = StatusInfeasible
+		res.Bound = math.Inf(1)
 	}
 	return res
 }
@@ -321,13 +591,6 @@ func gapOf(obj, bound float64) float64 {
 		return math.Inf(1)
 	}
 	return (obj - bound) / math.Max(math.Abs(obj), 1e-9)
-}
-
-func appendChange(base []boundChange, ch boundChange) []boundChange {
-	out := make([]boundChange, len(base)+1)
-	copy(out, base)
-	out[len(base)] = ch
-	return out
 }
 
 func snapshotBounds(p *lp.Problem) (lo, hi []float64) {

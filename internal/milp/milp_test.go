@@ -249,6 +249,123 @@ func TestTimeLimitHonored(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerialObjective: with Threads > 1 the search explores
+// nodes in a different order but must prove the same optimal objective. The
+// schedule (X) may legitimately differ among ties; the objective may not.
+// This test also runs under -race in CI, covering the shared-heap and
+// incumbent synchronization.
+func TestParallelMatchesSerialObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var tot float64
+		for j := 0; j < n; j++ {
+			values[j] = float64(1 + rng.Intn(30))
+			weights[j] = float64(1 + rng.Intn(12))
+			tot += weights[j]
+		}
+		cap := math.Floor(tot * (0.25 + 0.5*rng.Float64()))
+		prob := mkKnapsack(values, weights, cap)
+		want := bruteKnapsack(values, weights, cap)
+		for _, threads := range []int{1, 2, 4} {
+			sol := Solve(prob, Options{Threads: threads})
+			if sol.Status != StatusOptimal {
+				t.Fatalf("trial %d threads=%d: status=%v", trial, threads, sol.Status)
+			}
+			if math.Abs(-sol.Obj-want) > 1e-6 {
+				t.Fatalf("trial %d threads=%d: obj=%v want %v", trial, threads, -sol.Obj, want)
+			}
+			if math.Abs(sol.Bound-sol.Obj) > 1e-6*(1+math.Abs(sol.Obj)) {
+				t.Fatalf("trial %d threads=%d: bound %v != obj %v at optimality", trial, threads, sol.Bound, sol.Obj)
+			}
+		}
+	}
+}
+
+// TestIterLimitKeepsBoundValid: when node LPs die on iteration limits the
+// abandoned subtrees' bounds must fold into Solution.Bound — it must never
+// exceed the true optimum (previously those bounds were silently discarded
+// and the "proven" bound could overshoot).
+func TestIterLimitKeepsBoundValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	starved := 0
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(6)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var tot float64
+		for j := 0; j < n; j++ {
+			values[j] = float64(5 + rng.Intn(25))
+			weights[j] = float64(2 + rng.Intn(9))
+			tot += weights[j]
+		}
+		cap := math.Floor(tot * 0.4)
+		prob := mkKnapsack(values, weights, cap)
+		opt := -bruteKnapsack(values, weights, cap) // minimization objective
+		// Starve the node LPs: enough iterations for some nodes, not all.
+		iters := 5 + rng.Intn(25)
+		sol := Solve(prob, Options{LPOpts: lp.Options{MaxIters: iters}, MaxNodes: 500})
+		if sol.Bound > opt+1e-6 {
+			t.Fatalf("trial %d (MaxIters=%d): claimed bound %v above true optimum %v",
+				trial, iters, sol.Bound, opt)
+		}
+		if sol.Status == StatusOptimal && math.Abs(sol.Obj-opt) > 1e-6 {
+			t.Fatalf("trial %d: claimed optimal %v but optimum is %v", trial, sol.Obj, opt)
+		}
+		if sol.Status == StatusLimit || sol.Status == StatusFeasible {
+			starved++
+		}
+	}
+	if starved == 0 {
+		t.Skip("no trial was iteration-starved; limits too loose to exercise the path")
+	}
+}
+
+// TestWarmStartReducesNodeLPWork: on a branchy knapsack, per-node simplex
+// work with basis inheritance must be well below the cold-start baseline,
+// and the warm-start hit rate must be high.
+func TestWarmStartReducesNodeLPWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 20
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var tot float64
+	for j := 0; j < n; j++ {
+		values[j] = 50 + rng.Float64()*10
+		weights[j] = 5 + rng.Float64()
+		tot += weights[j]
+	}
+	prob := mkKnapsack(values, weights, tot/2)
+	warm := Solve(prob, Options{})
+	cold := Solve(prob, Options{ColdStart: true})
+	if warm.Status != StatusOptimal || cold.Status != StatusOptimal {
+		t.Fatalf("status warm=%v cold=%v", warm.Status, cold.Status)
+	}
+	if math.Abs(warm.Obj-cold.Obj) > 1e-6 {
+		t.Fatalf("warm obj %v != cold %v", warm.Obj, cold.Obj)
+	}
+	if warm.Nodes <= 1 || cold.Nodes <= 1 {
+		t.Skipf("search closed at the root (warm %d / cold %d nodes); nothing to compare", warm.Nodes, cold.Nodes)
+	}
+	hits, misses := warm.Counters.WarmHits, warm.Counters.WarmMisses
+	if hits == 0 {
+		t.Fatal("no node LP accepted an inherited basis")
+	}
+	if rate := float64(hits) / float64(hits+misses); rate < 0.5 {
+		t.Fatalf("warm-start hit rate %.2f below 0.5 (%d hits, %d misses)", rate, hits, misses)
+	}
+	warmPer := float64(warm.Counters.SimplexIters) / float64(warm.Nodes)
+	coldPer := float64(cold.Counters.SimplexIters) / float64(cold.Nodes)
+	if warmPer >= coldPer {
+		t.Fatalf("warm starts did not reduce per-node simplex work: %.1f vs cold %.1f", warmPer, coldPer)
+	}
+	if cold.Counters.WarmHits != 0 || cold.Counters.DualIters != 0 {
+		t.Fatalf("cold solve reported warm activity: %+v", cold.Counters)
+	}
+}
+
 func TestGapTerminationReportsFeasible(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	n := 16

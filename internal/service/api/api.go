@@ -219,6 +219,24 @@ type AdmissionStats struct {
 	Rejected int64 `json:"rejected"`
 }
 
+// SolverStats aggregates simplex/branch-and-bound performance counters over
+// every optimal solve the service has run. The warm-start numbers track the
+// dual-simplex basis-reuse machinery: hits/(hits+misses) is the fraction of
+// node LPs that reoptimized from an inherited basis instead of cold-solving.
+type SolverStats struct {
+	SimplexIters  int64 `json:"simplex_iters"`
+	DualIters     int64 `json:"dual_iters"`
+	Phase1Skipped int64 `json:"phase1_skipped"`
+	WarmHits      int64 `json:"warm_hits"`
+	WarmMisses    int64 `json:"warm_misses"`
+	// Nodes is total branch-and-bound nodes; NodesPerSec divides it by the
+	// summed solver wall-clock.
+	Nodes       int64   `json:"nodes"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+	// Threads is the configured per-solve worker count.
+	Threads int `json:"threads"`
+}
+
 // StatsResponse is the service-level counter snapshot of GET /v1/stats.
 type StatsResponse struct {
 	// Requests counts HTTP requests accepted per endpoint.
@@ -239,6 +257,8 @@ type StatsResponse struct {
 	Store *StoreStats `json:"store,omitempty"`
 	// Admission describes cost-aware admission control.
 	Admission AdmissionStats `json:"admission"`
+	// Solver aggregates MILP performance counters across solves.
+	Solver SolverStats `json:"solver"`
 	// Deduped counts requests that attached to an identical in-flight solve
 	// instead of starting their own.
 	Deduped int64 `json:"deduped"`

@@ -70,6 +70,12 @@ type Config struct {
 	// budget and cannot starve cheap requests; negative disables
 	// cost-based admission (queue depth still bounds).
 	MaxOutstandingCost float64
+	// SolveThreads is the parallel branch-and-bound worker count applied to
+	// every optimal solve (0 or 1 = serial). Threads multiply within one
+	// solve; Workers bounds how many solves run at once, so total solver
+	// parallelism is Workers × SolveThreads — keep the product near the
+	// core count.
+	SolveThreads int
 	// DefaultTimeLimit applies when a request names none (default 30 s).
 	DefaultTimeLimit time.Duration
 	// MaxTimeLimit caps any requested time limit (default 10 min).
@@ -144,6 +150,11 @@ type Server struct {
 	requests map[string]int64
 
 	solves, deduped, errs atomic.Int64
+
+	// Aggregate solver performance counters, accumulated per optimal solve.
+	solverIters, solverDual, solverP1Skip atomic.Int64
+	solverWarmHits, solverWarmMisses      atomic.Int64
+	solverNodes, solverSolveMicros        atomic.Int64
 }
 
 // New builds a Server from cfg. It fails only when a persistent store is
@@ -250,6 +261,10 @@ func (s *Server) Stats() api.StatsResponse {
 		size += sh.Size
 	}
 	ratio, samples := s.calib.snapshot()
+	var nps float64
+	if us := s.solverSolveMicros.Load(); us > 0 {
+		nps = float64(s.solverNodes.Load()) / (float64(us) / 1e6)
+	}
 	resp := api.StatsResponse{
 		Requests:       reqs,
 		Solves:         s.solves.Load(),
@@ -265,6 +280,16 @@ func (s *Server) Stats() api.StatsResponse {
 			EstimateRatio:      ratio,
 			Samples:            samples,
 			Rejected:           s.pool.rejected.Load(),
+		},
+		Solver: api.SolverStats{
+			SimplexIters:  s.solverIters.Load(),
+			DualIters:     s.solverDual.Load(),
+			Phase1Skipped: s.solverP1Skip.Load(),
+			WarmHits:      s.solverWarmHits.Load(),
+			WarmMisses:    s.solverWarmMisses.Load(),
+			Nodes:         s.solverNodes.Load(),
+			NodesPerSec:   nps,
+			Threads:       s.cfg.SolveThreads,
 		},
 		Deduped:    s.deduped.Load(),
 		Cancelled:  s.pool.cancelled.Load(),
@@ -364,7 +389,7 @@ func (s *Server) solveParamsFrom(solver string, budget, timeLimitMS int64, relGa
 	if tl > s.cfg.MaxTimeLimit {
 		tl = s.cfg.MaxTimeLimit
 	}
-	p.opt = checkmate.SolveOptions{TimeLimit: tl, RelGap: relGap}
+	p.opt = checkmate.SolveOptions{TimeLimit: tl, RelGap: relGap, Threads: s.cfg.SolveThreads}
 	return p, nil
 }
 
@@ -492,6 +517,16 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 	}
 	if err != nil {
 		return nil, err
+	}
+	if !p.approximate {
+		ctr := sched.Solver
+		s.solverIters.Add(ctr.SimplexIters)
+		s.solverDual.Add(ctr.DualIters)
+		s.solverP1Skip.Add(ctr.Phase1Skipped)
+		s.solverWarmHits.Add(ctr.WarmHits)
+		s.solverWarmMisses.Add(ctr.WarmMisses)
+		s.solverNodes.Add(int64(sched.Nodes))
+		s.solverSolveMicros.Add(sched.SolveTime.Microseconds())
 	}
 	var planBuf bytes.Buffer
 	if err := sched.Plan.WriteJSON(&planBuf); err != nil {

@@ -460,3 +460,43 @@ func TestSolveCancellation(t *testing.T) {
 func buildTestWorkload(s *Server, spec *api.GraphSpec) (*checkmate.Workload, error) {
 	return s.buildWorkload(workloadSpec{graph: spec})
 }
+
+// TestSolverStatsAndThreads: a server configured with parallel
+// branch-and-bound must solve correctly, and /v1/stats must expose the
+// aggregated solver counters (simplex iterations, warm-start hit rate,
+// node throughput) after an optimal solve.
+func TestSolverStatsAndThreads(t *testing.T) {
+	srv, ts := testServerCfg(t, Config{
+		Workers: 2, QueueCap: 16, CacheCap: 32,
+		DefaultTimeLimit: 20 * time.Second, SolveThreads: 2,
+	})
+	resp, errResp := postSolve(t, ts, api.SolveRequest{Graph: chainSpec(8), Budget: 6})
+	if errResp != nil {
+		t.Fatalf("solve failed: %d %s", errResp.StatusCode, errResp.Status)
+	}
+	if resp.Cached {
+		t.Fatal("first solve reported cached")
+	}
+	st := srv.Stats()
+	if st.Solver.Threads != 2 {
+		t.Fatalf("stats threads = %d, want 2", st.Solver.Threads)
+	}
+	if st.Solver.SimplexIters == 0 {
+		t.Fatal("no simplex iterations recorded after an optimal solve")
+	}
+	if st.Solver.Nodes == 0 {
+		t.Fatal("no branch-and-bound nodes recorded")
+	}
+	if st.Solver.NodesPerSec <= 0 {
+		t.Fatalf("nodes/sec %v not positive", st.Solver.NodesPerSec)
+	}
+	// Serial and parallel configs must agree on the optimal overhead.
+	_, ts1 := testServerCfg(t, Config{Workers: 1, DefaultTimeLimit: 20 * time.Second})
+	resp1, errResp1 := postSolve(t, ts1, api.SolveRequest{Graph: chainSpec(8), Budget: 6})
+	if errResp1 != nil {
+		t.Fatalf("serial solve failed: %d %s", errResp1.StatusCode, errResp1.Status)
+	}
+	if d := resp.Overhead - resp1.Overhead; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("parallel overhead %v != serial %v", resp.Overhead, resp1.Overhead)
+	}
+}

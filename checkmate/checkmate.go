@@ -5,12 +5,23 @@
 //
 // The typical pipeline mirrors Figure 2 of the paper:
 //
-//	wl, _ := checkmate.Load("unet", checkmate.Options{Batch: 4})   // user-specified architecture
-//	sched, _ := wl.SolveOptimal(16<<30, checkmate.SolveOptions{})  // LP construction and optimization
-//	plan := sched.Plan                                             // rebuilt static graph / execution plan
+//	wl, _ := checkmate.Load("unet", checkmate.Options{Batch: 4})  // user-specified architecture
+//	sched, _ := checkmate.Solve(ctx, checkmate.Request{           // LP construction and optimization
+//		Workload: wl, Budget: 16 << 30,
+//	})
+//	plan := sched.Plan                                            // rebuilt static graph / execution plan
 //
-// Use SolveApprox for the polynomial-time two-phase LP rounding
-// (paper Section 5) and Baselines for the prior-work heuristics of Table 1.
+// Solve is the single entry point for every method: Request.Method selects
+// the exact MILP (Optimal, the default), the polynomial-time two-phase LP
+// rounding (Approx, paper Section 5), or a prior-work heuristic of Table 1
+// (Baseline); Request.Budgets switches to a warm-started budget sweep.
+// A Request may carry an Observer (or an Events channel) that receives
+// typed progress events — Started, Incumbent, BoundImproved, SweepPoint,
+// Done — while the solver runs, exposing the anytime incumbent/bound
+// trajectory of the branch-and-bound search.
+//
+// The pre-Solve entry points (SolveOptimal, SolveApprox, SolveSweep and
+// their Ctx variants) remain as deprecated wrappers.
 package checkmate
 
 import (
@@ -18,9 +29,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
-	"repro/internal/approx"
 	"repro/internal/autodiff"
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -49,19 +60,24 @@ type Options struct {
 	Input nets.Shape
 }
 
-func (o Options) model() costmodel.Model {
+// DevicePresets lists the hardware cost-model names Options.Device accepts.
+func DevicePresets() []string { return []string{"v100", "tpu", "cpu"} }
+
+func (o Options) model() (costmodel.Model, error) {
 	if o.FLOPsCost {
-		return costmodel.NewFLOPs()
+		return costmodel.NewFLOPs(), nil
 	}
 	switch o.Device {
 	case "", "v100":
-		return costmodel.NewRoofline(costmodel.V100())
+		return costmodel.NewRoofline(costmodel.V100()), nil
 	case "tpu":
-		return costmodel.NewRoofline(costmodel.TPUv2Core())
+		return costmodel.NewRoofline(costmodel.TPUv2Core()), nil
 	case "cpu":
-		return costmodel.NewRoofline(costmodel.CPU())
+		return costmodel.NewRoofline(costmodel.CPU()), nil
 	default:
-		return costmodel.NewRoofline(costmodel.V100())
+		// A typo must not silently cost-model for the wrong hardware.
+		return nil, fmt.Errorf("checkmate: unknown device %q (valid presets: %s)",
+			o.Device, strings.Join(DevicePresets(), ", "))
 	}
 }
 
@@ -85,8 +101,12 @@ func Load(model string, opt Options) (*Workload, error) {
 	if opt.Batch == 0 {
 		opt.Batch = 1
 	}
+	cm, err := opt.model()
+	if err != nil {
+		return nil, err
+	}
 	net, err := nets.ByName(model, nets.Config{
-		Model: opt.model(), Batch: opt.Batch,
+		Model: cm, Batch: opt.Batch,
 		CoarseSegments: opt.CoarseSegments, Input: opt.Input,
 	})
 	if err != nil {
@@ -298,48 +318,40 @@ func (s *Schedule) Overhead() float64 { return s.Cost / s.IdealCost }
 
 // SolveOptimal solves the MILP of paper Section 4.7 at the given budget.
 // A budget below MinBudget or an over-constrained instance returns an error.
+//
+// Deprecated: use Solve with a Request (Method Optimal is the default).
 func (w *Workload) SolveOptimal(budget int64, opt SolveOptions) (*Schedule, error) {
 	return w.SolveOptimalCtx(context.Background(), budget, opt)
 }
 
 // SolveOptimalCtx is SolveOptimal with cancellation: when ctx is cancelled
 // the branch-and-bound search stops promptly and ctx.Err() is returned.
+//
+// Deprecated: use Solve with a Request (Method Optimal is the default).
 func (w *Workload) SolveOptimalCtx(ctx context.Context, budget int64, opt SolveOptions) (*Schedule, error) {
-	if opt.TimeLimit == 0 {
-		opt.TimeLimit = 60 * time.Second
-	}
-	res, err := core.SolveILPCtx(ctx, core.Instance{G: w.Graph, Budget: budget, Overhead: w.Overhead}, core.SolveOptions{
-		TimeLimit:     opt.TimeLimit,
-		RelGap:        opt.RelGap,
-		Unpartitioned: opt.Unpartitioned,
-		Threads:       opt.Threads,
+	return Solve(ctx, Request{
+		Workload: w, Method: Optimal, Budget: budget,
+		TimeLimit: opt.TimeLimit, RelGap: opt.RelGap,
+		Unpartitioned: opt.Unpartitioned, Threads: opt.Threads,
 	})
-	if err != nil {
-		return nil, err
-	}
-	switch res.Status {
-	case milp.StatusInfeasible:
-		return nil, fmt.Errorf("%w: budget %d (min feasible ≥ %d)", ErrInfeasible, budget, w.MinBudget())
-	case milp.StatusLimit:
-		return nil, fmt.Errorf("%w: budget %d", ErrSolveLimit, budget)
-	}
-	return w.finish(res.Sched, res.Status == milp.StatusOptimal, res)
 }
 
 // SolveApprox runs the two-phase LP rounding approximation (Section 5) with
 // the ε-search refinement of Appendix D.
+//
+// Deprecated: use Solve with Request.Method Approx.
 func (w *Workload) SolveApprox(budget int64) (*Schedule, error) {
 	return w.SolveApproxCtx(context.Background(), budget)
 }
 
 // SolveApproxCtx is SolveApprox with cancellation: the ε-search and its LP
-// relaxations stop promptly when ctx is cancelled.
+// relaxations stop promptly when ctx is cancelled, and the default 60 s
+// time limit bounds the search even on a background context.
+//
+// Deprecated: use Solve with Request.Method Approx; Request.TimeLimit
+// bounds the ε-search.
 func (w *Workload) SolveApproxCtx(ctx context.Context, budget int64) (*Schedule, error) {
-	r, err := approx.SolveWithSearchCtx(ctx, core.Instance{G: w.Graph, Budget: budget, Overhead: w.Overhead}, approx.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return w.finish(r.Sched, false, nil)
+	return Solve(ctx, Request{Workload: w, Method: Approx, Budget: budget})
 }
 
 func (w *Workload) finish(s *core.Sched, optimal bool, res *core.Result) (*Schedule, error) {
@@ -388,35 +400,24 @@ type SweepPoint struct {
 // be in any order. Per-point infeasibility is recorded in the point, not
 // returned as an error; the error return covers whole-sweep failures
 // (cancellation, malformed instance).
+//
+// Deprecated: use Solve with Request.Budgets; each point arrives as a
+// SweepPoint event.
 func (w *Workload) SolveSweep(ctx context.Context, budgets []int64, opt SolveOptions) ([]SweepPoint, error) {
-	if opt.TimeLimit == 0 {
-		opt.TimeLimit = 60 * time.Second
+	// Preserve the pre-Solve contract: an empty sweep is trivially complete,
+	// not a malformed request.
+	if len(budgets) == 0 {
+		return []SweepPoint{}, nil
 	}
-	results, err := core.SweepILP(ctx, core.Instance{G: w.Graph, Overhead: w.Overhead}, budgets, core.SolveOptions{
-		TimeLimit:     opt.TimeLimit,
-		RelGap:        opt.RelGap,
-		Unpartitioned: opt.Unpartitioned,
-		Threads:       opt.Threads,
-	})
-	if err != nil {
+	req := Request{
+		Workload: w, Method: Optimal, Budgets: budgets,
+		TimeLimit: opt.TimeLimit, RelGap: opt.RelGap,
+		Unpartitioned: opt.Unpartitioned, Threads: opt.Threads,
+	}
+	_, points, err := w.solveSweepRequest(ctx, req, newEmitter(req))
+	// An all-infeasible sweep is a per-point outcome, not a sweep failure.
+	if err != nil && !errors.Is(err, ErrInfeasible) {
 		return nil, err
-	}
-	points := make([]SweepPoint, len(budgets))
-	for i, res := range results {
-		points[i].Budget = budgets[i]
-		switch res.Status {
-		case milp.StatusInfeasible:
-			points[i].Err = fmt.Errorf("%w: budget %d (min feasible ≥ %d)", ErrInfeasible, budgets[i], w.MinBudget())
-			continue
-		case milp.StatusLimit:
-			points[i].Err = fmt.Errorf("%w: budget %d", ErrSolveLimit, budgets[i])
-			continue
-		}
-		sched, err := w.finish(res.Sched, res.Status == milp.StatusOptimal, res)
-		if err != nil {
-			return nil, err
-		}
-		points[i].Schedule = sched
 	}
 	return points, nil
 }

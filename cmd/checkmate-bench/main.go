@@ -21,9 +21,12 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/milp"
 )
 
 func main() {
@@ -37,9 +40,13 @@ func main() {
 		gap        = flag.Float64("gap", 0, "accepted ILP gap (0 = default 0.02)")
 		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for the solver benchmark")
 		solverJSON = flag.String("solver-json", "", "write the solver benchmark record to this file (e.g. BENCH_solver.json)")
+		progress   = flag.Bool("progress", false, "stream live solver progress (incumbents, bounds, sweep points) to stderr")
 	)
 	flag.Parse()
 	sc := experiments.Scale{Segments: *segments, BudgetPoints: *points, TimeLimit: *limit, RelGap: *gap}
+	if *progress {
+		sc.Progress = progressHooks()
+	}
 	w := os.Stdout
 
 	run := func(name string, f func() error) {
@@ -132,5 +139,43 @@ func main() {
 			fmt.Fprintf(w, "(solver record written to %s)\n", *solverJSON)
 			return nil
 		})
+	}
+}
+
+// progressHooks renders the solver's live trajectory on stderr while the
+// ILP experiments run: one line per solve start, (rate-limited upstream)
+// incumbent improvement, and completed sweep point. Hooks may fire from
+// parallel branch-and-bound workers, so output is serialized.
+func progressHooks() core.ProgressHooks {
+	var mu sync.Mutex
+	start := time.Now()
+	stamp := func() float64 { return time.Since(start).Seconds() }
+	return core.ProgressHooks{
+		Started: func(budget int64, vars, rows int) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "  [%8.2fs] solve start: budget %.2f GiB, MILP %d vars × %d rows\n",
+				stamp(), float64(budget)/float64(1<<30), vars, rows)
+		},
+		Incumbent: func(cost, bound float64) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "  [%8.2fs] incumbent %.6g (bound %.6g)\n", stamp(), cost, bound)
+		},
+		SweepPoint: func(index int, budget int64, res *core.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			var state string
+			switch {
+			case res.Sched != nil:
+				state = fmt.Sprintf("cost %.6g", res.Cost)
+			case res.Status == milp.StatusLimit:
+				state = "limit (no incumbent in time; raise -timelimit)"
+			default:
+				state = "infeasible"
+			}
+			fmt.Fprintf(os.Stderr, "  [%8.2fs] sweep point %d: budget %.2f GiB → %s\n",
+				stamp(), index, float64(budget)/float64(1<<30), state)
+		},
 	}
 }

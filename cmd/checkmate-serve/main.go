@@ -39,6 +39,7 @@ func main() {
 		maxOutCost  = flag.Float64("max-outstanding-cost", 0, "admission limit on projected unfinished solver work, in cost units (~ms of solver time; 0 = auto, negative = disabled)")
 		defTL       = flag.Duration("default-timelimit", 30*time.Second, "solver time limit when a request names none")
 		maxTL       = flag.Duration("max-timelimit", 10*time.Minute, "cap on requested solver time limits")
+		heartbeat   = flag.Duration("stream-heartbeat", 15*time.Second, "SSE keepalive interval for /v1/solve/stream")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		MaxOutstandingCost: *maxOutCost,
 		DefaultTimeLimit:   *defTL,
 		MaxTimeLimit:       *maxTL,
+		StreamHeartbeat:    *heartbeat,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "checkmate-serve: %v\n", err)

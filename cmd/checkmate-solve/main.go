@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +41,7 @@ func main() {
 		gap      = flag.Float64("gap", 0.01, "accepted relative optimality gap")
 		threads  = flag.Int("threads", 1, "parallel branch-and-bound workers (1 = serial)")
 		showPlan = flag.Bool("plan", false, "print the generated execution plan")
+		quiet    = flag.Bool("quiet", false, "suppress live solver progress on stderr")
 		res      = flag.String("input", "", "override input resolution as CxHxW, e.g. 3x416x608")
 	)
 	flag.Parse()
@@ -63,13 +68,46 @@ func main() {
 	fmt.Printf("checkpoint-all peak %s, minimum feasible budget %s, solving at %s\n",
 		fmtBytes(peak), fmtBytes(minB), fmtBytes(bud))
 
-	var sched *checkmate.Schedule
+	method := checkmate.Optimal
 	if *useApx {
-		sched, err = wl.SolveApprox(bud)
-	} else {
-		sched, err = wl.SolveOptimal(bud, checkmate.SolveOptions{TimeLimit: *limit, RelGap: *gap, Threads: *threads})
+		method = checkmate.Approx
 	}
+	req := checkmate.Request{
+		Workload: wl, Method: method, Budget: bud,
+		TimeLimit: *limit, RelGap: *gap, Threads: *threads,
+	}
+	// Remember the last incumbent so an interrupted run can report how far
+	// the search got (the schedule itself is discarded on cancellation).
+	var lastInc struct {
+		seen     bool
+		overhead float64
+		elapsed  time.Duration
+	}
+	obs := checkmate.ObserverFunc(func(e checkmate.Event) {
+		if e.Kind == checkmate.EventIncumbent {
+			lastInc.seen, lastInc.overhead, lastInc.elapsed = true, e.Overhead, e.Elapsed
+		}
+	})
+	if *quiet {
+		req.Observer = obs
+	} else {
+		progress := progressObserver()
+		req.Observer = checkmate.ObserverFunc(func(e checkmate.Event) {
+			obs.OnEvent(e)
+			progress.OnEvent(e)
+		})
+	}
+	// Ctrl-C cancels the search cleanly (in-flight simplex included)
+	// instead of killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sched, err := checkmate.Solve(ctx, req)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && lastInc.seen {
+			fmt.Fprintf(os.Stderr, "checkmate-solve: interrupted; best incumbent so far had overhead %.3fx (at %v)\n",
+				lastInc.overhead, lastInc.elapsed.Round(time.Millisecond))
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	fmt.Printf("cost %.6g (overhead %.3fx vs ideal), peak %s, optimal=%v\n",
@@ -87,6 +125,30 @@ func main() {
 	if *showPlan {
 		fmt.Print(sched.Plan.String())
 	}
+}
+
+// progressObserver renders the solver's anytime trajectory on stderr: the
+// MILP dimensions when the search starts, then every (rate-limited)
+// incumbent and bound improvement with the proven optimality gap.
+func progressObserver() checkmate.Observer {
+	return checkmate.ObserverFunc(func(e checkmate.Event) {
+		switch e.Kind {
+		case checkmate.EventStarted:
+			if e.Vars > 0 {
+				fmt.Fprintf(os.Stderr, "  [%7.2fs] MILP built: %d vars × %d rows\n",
+					e.Elapsed.Seconds(), e.Vars, e.Rows)
+			}
+		case checkmate.EventIncumbent:
+			gap := "  gap n/a"
+			if !math.IsInf(e.Gap, 1) {
+				gap = fmt.Sprintf("gap %5.2f%%", 100*e.Gap)
+			}
+			fmt.Fprintf(os.Stderr, "  [%7.2fs] incumbent %.6g (overhead %.3fx)  %s\n",
+				e.Elapsed.Seconds(), e.Objective, e.Overhead, gap)
+		case checkmate.EventBound:
+			fmt.Fprintf(os.Stderr, "  [%7.2fs] bound     %.6g\n", e.Elapsed.Seconds(), e.Bound)
+		}
+	})
 }
 
 func parseShape(s string) (nets.Shape, error) {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +41,9 @@ func main() {
 	peak := wl.CheckpointAllPeak()
 	minB := wl.MinBudget()
 	budget := minB + int64(*budgetF*float64(peak-minB))
-	sched, err := wl.SolveOptimal(budget, checkmate.SolveOptions{TimeLimit: *limit, RelGap: 0.02})
+	sched, err := checkmate.Solve(context.Background(), checkmate.Request{
+		Workload: wl, Budget: budget, TimeLimit: *limit, RelGap: 0.02,
+	})
 	if err != nil {
 		fatal(err)
 	}

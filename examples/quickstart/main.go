@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -34,7 +35,9 @@ func main() {
 	//    incompressible) and the checkpoint-all peak.
 	minB := wl.MinBudget()
 	budget := minB + (peak-minB)/2
-	sched, err := wl.SolveOptimal(budget, checkmate.SolveOptions{
+	sched, err := checkmate.Solve(context.Background(), checkmate.Request{
+		Workload:  wl,
+		Budget:    budget,
 		TimeLimit: 60 * time.Second,
 		RelGap:    0.01,
 	})

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -61,14 +62,21 @@ func main() {
 	}
 
 	// Checkmate: optimal rematerialization.
-	sched, err := wl.SolveOptimal(v100, checkmate.SolveOptions{TimeLimit: 90 * time.Second, RelGap: 0.02})
+	ctx := context.Background()
+	sched, err := checkmate.Solve(ctx, checkmate.Request{
+		Workload: wl, Budget: v100,
+		TimeLimit: 90 * time.Second, RelGap: 0.02,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	report("checkmate (optimal)", sched.Cost, float64(sched.PeakBytes), true)
 
 	// And the polynomial-time approximation.
-	apx, err := wl.SolveApprox(v100)
+	apx, err := checkmate.Solve(ctx, checkmate.Request{
+		Workload: wl, Method: checkmate.Approx, Budget: v100,
+		TimeLimit: 90 * time.Second,
+	})
 	if err == nil {
 		report("checkmate (approx)", apx.Cost, float64(apx.PeakBytes), true)
 	}

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
 
+	"repro/checkmate"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/schedule"
@@ -42,31 +45,38 @@ func main() {
 	}
 	fmt.Printf("retain-all: peak %s, %d computes\n", kib(baseSim.PeakBytes), baseSim.Computes)
 
-	// Optimal rematerialization at a reduced budget. MinBudgetLowerBound is
-	// only a bound, so probe upward until a schedule exists.
-	minB := core.MinBudgetLowerBound(machine.G, machine.Overhead)
-	var res *core.Result
-	var budget int64
-	for _, frac := range []float64{0.25, 0.4, 0.55, 0.7, 0.85} {
-		budget = minB + int64(float64(baseSim.PeakBytes-minB)*frac)
-		r, err := core.SolveILP(core.Instance{G: machine.G, Budget: budget, Overhead: machine.Overhead},
-			core.SolveOptions{TimeLimit: 60 * time.Second})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if r.Sched != nil {
-			res = r
-			break
-		}
-	}
-	if res == nil {
-		log.Fatal("no reduced budget admits a schedule")
-	}
-	plan, err := schedule.Generate(machine.G, res.Sched)
+	// Optimal rematerialization at a reduced budget, through the public
+	// unified entry point (the raw training DAG wraps into a Workload).
+	// MinBudgetLowerBound is only a bound, so probe upward until a schedule
+	// exists — per-budget infeasibility arrives as checkmate.ErrInfeasible.
+	wl, err := checkmate.FromGraph(machine.G, machine.Overhead)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan = schedule.MoveDeallocationsEarlier(machine.G, plan)
+	minB := core.MinBudgetLowerBound(machine.G, machine.Overhead)
+	var sched *checkmate.Schedule
+	var budget int64
+	for _, frac := range []float64{0.25, 0.4, 0.55, 0.7, 0.85} {
+		budget = minB + int64(float64(baseSim.PeakBytes-minB)*frac)
+		// A 5% gap and a short limit keep hopeless probes cheap: a budget the
+		// solver cannot crack quickly surfaces as ErrSolveLimit and the next
+		// one is tried (math equivalence needs any feasible plan, not proofs).
+		s, err := checkmate.Solve(context.Background(), checkmate.Request{
+			Workload: wl, Budget: budget, TimeLimit: 10 * time.Second, RelGap: 0.05,
+		})
+		if err != nil {
+			if errors.Is(err, checkmate.ErrInfeasible) || errors.Is(err, checkmate.ErrSolveLimit) {
+				continue
+			}
+			log.Fatal(err)
+		}
+		sched = s
+		break
+	}
+	if sched == nil {
+		log.Fatal("no reduced budget admits a schedule")
+	}
+	plan := sched.Plan
 	sim, err := schedule.Simulate(machine.G, plan, machine.Overhead)
 	if err != nil {
 		log.Fatal(err)

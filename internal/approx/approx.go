@@ -32,6 +32,11 @@ type Options struct {
 	Randomized bool
 	Samples    int
 	Seed       int64
+	// Progress, if set, is called by SolveWithSearch after every ε
+	// iteration that produced a rounding, with the ε tried and its result
+	// (feasibility is in r.Feasible). Iterations whose LP failed are
+	// skipped. Called from the solving goroutine; must be fast.
+	Progress func(eps float64, r *Result)
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +119,9 @@ func SolveWithSearchCtx(ctx context.Context, inst core.Instance, opt Options) (*
 				return nil, fmt.Errorf("approx: search cancelled: %w", ctx.Err())
 			}
 			continue
+		}
+		if opt.Progress != nil {
+			opt.Progress(eps, r)
 		}
 		if !r.Feasible {
 			continue

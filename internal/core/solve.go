@@ -41,6 +41,30 @@ type SolveOptions struct {
 	RootBasis *lp.Basis
 	// ColdStart disables all simplex warm starting (benchmarks/ablation).
 	ColdStart bool
+	// Progress streams solver progress out of SolveILPCtx/SweepILP while
+	// the search runs. The zero value reports nothing.
+	Progress ProgressHooks
+}
+
+// ProgressHooks receive streaming progress from an in-flight solve. Every
+// field is optional. Objectives and bounds are reported in the graph's true
+// cost units (the MILP's internal scaling is undone). Hooks may be invoked
+// from solver worker goroutines — with Threads > 1 concurrently — so they
+// must be fast and safe for concurrent use; slow hooks stall the search.
+type ProgressHooks struct {
+	// Started fires once per solve, after the MILP is built, with the
+	// budget under optimization and the problem dimensions.
+	Started func(budget int64, vars, rows int)
+	// Incumbent fires whenever the branch-and-bound incumbent improves
+	// (including the initial seed), with the new schedule cost and the
+	// proven lower bound at that moment (-Inf until the root LP finishes).
+	Incumbent func(cost, bound float64)
+	// Bound fires whenever the proven lower bound improves; reported
+	// bounds are monotone non-decreasing within one solve.
+	Bound func(bound float64)
+	// SweepPoint fires after each budget of SweepILP completes, with the
+	// point's index into the caller's budgets slice.
+	SweepPoint func(index int, budget int64, res *Result)
 }
 
 // Result is the outcome of an optimal or approximate solve.
@@ -95,6 +119,16 @@ func SolveILPCtx(ctx context.Context, inst Instance, opt SolveOptions) (*Result,
 		Threads:   opt.Threads,
 		RootBasis: opt.RootBasis,
 		ColdStart: opt.ColdStart,
+	}
+	if opt.Progress.Started != nil {
+		v, r := f.Stats()
+		opt.Progress.Started(inst.Budget, v, r)
+	}
+	if cb := opt.Progress.Incumbent; cb != nil {
+		mopt.OnImprove = func(obj, bound float64) { cb(f.TrueCost(obj), f.TrueCost(bound)) }
+	}
+	if cb := opt.Progress.Bound; cb != nil {
+		mopt.OnBound = func(bound float64) { cb(f.TrueCost(bound)) }
 	}
 	if !opt.DisableRounding && !opt.Unpartitioned {
 		mopt.Heuristic = RoundingHeuristic(f)
@@ -173,6 +207,9 @@ func SweepILP(ctx context.Context, inst Instance, budgets []int64, opt SolveOpti
 			return nil, fmt.Errorf("core: sweep at budget %d: %w", budgets[i], err)
 		}
 		results[i] = res
+		if opt.Progress.SweepPoint != nil {
+			opt.Progress.SweepPoint(i, budgets[i], res)
+		}
 		if res.RootBasis != nil {
 			prevBasis = res.RootBasis
 		}

@@ -38,6 +38,10 @@ type Scale struct {
 	TimeLimit time.Duration
 	// RelGap accepted for ILP solves (0 = 0.02).
 	RelGap float64
+	// Progress, when any hook is set, streams solver progress (incumbents,
+	// bounds, sweep points) out of the long-running ILP experiments so the
+	// bench CLI can show a live trajectory.
+	Progress core.ProgressHooks
 }
 
 func (s Scale) withDefaults() Scale {
@@ -239,7 +243,7 @@ func Fig5(w io.Writer, model string, batch int, sc Scale) ([]CurvePoint, error) 
 		budgets[p] = int64(minB + (peak*1.02-minB)*frac)
 	}
 	ilp, err := core.SweepILP(context.Background(), core.Instance{G: g, Overhead: tg.Overhead}, budgets,
-		core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap})
+		core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap, Progress: sc.Progress})
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +451,7 @@ func Table2(w io.Writer, models []string, sc Scale) ([]Table2Row, error) {
 			budgets[p] = int64(minB + (peak-minB)*frac)
 		}
 		ilp, err := core.SweepILP(context.Background(), core.Instance{G: g, Overhead: tg.Overhead}, budgets,
-			core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap})
+			core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap, Progress: sc.Progress})
 		if err != nil {
 			return nil, err
 		}

@@ -137,9 +137,17 @@ type Options struct {
 	Incumbent []float64
 	// LPOpts are passed through to the simplex solver.
 	LPOpts lp.Options
-	// OnImprove, if set, is called whenever the incumbent improves. With
-	// Threads > 1 calls may arrive concurrently and slightly out of order.
-	OnImprove func(obj float64)
+	// OnImprove, if set, is called whenever the incumbent improves, with the
+	// new objective and the proven global lower bound at that moment (-Inf
+	// until the root relaxation finishes). With Threads > 1 calls may arrive
+	// concurrently and slightly out of order; callbacks must be fast and
+	// safe for concurrent use.
+	OnImprove func(obj, bound float64)
+	// OnBound, if set, is called whenever the proven global lower bound —
+	// the minimum over open, in-flight, and abandoned subtree bounds —
+	// improves. Bounds reported through it are monotone non-decreasing.
+	// Same concurrency caveats as OnImprove.
+	OnBound func(bound float64)
 	// Context, when non-nil, cancels the search: the branch-and-bound loop
 	// stops at the next node boundary and the in-flight LP relaxation is
 	// interrupted via LPOpts.Cancel. Cancellation is reported like a limit
@@ -240,10 +248,29 @@ type search struct {
 	dangling  float64
 	stopLimit bool // node/time/context limit reached
 	stopGap   bool // incumbent proven within RelGap of the global bound
+	// proven is the best bound reported through OnBound so far; boundMu
+	// serializes the deliveries themselves (outside s.mu) so the callback's
+	// bound sequence stays monotone under parallel workers — without it, a
+	// worker could be preempted between releasing s.mu and invoking the
+	// callback while another delivers a newer, higher bound first.
+	proven    float64
+	boundMu   sync.Mutex
+	delivered float64
 	rootObj   float64
 	rootBasis *lp.Basis
 	ctr       Counters
 	start     time.Time
+}
+
+// provenLocked returns the current global lower bound: nothing in the tree
+// lies below the best open node, any in-flight node, or the bound of an
+// abandoned subtree. Caller holds s.mu.
+func (s *search) provenLocked() float64 {
+	b := math.Min(s.lost, s.dangling)
+	if len(s.open) > 0 {
+		b = math.Min(b, s.open[0].bound)
+	}
+	return math.Min(b, s.minInflight())
 }
 
 // Solve runs branch-and-bound.
@@ -267,14 +294,16 @@ func Solve(prob *Problem, opt Options) *Solution {
 	}
 
 	s := &search{
-		prob:     prob,
-		opt:      opt,
-		inflight: make([]float64, opt.Threads),
-		incObj:   math.Inf(1),
-		lost:     math.Inf(1),
-		dangling: math.Inf(1),
-		rootObj:  math.NaN(),
-		start:    time.Now(),
+		prob:      prob,
+		opt:       opt,
+		inflight:  make([]float64, opt.Threads),
+		incObj:    math.Inf(1),
+		lost:      math.Inf(1),
+		dangling:  math.Inf(1),
+		proven:    math.Inf(-1),
+		delivered: math.Inf(-1),
+		rootObj:   math.NaN(),
+		start:     time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := range s.inflight {
@@ -284,7 +313,7 @@ func Solve(prob *Problem, opt Options) *Solution {
 		s.incumbent = append([]float64(nil), opt.Incumbent...)
 		s.incObj = prob.LP.Objective(s.incumbent)
 		if opt.OnImprove != nil {
-			opt.OnImprove(s.incObj)
+			opt.OnImprove(s.incObj, math.Inf(-1))
 		}
 	}
 	root := &node{bound: math.Inf(-1)}
@@ -376,7 +405,21 @@ func (s *search) worker(id int) {
 			s.nodes++
 		}
 		s.inflight[id] = nd.bound
+		// Report bound progress: with this pop the global bound may have
+		// moved up (best-bound order pops the weakest node first). The
+		// callback runs outside s.mu.
+		var boundCB func(float64)
+		var newBound float64
+		if s.opt.OnBound != nil {
+			if gb := math.Min(globalBound, math.Min(s.lost, s.dangling)); gb > s.proven && !math.IsInf(gb, -1) {
+				s.proven = gb
+				boundCB, newBound = s.opt.OnBound, gb
+			}
+		}
 		s.mu.Unlock()
+		if boundCB != nil {
+			s.reportBound(boundCB, newBound)
+		}
 
 		s.expand(work, rootLB, rootHB, &chain, nd)
 
@@ -385,6 +428,19 @@ func (s *search) worker(id int) {
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
+}
+
+// reportBound delivers one OnBound callback under boundMu, dropping bounds
+// a concurrent worker has already superseded: deliveries are serialized and
+// strictly increasing, upholding the documented monotone guarantee.
+func (s *search) reportBound(cb func(float64), bound float64) {
+	s.boundMu.Lock()
+	defer s.boundMu.Unlock()
+	if bound <= s.delivered {
+		return
+	}
+	s.delivered = bound
+	cb(bound)
 }
 
 // expand solves one node's LP relaxation and branches. Called without s.mu;
@@ -528,9 +584,10 @@ func (s *search) offerIncumbent(x []float64, obj float64) {
 	s.incumbent = append(s.incumbent[:0], x...)
 	s.incObj = obj
 	cb := s.opt.OnImprove
+	bound := s.provenLocked()
 	s.mu.Unlock()
 	if cb != nil {
-		cb(obj)
+		cb(obj, bound)
 	}
 }
 

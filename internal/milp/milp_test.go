@@ -1,8 +1,10 @@
 package milp
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -218,12 +220,68 @@ func TestOnImproveCallbackFires(t *testing.T) {
 	weights := []float64{3, 4, 2, 3, 1, 2}
 	prob := mkKnapsack(values, weights, 7)
 	improvements := 0
-	sol := Solve(prob, Options{OnImprove: func(obj float64) { improvements++ }})
+	lastObj := math.Inf(1)
+	sol := Solve(prob, Options{OnImprove: func(obj, bound float64) {
+		improvements++
+		if obj >= lastObj {
+			t.Errorf("OnImprove objective %v did not improve on %v", obj, lastObj)
+		}
+		if bound > obj+1e-9 {
+			t.Errorf("OnImprove reported bound %v above incumbent %v", bound, obj)
+		}
+		lastObj = obj
+	}})
 	if sol.Status != StatusOptimal {
 		t.Fatalf("status=%v", sol.Status)
 	}
 	if improvements == 0 {
 		t.Fatal("OnImprove never fired")
+	}
+	if math.Abs(lastObj-sol.Obj) > 1e-9 {
+		t.Fatalf("last OnImprove objective %v != final incumbent %v", lastObj, sol.Obj)
+	}
+}
+
+// TestOnBoundMonotone: bounds reported through OnBound must be monotone
+// non-decreasing and never exceed the final proven bound — including under
+// parallel workers, where deliveries are serialized so a preempted worker
+// cannot publish a stale (lower) bound after a newer one.
+func TestOnBoundMonotone(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		t.Run(fmt.Sprintf("threads=%d", threads), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			n := 18
+			values := make([]float64, n)
+			weights := make([]float64, n)
+			var tot float64
+			for i := range values {
+				values[i] = 1 + 10*rng.Float64()
+				weights[i] = 1 + 10*rng.Float64()
+				tot += weights[i]
+			}
+			prob := mkKnapsack(values, weights, tot/3)
+			var mu sync.Mutex
+			var bounds []float64
+			sol := Solve(prob, Options{Threads: threads, OnBound: func(b float64) {
+				mu.Lock()
+				bounds = append(bounds, b)
+				mu.Unlock()
+			}})
+			if sol.Status != StatusOptimal {
+				t.Fatalf("status=%v", sol.Status)
+			}
+			if len(bounds) == 0 {
+				t.Fatal("OnBound never fired")
+			}
+			for i := 1; i < len(bounds); i++ {
+				if bounds[i] < bounds[i-1]-1e-9 {
+					t.Fatalf("bound regressed: %v after %v", bounds[i], bounds[i-1])
+				}
+			}
+			if last := bounds[len(bounds)-1]; last > sol.Bound+1e-9 {
+				t.Fatalf("reported bound %v exceeds final proven bound %v", last, sol.Bound)
+			}
+		})
 	}
 }
 

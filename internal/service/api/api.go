@@ -173,6 +173,71 @@ type SweepResponse struct {
 	Points            []SweepPoint `json:"points"`
 }
 
+// Stream event names of GET /v1/solve/stream. A stream is a sequence of
+// SSE frames: exactly one "started" (absent on a cache hit), any number of
+// "incumbent" and "bound" frames, and exactly one terminal "done". SSE
+// comment lines (": hb") are heartbeats and carry no event.
+const (
+	StreamEventStarted   = "started"
+	StreamEventIncumbent = "incumbent"
+	StreamEventBound     = "bound"
+	StreamEventDone      = "done"
+)
+
+// StreamEvent is one decoded SSE frame of a streaming solve. ID is the
+// frame's position in the stream (1-based); a reconnecting client sends it
+// back as the Last-Event-ID header to resume the in-flight solve's stream
+// without replaying frames it has already seen.
+type StreamEvent struct {
+	ID    int             `json:"id"`
+	Event string          `json:"event"`
+	Data  json.RawMessage `json:"data"`
+}
+
+// StreamStarted is the payload of the "started" event: the solver accepted
+// the problem and built the MILP.
+type StreamStarted struct {
+	Fingerprint string `json:"fingerprint"`
+	Budget      int64  `json:"budget"`
+	GraphNodes  int    `json:"graph_nodes"`
+	// Vars and Rows are the MILP dimensions (zero for the approx solver,
+	// which builds no integer program).
+	Vars int `json:"vars,omitempty"`
+	Rows int `json:"rows,omitempty"`
+}
+
+// StreamIncumbent is the payload of the "incumbent" event: the solver holds
+// a new best feasible schedule, usable now if the deadline fires.
+type StreamIncumbent struct {
+	// Objective is the incumbent schedule cost in the workload's cost
+	// units; Overhead is its ratio to the ideal checkpoint-all cost.
+	Objective float64 `json:"objective"`
+	Overhead  float64 `json:"overhead"`
+	// Bound and Gap describe the optimality proof so far; both are omitted
+	// while no lower bound is proven.
+	Bound *float64 `json:"bound,omitempty"`
+	Gap   *float64 `json:"gap,omitempty"`
+	// ElapsedMS is solver time since the solve started.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// StreamBound is the payload of the "bound" event: the proven lower bound
+// improved (the incumbent is unchanged).
+type StreamBound struct {
+	Bound     float64 `json:"bound"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// StreamDone is the terminal payload: the final schedule (identical to the
+// blocking /v1/solve response for the same request), or the error that
+// ended the solve with Status carrying the HTTP status /v1/solve would have
+// returned.
+type StreamDone struct {
+	Error  string         `json:"error,omitempty"`
+	Status int            `json:"status,omitempty"`
+	Result *SolveResponse `json:"result,omitempty"`
+}
+
 // ModelInfo describes one zoo architecture.
 type ModelInfo struct {
 	Name string `json:"name"`

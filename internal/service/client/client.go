@@ -4,12 +4,15 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 
 	"repro/internal/schedule"
@@ -100,6 +103,112 @@ func (c *Client) Solve(ctx context.Context, req api.SolveRequest) (*api.SolveRes
 		return nil, err
 	}
 	return &out, nil
+}
+
+// SolveStream requests one schedule over GET /v1/solve/stream, invoking fn
+// for every SSE frame as it arrives — started, incumbent (the solver holds
+// a new best feasible schedule), bound, and the terminal done. It returns
+// the final schedule from the done frame, identical to what Solve would
+// have returned for the same request. fn may be nil to stream for the
+// result alone; lastEventID > 0 resumes an interrupted stream of the same
+// in-flight solve without replaying frames already seen (pass the ID of
+// the last frame received).
+//
+// Cancelling ctx mid-stream closes the connection; when this client is the
+// solve's only watcher, the server abandons the solve.
+func (c *Client) SolveStream(ctx context.Context, req api.SolveRequest, lastEventID int, fn func(api.StreamEvent)) (*api.SolveResponse, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/solve/stream?"+streamQuery(req).Encode(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	httpReq.Header.Set("Accept", "text/event-stream")
+	if lastEventID > 0 {
+		httpReq.Header.Set("Last-Event-ID", strconv.Itoa(lastEventID))
+	}
+	resp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET /v1/solve/stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e api.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("client: GET /v1/solve/stream: %w", &APIError{StatusCode: resp.StatusCode, Message: e.Error})
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20) // plans can be large
+	var ev api.StreamEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if ev.Event == "" {
+				continue // heartbeat or stray separator
+			}
+			frame := ev
+			ev = api.StreamEvent{}
+			if fn != nil {
+				fn(frame)
+			}
+			if frame.Event != api.StreamEventDone {
+				continue
+			}
+			var done api.StreamDone
+			if err := json.Unmarshal(frame.Data, &done); err != nil {
+				return nil, fmt.Errorf("client: decoding done frame: %w", err)
+			}
+			if done.Error != "" {
+				status := done.Status
+				if status == 0 {
+					status = http.StatusInternalServerError
+				}
+				return nil, fmt.Errorf("client: streamed solve failed: %w", &APIError{StatusCode: status, Message: done.Error})
+			}
+			return done.Result, nil
+		case strings.HasPrefix(line, ":"): // comment / heartbeat
+		case strings.HasPrefix(line, "id:"):
+			ev.ID, _ = strconv.Atoi(strings.TrimSpace(line[3:]))
+		case strings.HasPrefix(line, "event:"):
+			ev.Event = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			ev.Data = json.RawMessage(strings.TrimSpace(line[5:]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: reading event stream: %w", err)
+	}
+	return nil, fmt.Errorf("client: event stream ended without a done frame")
+}
+
+// streamQuery encodes a SolveRequest as /v1/solve/stream query parameters.
+func streamQuery(req api.SolveRequest) url.Values {
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" && v != "0" {
+			q.Set(k, v)
+		}
+	}
+	set("model", req.Model)
+	set("batch", strconv.Itoa(req.Batch))
+	set("device", req.Device)
+	set("coarse_segments", strconv.Itoa(req.CoarseSegments))
+	set("budget", strconv.FormatInt(req.Budget, 10))
+	set("solver", req.Solver)
+	set("time_limit_ms", strconv.FormatInt(req.TimeLimitMS, 10))
+	if req.RelGap != 0 {
+		q.Set("rel_gap", strconv.FormatFloat(req.RelGap, 'g', -1, 64))
+	}
+	if req.NoCache {
+		q.Set("no_cache", "true")
+	}
+	if req.Graph != nil {
+		if spec, err := json.Marshal(req.Graph); err == nil {
+			q.Set("graph", string(spec))
+		}
+	}
+	return q
 }
 
 // Sweep requests one workload at several budgets.

@@ -130,3 +130,53 @@ func TestIsOverloadedRecognizes503(t *testing.T) {
 		t.Fatalf("server message lost: %v", err)
 	}
 }
+
+// TestClientSolveStream: the streaming client must surface every SSE frame
+// in order and return the same response the blocking endpoint produces.
+func TestClientSolveStream(t *testing.T) {
+	c := testClient(t)
+	ctx := context.Background()
+	req := api.SolveRequest{Graph: chainSpec(12), Budget: 7}
+
+	var events []string
+	streamed, err := c.SolveStream(ctx, req, 0, func(ev api.StreamEvent) {
+		events = append(events, ev.Event)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed == nil || streamed.Fingerprint == "" {
+		t.Fatalf("streamed response malformed: %+v", streamed)
+	}
+	if len(events) < 2 || events[0] != api.StreamEventStarted || events[len(events)-1] != api.StreamEventDone {
+		t.Fatalf("frame sequence %v, want started ... done", events)
+	}
+
+	blocking, err := c.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.Fingerprint != streamed.Fingerprint {
+		t.Fatalf("streamed fingerprint %s != blocking %s", streamed.Fingerprint, blocking.Fingerprint)
+	}
+	if !blocking.Cached {
+		t.Fatal("blocking solve after the stream missed the cache")
+	}
+}
+
+// TestClientSolveStreamError: solver failures arrive through the done frame
+// as a typed *APIError with the blocking endpoint's status.
+func TestClientSolveStreamError(t *testing.T) {
+	c := testClient(t)
+	_, err := c.SolveStream(context.Background(), api.SolveRequest{Graph: chainSpec(10), Budget: 1}, 0, nil)
+	if err == nil {
+		t.Fatal("infeasible streamed solve succeeded")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is not an *APIError: %T %v", err, err)
+	}
+	if ae.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", ae.StatusCode)
+	}
+}

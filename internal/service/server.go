@@ -14,11 +14,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve   — one schedule for a named model or serialized graph
-//	POST /v1/sweep   — one workload at several budgets (Figure 5 as a service)
-//	GET  /v1/models  — the model-zoo names
-//	GET  /v1/stats   — cache/pool/request counters
-//	GET  /healthz    — liveness
+//	POST /v1/solve        — one schedule for a named model or serialized graph
+//	GET  /v1/solve/stream — the same solve as Server-Sent Events: live
+//	                        incumbent/bound progress, terminal done frame
+//	POST /v1/sweep        — one workload at several budgets (Figure 5 as a service)
+//	GET  /v1/models       — the model-zoo names
+//	GET  /v1/stats        — cache/pool/request counters
+//	GET  /healthz         — liveness
 package service
 
 import (
@@ -76,6 +78,10 @@ type Config struct {
 	// parallelism is Workers × SolveThreads — keep the product near the
 	// core count.
 	SolveThreads int
+	// StreamHeartbeat is the SSE keepalive interval of /v1/solve/stream:
+	// a comment frame is sent when no event has for this long (default
+	// 15 s).
+	StreamHeartbeat time.Duration
 	// DefaultTimeLimit applies when a request names none (default 30 s).
 	DefaultTimeLimit time.Duration
 	// MaxTimeLimit caps any requested time limit (default 10 min).
@@ -99,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheShards <= 0 {
 		c.CacheShards = 8
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
 	}
 	if c.DefaultTimeLimit <= 0 {
 		c.DefaultTimeLimit = 30 * time.Second
@@ -146,6 +155,12 @@ type Server struct {
 	wlMu   sync.Mutex
 	wlMemo map[string]*checkmate.Workload
 
+	// streamMu guards streams, the hubs of in-flight streaming solves:
+	// every SSE watcher of one SolveKey attaches to the same hub (and so to
+	// the same solve).
+	streamMu sync.Mutex
+	streams  map[string]*streamHub
+
 	reqMu    sync.Mutex
 	requests map[string]int64
 
@@ -169,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 		start:    time.Now(),
 		wlMemo:   make(map[string]*checkmate.Workload),
 		requests: make(map[string]int64),
+		streams:  make(map[string]*streamHub),
 	}
 	if cfg.CacheDir != "" {
 		st, err := store.OpenDisk(store.DiskOptions{
@@ -204,6 +220,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", s.count("models", s.handleModels))
 	mux.HandleFunc("/v1/stats", s.count("stats", s.handleStats))
 	mux.HandleFunc("/v1/solve", s.count("solve", s.handleSolve))
+	mux.HandleFunc("/v1/solve/stream", s.count("solve_stream", s.handleSolveStream))
 	mux.HandleFunc("/v1/sweep", s.count("sweep", s.handleSweep))
 	return mux
 }
@@ -395,8 +412,12 @@ func (s *Server) solveParamsFrom(solver string, budget, timeLimitMS int64, relGa
 
 // solveOne resolves one (workload, params) instance through the two cache
 // tiers (in-memory, then persistent store) and, on miss, the worker pool
-// under cost-aware admission. It is the shared engine of /v1/solve and each
-// /v1/sweep point.
+// under cost-aware admission. It is the shared engine of /v1/solve, each
+// /v1/sweep point, and /v1/solve/stream: every solver run forwards its
+// progress events to the stream hub watching its SolveKey (if any — the
+// lookup is per event, so watchers attaching mid-solve still see the rest
+// of the trajectory). Cache hits bypass the solver, so watchers see no
+// events for them.
 func (s *Server) solveOne(ctx context.Context, wl *checkmate.Workload, p solveParams, noCache bool) (*api.SolveResponse, error) {
 	key := wl.SolveKey(p.budget, p.opt, p.approximate)
 	if !noCache {
@@ -499,22 +520,26 @@ func (s *Server) writeStored(key graph.Fingerprint, resp *api.SolveResponse) {
 	}
 }
 
-// runSolve executes the actual solver call and serializes the result.
+// runSolve executes the actual solver call through the unified
+// checkmate.Solve entry point and serializes the result. Progress events
+// flow to the stream hub watching this SolveKey, if one exists when each
+// event fires (Request.TimeLimit bounds both methods — the approx ε-search
+// included).
 func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solveParams, key graph.Fingerprint) (*api.SolveResponse, error) {
 	start := time.Now()
-	var (
-		sched *checkmate.Schedule
-		err   error
-	)
+	method := checkmate.Optimal
 	if p.approximate {
-		// The approximation has no internal wall-clock bound; enforce the
-		// request's limit through the context.
-		tctx, cancel := context.WithTimeout(ctx, p.opt.TimeLimit)
-		defer cancel()
-		sched, err = wl.SolveApproxCtx(tctx, p.budget)
-	} else {
-		sched, err = wl.SolveOptimalCtx(ctx, p.budget, p.opt)
+		method = checkmate.Approx
 	}
+	sched, err := checkmate.Solve(ctx, checkmate.Request{
+		Workload:  wl,
+		Method:    method,
+		Budget:    p.budget,
+		TimeLimit: p.opt.TimeLimit,
+		RelGap:    p.opt.RelGap,
+		Threads:   p.opt.Threads,
+		Observer:  s.keyObserver(key, wl.Graph.Len()),
+	})
 	if err != nil {
 		return nil, err
 	}

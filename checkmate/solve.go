@@ -333,7 +333,20 @@ func (w *Workload) solveApproxRequest(ctx context.Context, req Request, em *emit
 	if err != nil {
 		return nil, err
 	}
-	return w.finish(r.Sched, false, nil)
+	sched, err := w.finish(r.Sched, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The ε-search's LP work rides in the same counter bag the optimal path
+	// uses, so it flows through Done events, /v1/stats, and the benchmark
+	// record unchanged.
+	sched.Solver = milp.Counters{
+		SimplexIters: r.Search.SimplexIters,
+		DualIters:    r.Search.DualIters,
+		EpsSolves:    int64(r.Search.LPSolves),
+		EpsWarmHits:  int64(r.Search.WarmHits),
+	}
+	return sched, nil
 }
 
 // BaselineNames lists the heuristics Request.Baseline accepts, the

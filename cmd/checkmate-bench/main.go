@@ -40,6 +40,8 @@ func main() {
 		gap        = flag.Float64("gap", 0, "accepted ILP gap (0 = default 0.02)")
 		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for the solver benchmark")
 		solverJSON = flag.String("solver-json", "", "write the solver benchmark record to this file (e.g. BENCH_solver.json)")
+		solverBase = flag.String("solver-baseline", "", "compare the solver benchmark against this committed record; exit non-zero if a ratio metric regresses beyond -solver-tolerance")
+		solverTol  = flag.Float64("solver-tolerance", 0.2, "fractional regression tolerance for -solver-baseline")
 		progress   = flag.Bool("progress", false, "stream live solver progress (incumbents, bounds, sweep points) to stderr")
 	)
 	flag.Parse()
@@ -125,18 +127,30 @@ func main() {
 			if err != nil {
 				return err
 			}
-			if *solverJSON == "" {
-				return nil
+			if *solverJSON != "" {
+				f, err := os.Create(*solverJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := perf.WriteJSON(f); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "(solver record written to %s)\n", *solverJSON)
 			}
-			f, err := os.Create(*solverJSON)
-			if err != nil {
-				return err
+			if *solverBase != "" {
+				base, err := experiments.ReadSolverPerf(*solverBase)
+				if err != nil {
+					return fmt.Errorf("loading baseline: %w", err)
+				}
+				if regs := experiments.CompareSolverPerf(base, perf, *solverTol); len(regs) > 0 {
+					for _, r := range regs {
+						fmt.Fprintf(os.Stderr, "checkmate-bench: %s\n", r)
+					}
+					return fmt.Errorf("%d solver perf metric(s) regressed vs %s", len(regs), *solverBase)
+				}
+				fmt.Fprintf(w, "(no regression vs %s at %.0f%% tolerance)\n", *solverBase, 100**solverTol)
 			}
-			defer f.Close()
-			if err := perf.WriteJSON(f); err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "(solver record written to %s)\n", *solverJSON)
 			return nil
 		})
 	}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/lp"
 )
 
 // Options configure the approximation.
@@ -37,6 +38,11 @@ type Options struct {
 	// (feasibility is in r.Feasible). Iterations whose LP failed are
 	// skipped. Called from the solving goroutine; must be fast.
 	Progress func(eps float64, r *Result)
+	// NoWarmStart disables the ε-to-ε simplex basis chaining in
+	// SolveWithSearch, cold-solving every LP (benchmarks/ablation only —
+	// chaining never changes results, the ε budgets differ only in one
+	// right-hand side).
+	NoWarmStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +69,19 @@ type Result struct {
 	PeakBytes float64
 	// Feasible records whether the schedule fits the original budget.
 	Feasible bool
+	// Search describes the whole ε-search's LP work (set on results
+	// returned by SolveWithSearch; zero for single-ε solves).
+	Search SearchStats
+}
+
+// SearchStats aggregates the LP work of one ε-search: how many relaxations
+// ran, how many warm-started from the previous ε's basis instead of paying a
+// cold two-phase solve, and the simplex iterations spent.
+type SearchStats struct {
+	LPSolves     int
+	WarmHits     int
+	SimplexIters int64
+	DualIters    int64
 }
 
 // Solve runs two-phase rounding once at the configured ε.
@@ -74,17 +93,34 @@ func Solve(inst core.Instance, opt Options) (*Result, error) {
 // promptly when ctx is cancelled and ctx.Err() is returned.
 func SolveCtx(ctx context.Context, inst core.Instance, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	r, _, err := solveAtEps(ctx, inst, opt, opt.Epsilon, nil, nil)
+	return r, err
+}
+
+// solveAtEps runs one two-phase rounding at the given ε, warm-starting the
+// deflated-budget LP from a previous ε's basis when one is offered, and
+// returns the rounding plus the basis for the next point in the chain.
+func solveAtEps(ctx context.Context, inst core.Instance, opt Options, eps float64, warm *lp.Basis, stats *SearchStats) (*Result, *lp.Basis, error) {
 	deflated := inst
-	deflated.Budget = int64(float64(inst.Budget) * (1 - opt.Epsilon))
-	fs, lpObj, err := core.SolveRelaxationCtx(ctx, deflated, false)
+	deflated.Budget = int64(float64(inst.Budget) * (1 - eps))
+	rel, err := core.SolveRelaxationChained(ctx, deflated, false, warm)
 	if err != nil {
-		return nil, fmt.Errorf("approx: %w", err)
+		return nil, nil, fmt.Errorf("approx: %w", err)
+	}
+	if stats != nil {
+		stats.LPSolves++
+		if rel.Warm {
+			stats.WarmHits++
+		}
+		stats.SimplexIters += int64(rel.Iters)
+		stats.DualIters += int64(rel.DualIters)
 	}
 	if opt.Randomized {
-		return bestRandomized(inst, fs, lpObj, opt)
+		r, err := bestRandomized(inst, rel.FS, rel.Obj, opt)
+		return r, rel.Basis, err
 	}
-	s := core.TwoPhaseRound(inst.G, fs, opt.Threshold, nil)
-	return finish(inst, s, lpObj), nil
+	s := core.TwoPhaseRound(inst.G, rel.FS, opt.Threshold, nil)
+	return finish(inst, s, rel.Obj), rel.Basis, nil
 }
 
 // SolveWithSearch sweeps ε over [0, 0.5] and returns the cheapest schedule
@@ -95,30 +131,42 @@ func SolveWithSearch(inst core.Instance, opt Options) (*Result, error) {
 
 // SolveWithSearchCtx is SolveWithSearch with cancellation: the ε sweep stops
 // between (and inside) LP solves once ctx is cancelled.
+//
+// The ε points run in increasing order — decreasing deflated budget — and
+// each LP warm-starts from the previous point's optimal basis: the ε LPs
+// differ only in the budget rows' right-hand sides, so the basis stays
+// dual-feasible and reoptimizes in a few dual pivots instead of a cold
+// two-phase solve (the same chaining SweepILP applies to Figure 5 curves).
+// The returned Result's Search field records the chain's LP work.
 func SolveWithSearchCtx(ctx context.Context, inst core.Instance, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	var best *Result
+	var stats SearchStats
+	var chain *lp.Basis
 	for _, eps := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5} {
 		if err := ctx.Err(); err != nil {
 			// Out of time mid-sweep: a feasible schedule already in hand
 			// beats an error (mirrors the optimal path returning its
 			// incumbent when the limit fires).
 			if best != nil {
+				best.Search = stats
 				return best, nil
 			}
 			return nil, fmt.Errorf("approx: search cancelled: %w", err)
 		}
-		o := opt
-		o.Epsilon = eps
-		r, err := SolveCtx(ctx, inst, o)
+		r, basis, err := solveAtEps(ctx, inst, opt, eps, chain, &stats)
 		if err != nil {
 			if ctx.Err() != nil {
 				if best != nil {
+					best.Search = stats
 					return best, nil
 				}
 				return nil, fmt.Errorf("approx: search cancelled: %w", ctx.Err())
 			}
 			continue
+		}
+		if basis != nil && !opt.NoWarmStart {
+			chain = basis
 		}
 		if opt.Progress != nil {
 			opt.Progress(eps, r)
@@ -133,6 +181,7 @@ func SolveWithSearchCtx(ctx context.Context, inst core.Instance, opt Options) (*
 	if best == nil {
 		return nil, fmt.Errorf("%w (budget %d)", ErrNoFeasibleRounding, inst.Budget)
 	}
+	best.Search = stats
 	return best, nil
 }
 

@@ -138,3 +138,43 @@ func TestDeterministicRoundingIsDeterministic(t *testing.T) {
 		t.Fatal("deterministic rounding produced different results")
 	}
 }
+
+// TestSearchWarmStartChaining: the ε-search must chain bases across its LP
+// solves — most points warm-start — without degrading the rounding. Warm
+// and cold solves can land on different (equally optimal) vertices of these
+// degenerate LPs, and different vertices round differently, so the check is
+// bounded quality, not equality: vertex polish keeps the chained result
+// within a few percent of the cold search.
+func TestSearchWarmStartChaining(t *testing.T) {
+	inst := trainInstance(t, 10, 9)
+	warm, err := SolveWithSearch(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := SolveWithSearch(inst, Options{NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Feasible || !cold.Feasible {
+		t.Fatalf("search returned infeasible best: warm=%v cold=%v", warm.Feasible, cold.Feasible)
+	}
+	if warm.Cost > cold.Cost*1.10+1e-9 {
+		t.Fatalf("warm-chained search cost %v degraded >10%% vs cold %v", warm.Cost, cold.Cost)
+	}
+	if warm.Search.LPSolves < 2 {
+		t.Fatalf("search solved only %d LPs", warm.Search.LPSolves)
+	}
+	if warm.Search.WarmHits == 0 {
+		t.Fatal("no ε LP warm-started from the previous basis")
+	}
+	if cold.Search.WarmHits != 0 {
+		t.Fatalf("NoWarmStart search still warm-started %d LPs", cold.Search.WarmHits)
+	}
+	if warm.Search.SimplexIters >= cold.Search.SimplexIters {
+		t.Fatalf("basis chaining did not reduce simplex work: %d warm vs %d cold iters",
+			warm.Search.SimplexIters, cold.Search.SimplexIters)
+	}
+	if err := warm.Sched.Validate(inst.G, true); err != nil {
+		t.Fatal(err)
+	}
+}

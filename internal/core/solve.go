@@ -41,6 +41,14 @@ type SolveOptions struct {
 	RootBasis *lp.Basis
 	// ColdStart disables all simplex warm starting (benchmarks/ablation).
 	ColdStart bool
+	// Dantzig selects the classic simplex pivot rules — Dantzig pricing,
+	// most-infeasible dual row, single-breakpoint ratio test — instead of
+	// the default devex/dual-steepest-edge/bound-flipping set. For
+	// benchmarks and the pivot-rule independence tests.
+	Dantzig bool
+	// MostFractional selects most-fractional branching instead of the
+	// default pseudo-cost rule. For benchmarks and branching-rule tests.
+	MostFractional bool
 	// Progress streams solver progress out of SolveILPCtx/SweepILP while
 	// the search runs. The zero value reports nothing.
 	Progress ProgressHooks
@@ -119,6 +127,10 @@ func SolveILPCtx(ctx context.Context, inst Instance, opt SolveOptions) (*Result,
 		Threads:   opt.Threads,
 		RootBasis: opt.RootBasis,
 		ColdStart: opt.ColdStart,
+		LPOpts:    lp.Options{Dantzig: opt.Dantzig},
+	}
+	if opt.MostFractional {
+		mopt.Branch = milp.BranchMostFractional
 	}
 	if opt.Progress.Started != nil {
 		v, r := f.Stats()
@@ -230,18 +242,60 @@ func SolveRelaxation(inst Instance, unpartitioned bool) (*FractionalSched, float
 // SolveRelaxationCtx is SolveRelaxation with cancellation; when ctx is
 // cancelled mid-solve the simplex stops and ctx.Err() is returned.
 func SolveRelaxationCtx(ctx context.Context, inst Instance, unpartitioned bool) (*FractionalSched, float64, error) {
-	f, err := Build(inst, BuildOptions{FrontierAdvancing: !unpartitioned})
+	r, err := SolveRelaxationChained(ctx, inst, unpartitioned, nil)
 	if err != nil {
 		return nil, 0, err
 	}
-	sol := f.Prob.LP.Solve(lp.Options{Cancel: ctx.Done()})
+	return r.FS, r.Obj, nil
+}
+
+// Relaxation is the outcome of one chained LP-relaxation solve.
+type Relaxation struct {
+	FS *FractionalSched
+	// Obj is the relaxation objective in cost units.
+	Obj float64
+	// Basis is the optimal simplex basis, reusable as the warm start of the
+	// next relaxation of the same graph at a different budget — the budget
+	// enters the formulation only through constraint right-hand sides, so
+	// the basis stays dual-feasible and the next solve reoptimizes with a
+	// few dual pivots instead of a cold two-phase solve.
+	Basis *lp.Basis
+	// Iters / DualIters / Warm describe the solve's simplex work (Warm
+	// reports whether the offered basis was actually accepted).
+	Iters     int
+	DualIters int
+	Warm      bool
+}
+
+// SolveRelaxationChained is SolveRelaxationCtx with basis chaining for
+// budget series: warm (from a previous Relaxation.Basis, nil for a cold
+// start) seeds the simplex, and the returned Relaxation carries the basis
+// for the next point. The approximation path's ε-search threads its LPs
+// through this in decreasing-budget order.
+func SolveRelaxationChained(ctx context.Context, inst Instance, unpartitioned bool, warm *lp.Basis) (*Relaxation, error) {
+	f, err := Build(inst, BuildOptions{FrontierAdvancing: !unpartitioned})
+	if err != nil {
+		return nil, err
+	}
+	// Polish: the fractional solution is rounded downstream, so the warm
+	// solve must land on the same canonical vertex a cold solve picks among
+	// degenerate alternative optima — otherwise chaining would change (and
+	// sometimes degrade) the rounding.
+	sol := f.Prob.LP.Solve(lp.Options{Cancel: ctx.Done(), WarmStart: warm, Polish: warm != nil})
 	if err := ctx.Err(); err != nil {
-		return nil, 0, fmt.Errorf("core: relaxation cancelled: %w", err)
+		return nil, fmt.Errorf("core: relaxation cancelled: %w", err)
 	}
 	if sol.Status != lp.StatusOptimal {
-		return nil, 0, fmt.Errorf("core: LP relaxation: %v", sol.Status)
+		return nil, fmt.Errorf("core: LP relaxation: %v", sol.Status)
 	}
-	return f.ExtractFractional(sol.X), f.TrueCost(sol.Obj), nil
+	return &Relaxation{
+		FS:        f.ExtractFractional(sol.X),
+		Obj:       f.TrueCost(sol.Obj),
+		Basis:     sol.Basis,
+		Iters:     sol.Iters,
+		DualIters: sol.DualIters,
+		Warm:      sol.Warm,
+	}, nil
 }
 
 // RoundingHeuristic adapts the paper's two-phase rounding (Algorithm 2) into

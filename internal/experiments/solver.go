@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"os"
+	"runtime"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/autodiff"
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -14,10 +18,12 @@ import (
 
 // SolverPerf is the machine-readable record of the solver microbenchmark
 // (cmd/checkmate-bench -experiment solver writes it as BENCH_solver.json).
-// It tracks the wins of dual-simplex warm starting so the perf trajectory is
-// visible across commits: per-node simplex work cold vs warm, the warm-start
-// hit rate, and the wall-clock of a budget sweep with and without basis
-// reuse.
+// It tracks the wins of the solver hot path so the perf trajectory is
+// visible across commits: per-node simplex work cold vs warm, the dual
+// steepest-edge + bound-flipping ratio test versus the classic dual rules
+// (same branching, so the comparison isolates the pivot rules), pseudo-cost
+// versus most-fractional tree sizes, parallel node throughput, and the
+// warm-started budget sweep and ε-search chains.
 type SolverPerf struct {
 	// Instance description.
 	GraphNodes int   `json:"graph_nodes"`
@@ -26,21 +32,57 @@ type SolverPerf struct {
 	Budget     int64 `json:"budget"`
 
 	// Single-MILP comparison at a tight budget (rounding heuristic off so
-	// branch-and-bound does the work being measured).
+	// branch-and-bound does the work being measured). Cold/warm use the
+	// default rules (pseudo-cost branching, steepest-edge + bound-flipping
+	// dual simplex). Per-node figures describe node reoptimization only:
+	// the root relaxation (the one unavoidable near-cold solve, reported as
+	// RootIters) and strong-branching probe iterations are excluded.
 	ColdNodes        int     `json:"cold_nodes"`
 	WarmNodes        int     `json:"warm_nodes"`
 	ColdSimplexIters int64   `json:"cold_simplex_iters"`
 	WarmSimplexIters int64   `json:"warm_simplex_iters"`
+	ColdRootIters    int64   `json:"cold_root_iters"`
+	WarmRootIters    int64   `json:"warm_root_iters"`
 	ColdItersPerNode float64 `json:"cold_iters_per_node"`
 	WarmItersPerNode float64 `json:"warm_iters_per_node"`
-	// IterRatio is cold/warm per-node simplex iterations (the acceptance
-	// metric: ≥ 3 means warm-started nodes reoptimize in ≤ 1/3 the pivots).
-	IterRatio    float64 `json:"iter_ratio"`
-	WarmHitRate  float64 `json:"warm_hit_rate"`
-	Phase1Skips  int64   `json:"phase1_skipped"`
-	DualIters    int64   `json:"dual_iters"`
-	ColdSolveMS  float64 `json:"cold_solve_ms"`
-	WarmSolveMS  float64 `json:"warm_solve_ms"`
+	// WarmDualPerNode is the dual-simplex pivots per warm (non-root) node —
+	// the direct cost of reoptimizing after a branching bound change.
+	WarmDualPerNode float64 `json:"warm_dual_iters_per_node"`
+	// IterRatio is cold/warm per-node simplex iterations (≥ 3 means
+	// warm-started nodes reoptimize in ≤ 1/3 the pivots).
+	IterRatio   float64 `json:"iter_ratio"`
+	WarmHitRate float64 `json:"warm_hit_rate"`
+	Phase1Skips int64   `json:"phase1_skipped"`
+	DualIters   int64   `json:"dual_iters"`
+	ColdSolveMS float64 `json:"cold_solve_ms"`
+	WarmSolveMS float64 `json:"warm_solve_ms"`
+
+	// New-machinery counters of the warm solve.
+	BoundFlips         int64 `json:"bound_flips"`
+	PricingUpdates     int64 `json:"pricing_updates"`
+	StrongBranchProbes int64 `json:"strong_branch_probes"`
+	ProbeIters         int64 `json:"probe_iters"`
+	PseudoReliable     int64 `json:"pseudo_reliable"`
+
+	// Dual pivot-rule A/B under identical (most-fractional) branching:
+	// per-node dual-simplex iterations with the classic rules versus dual
+	// steepest-edge + bound flipping. DualIterRatio = classic/DSE — the
+	// acceptance metric for the dual rework (≥ 1.5 means DSE+BFRT
+	// reoptimizes warm nodes in ≤ 2/3 the dual pivots).
+	DualClassicPerNode float64 `json:"dual_classic_iters_per_node"`
+	DualDSEPerNode     float64 `json:"dual_dse_iters_per_node"`
+	DualIterRatio      float64 `json:"dual_iter_ratio"`
+
+	// Branching A/B under identical (default) LP rules: tree size with
+	// most-fractional versus pseudo-cost branching.
+	MostFracNodes   int     `json:"mostfrac_nodes"`
+	BranchNodeRatio float64 `json:"branch_node_ratio"`
+
+	// BenchCPUs is the machine's usable CPU count when the record was made.
+	// The parallel ratio only means anything with ≥ 2 real CPUs — on a
+	// single-core runner workers time-slice and nodes/sec is pure noise —
+	// so the regression gate skips the parallel check otherwise.
+	BenchCPUs    int     `json:"bench_cpus"`
 	ThreadsUsed  int     `json:"threads_used"`
 	ParallelMS   float64 `json:"parallel_solve_ms"`
 	NodesPerSec  float64 `json:"nodes_per_sec"`
@@ -52,6 +94,18 @@ type SolverPerf struct {
 	SweepColdMS  float64 `json:"sweep_cold_ms"`
 	SweepWarmMS  float64 `json:"sweep_warm_ms"`
 	SweepSpeedup float64 `json:"sweep_speedup"`
+
+	// ε-search comparison: the approximation path's LP chain cold versus
+	// warm-started (basis threaded between ε points).
+	EpsSolves      int64   `json:"eps_solves"`
+	EpsWarmHits    int64   `json:"eps_warm_hits"`
+	EpsWarmHitRate float64 `json:"eps_warm_hit_rate"`
+	EpsColdIters   int64   `json:"eps_cold_iters"`
+	EpsWarmIters   int64   `json:"eps_warm_iters"`
+	EpsIterRatio   float64 `json:"eps_iter_ratio"`
+	EpsColdMS      float64 `json:"eps_cold_ms"`
+	EpsWarmMS      float64 `json:"eps_warm_ms"`
+	EpsSpeedup     float64 `json:"eps_speedup"`
 }
 
 // solverBenchGraph builds the unit-cost training chain the solver benchmark
@@ -75,7 +129,9 @@ func solverBenchGraph(layers int) (*graph.Graph, error) {
 // SolverBench measures cold-start versus warm-started solver performance and
 // prints a human-readable summary; the returned record is what
 // cmd/checkmate-bench serializes to BENCH_solver.json. threads selects the
-// worker count for the parallel measurement (0 = skip it).
+// worker count for the parallel measurement (0 = skip it). Every rule
+// combination must prove the same optimal objective — a mismatch is an
+// error, making the benchmark double as the pivot-rule independence check.
 func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	sc = sc.withDefaults()
 	g, err := solverBenchGraph(10)
@@ -111,12 +167,17 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	perf.ColdNodes, perf.WarmNodes = cold.Nodes, warm.Nodes
 	perf.ColdSimplexIters = cold.Solver.SimplexIters
 	perf.WarmSimplexIters = warm.Solver.SimplexIters
-	if cold.Nodes > 0 {
-		perf.ColdItersPerNode = float64(cold.Solver.SimplexIters) / float64(cold.Nodes)
+	perf.ColdRootIters = cold.Solver.RootIters
+	perf.WarmRootIters = warm.Solver.RootIters
+	perNode := func(iters, root int64, nodes int) float64 {
+		if nodes <= 1 {
+			return 0
+		}
+		return float64(iters-root) / float64(nodes-1)
 	}
-	if warm.Nodes > 0 {
-		perf.WarmItersPerNode = float64(warm.Solver.SimplexIters) / float64(warm.Nodes)
-	}
+	perf.ColdItersPerNode = perNode(cold.Solver.SimplexIters, cold.Solver.RootIters, cold.Nodes)
+	perf.WarmItersPerNode = perNode(warm.Solver.SimplexIters, warm.Solver.RootIters, warm.Nodes)
+	perf.WarmDualPerNode = perNode(warm.Solver.DualIters, 0, warm.Nodes)
 	if perf.WarmItersPerNode > 0 {
 		perf.IterRatio = perf.ColdItersPerNode / perf.WarmItersPerNode
 	}
@@ -126,7 +187,47 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	perf.Phase1Skips = warm.Solver.Phase1Skipped
 	perf.DualIters = warm.Solver.DualIters
 	perf.NodesPerSec = warm.Solver.NodesPerSec
+	perf.BoundFlips = warm.Solver.BoundFlips
+	perf.PricingUpdates = warm.Solver.PricingUpdates
+	perf.StrongBranchProbes = warm.Solver.StrongBranchProbes
+	perf.ProbeIters = warm.Solver.ProbeIters
+	perf.PseudoReliable = warm.Solver.PseudoReliable
 
+	// Dual pivot-rule A/B: identical most-fractional branching isolates the
+	// dual-simplex changes; per-node dual pivots are the comparison.
+	mfDSE, err := core.SolveILP(inst, func() core.SolveOptions { o := opt; o.MostFractional = true; return o }())
+	if err != nil {
+		return nil, fmt.Errorf("mostfrac+dse solve: %w", err)
+	}
+	mfClassic, err := core.SolveILP(inst, func() core.SolveOptions {
+		o := opt
+		o.MostFractional = true
+		o.Dantzig = true
+		return o
+	}())
+	if err != nil {
+		return nil, fmt.Errorf("mostfrac+classic solve: %w", err)
+	}
+	pcClassic, err := core.SolveILP(inst, func() core.SolveOptions { o := opt; o.Dantzig = true; return o }())
+	if err != nil {
+		return nil, fmt.Errorf("pseudo+classic solve: %w", err)
+	}
+	for _, res := range []*core.Result{cold, mfDSE, mfClassic, pcClassic} {
+		if diff := res.Cost - warm.Cost; math.Abs(diff) > 1e-6 {
+			return nil, fmt.Errorf("pivot-rule independence violated: objective %v != %v", res.Cost, warm.Cost)
+		}
+	}
+	perf.DualClassicPerNode = perNode(mfClassic.Solver.DualIters, 0, mfClassic.Nodes)
+	perf.DualDSEPerNode = perNode(mfDSE.Solver.DualIters, 0, mfDSE.Nodes)
+	if perf.DualDSEPerNode > 0 {
+		perf.DualIterRatio = perf.DualClassicPerNode / perf.DualDSEPerNode
+	}
+	perf.MostFracNodes = mfDSE.Nodes
+	if warm.Nodes > 0 {
+		perf.BranchNodeRatio = float64(mfDSE.Nodes) / float64(warm.Nodes)
+	}
+
+	perf.BenchCPUs = runtime.NumCPU()
 	if threads > 1 {
 		perf.ThreadsUsed = threads
 		t0 = time.Now()
@@ -173,20 +274,62 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 		perf.SweepSpeedup = perf.SweepColdMS / perf.SweepWarmMS
 	}
 
-	fmt.Fprintf(w, "# Solver warm-start benchmark: %d-node chain, budget %d (tight), LP %d vars × %d rows\n",
+	// ε-search: the approximation path's LP chain, cold vs warm-started.
+	// The loose budget mirrors how the approx method is used (it needs
+	// headroom for the (1−ε) deflation to stay feasible).
+	einst := core.Instance{G: g, Budget: minB + (peak-minB)/2}
+	t0 = time.Now()
+	ecold, err := approx.SolveWithSearch(einst, approx.Options{NoWarmStart: true})
+	if err != nil {
+		return nil, fmt.Errorf("eps-search cold: %w", err)
+	}
+	perf.EpsColdMS = msSince(t0)
+	t0 = time.Now()
+	ewarm, err := approx.SolveWithSearch(einst, approx.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("eps-search warm: %w", err)
+	}
+	perf.EpsWarmMS = msSince(t0)
+	perf.EpsSolves = int64(ewarm.Search.LPSolves)
+	perf.EpsWarmHits = int64(ewarm.Search.WarmHits)
+	if perf.EpsSolves > 0 {
+		// The first ε point is necessarily cold; the hit rate is over the
+		// chainable remainder.
+		if chainable := perf.EpsSolves - 1; chainable > 0 {
+			perf.EpsWarmHitRate = float64(perf.EpsWarmHits) / float64(chainable)
+		}
+	}
+	perf.EpsColdIters = ecold.Search.SimplexIters
+	perf.EpsWarmIters = ewarm.Search.SimplexIters
+	if perf.EpsWarmIters > 0 {
+		perf.EpsIterRatio = float64(perf.EpsColdIters) / float64(perf.EpsWarmIters)
+	}
+	if perf.EpsWarmMS > 0 {
+		perf.EpsSpeedup = perf.EpsColdMS / perf.EpsWarmMS
+	}
+
+	fmt.Fprintf(w, "# Solver hot-path benchmark: %d-node chain, budget %d (tight), LP %d vars × %d rows\n",
 		perf.GraphNodes, perf.Budget, perf.LPVars, perf.LPRows)
-	fmt.Fprintf(w, "cold:  %5d nodes, %7d simplex iters (%7.1f/node), %8.1f ms\n",
-		perf.ColdNodes, perf.ColdSimplexIters, perf.ColdItersPerNode, perf.ColdSolveMS)
-	fmt.Fprintf(w, "warm:  %5d nodes, %7d simplex iters (%7.1f/node), %8.1f ms  [%.0f%% hit rate, %d phase-1 skips, %d dual pivots]\n",
-		perf.WarmNodes, perf.WarmSimplexIters, perf.WarmItersPerNode, perf.WarmSolveMS,
-		100*perf.WarmHitRate, perf.Phase1Skips, perf.DualIters)
+	fmt.Fprintf(w, "cold:  %5d nodes, %7d simplex iters (%7.1f/node beyond the root's %d), %8.1f ms\n",
+		perf.ColdNodes, perf.ColdSimplexIters, perf.ColdItersPerNode, perf.ColdRootIters, perf.ColdSolveMS)
+	fmt.Fprintf(w, "warm:  %5d nodes, %7d simplex iters (%7.1f/node beyond the root's %d), %8.1f ms  [%.0f%% hit rate, %d phase-1 skips, %.1f dual pivots/node, %d flips]\n",
+		perf.WarmNodes, perf.WarmSimplexIters, perf.WarmItersPerNode, perf.WarmRootIters, perf.WarmSolveMS,
+		100*perf.WarmHitRate, perf.Phase1Skips, perf.WarmDualPerNode, perf.BoundFlips)
 	fmt.Fprintf(w, "per-node iteration ratio (cold/warm): %.2fx\n", perf.IterRatio)
+	fmt.Fprintf(w, "dual rules (most-frac tree): classic %.1f dual iters/node, DSE+flips %.1f — %.2fx fewer\n",
+		perf.DualClassicPerNode, perf.DualDSEPerNode, perf.DualIterRatio)
+	fmt.Fprintf(w, "branching: most-fractional %d nodes vs pseudo-cost %d — %.2fx smaller tree [%d probes, %d probe iters, %d reliable]\n",
+		perf.MostFracNodes, perf.WarmNodes, perf.BranchNodeRatio,
+		perf.StrongBranchProbes, perf.ProbeIters, perf.PseudoReliable)
 	if perf.ThreadsUsed > 1 {
 		fmt.Fprintf(w, "parallel (%d threads): %8.1f ms, %.0f nodes/s (serial %.0f nodes/s)\n",
 			perf.ThreadsUsed, perf.ParallelMS, perf.ParNodesPerS, perf.NodesPerSec)
 	}
 	fmt.Fprintf(w, "sweep (%d budgets): cold %.1f ms, warm %.1f ms — %.2fx\n",
 		perf.SweepPoints, perf.SweepColdMS, perf.SweepWarmMS, perf.SweepSpeedup)
+	fmt.Fprintf(w, "eps-search (%d LPs): %d/%d warm hits, iters %d cold vs %d warm (%.2fx), %.1f ms vs %.1f ms (%.2fx)\n",
+		perf.EpsSolves, perf.EpsWarmHits, perf.EpsSolves-1, perf.EpsColdIters, perf.EpsWarmIters,
+		perf.EpsIterRatio, perf.EpsColdMS, perf.EpsWarmMS, perf.EpsSpeedup)
 	return perf, nil
 }
 
@@ -195,6 +338,59 @@ func (p *SolverPerf) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(p)
+}
+
+// ReadSolverPerf loads a benchmark record written by WriteJSON.
+func ReadSolverPerf(path string) (*SolverPerf, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p SolverPerf
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// CompareSolverPerf checks the current record against a committed baseline,
+// returning one message per regressed metric. Only machine-speed-neutral
+// metrics are compared — absolute wall-clock fields vary with the runner
+// and are ignored. Three classes, by noise profile:
+//
+//   - Iteration ratios (warm-start, dual pivot rules, ε-search) come from
+//     deterministic serial solves and gate at tol (fractional, e.g. 0.2).
+//   - Wall-clock speedups (cold/warm on the same machine, but built from a
+//     few hundred milliseconds) gate at 2.5·tol.
+//   - The parallel/serial node-throughput ratio is timing-dependent on the
+//     benchmark's small tree, so it gates against the absolute invariant —
+//     parallel must at least roughly match serial — rather than the
+//     baseline's (possibly lucky) value.
+//
+// Metrics the baseline predates (zero value) are skipped so the gate can be
+// introduced without a flag day.
+func CompareSolverPerf(baseline, cur *SolverPerf, tol float64) []string {
+	var regressions []string
+	check := func(name string, base, now, frac float64) {
+		if base <= 0 {
+			return // metric absent from the baseline
+		}
+		if now < base*(1-frac) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed: %.3f vs baseline %.3f (tolerance %.0f%%)", name, now, base, 100*frac))
+		}
+	}
+	check("iter_ratio (warm-start win)", baseline.IterRatio, cur.IterRatio, tol)
+	check("dual_iter_ratio (DSE+flips win)", baseline.DualIterRatio, cur.DualIterRatio, tol)
+	check("eps_iter_ratio (ε-search win)", baseline.EpsIterRatio, cur.EpsIterRatio, tol)
+	check("warm_hit_rate", baseline.WarmHitRate, cur.WarmHitRate, tol)
+	check("eps_warm_hit_rate", baseline.EpsWarmHitRate, cur.EpsWarmHitRate, tol)
+	check("sweep_speedup", baseline.SweepSpeedup, cur.SweepSpeedup, 2.5*tol)
+	check("eps_speedup", baseline.EpsSpeedup, cur.EpsSpeedup, 2.5*tol)
+	if baseline.ParNodesPerS > 0 && cur.NodesPerSec > 0 && cur.ThreadsUsed > 1 && cur.BenchCPUs > 1 {
+		check("parallel/serial nodes-per-sec ratio", 1.0, cur.ParNodesPerS/cur.NodesPerSec, tol)
+	}
+	return regressions
 }
 
 func msSince(t time.Time) float64 {

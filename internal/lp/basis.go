@@ -62,7 +62,13 @@ func (s *simplex) installBasis(b *Basis) bool {
 		return false
 	}
 	// Validate the basic set before touching solver state.
-	seen := make([]bool, s.n+s.m)
+	if cap(s.seenBuf) < s.n+s.m {
+		s.seenBuf = make([]bool, s.n+s.m)
+	}
+	seen := s.seenBuf[:s.n+s.m]
+	for i := range seen {
+		seen[i] = false
+	}
 	for _, j := range b.basic {
 		if int(j) < 0 || int(j) >= s.n+s.m || seen[j] {
 			return false

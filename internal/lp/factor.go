@@ -66,6 +66,12 @@ type factor struct {
 	colCount []int32
 	order    []int32 // processing order of slots
 	sugg     []int32 // suggested pivot row per slot (-1 = none)
+
+	processed []bool  // planOrder: slot already ordered
+	rowActive []bool  // planOrder: row still unpivoted
+	colQ      []int32 // planOrder: column-singleton queue
+	rowQ      []int32 // planOrder: row-singleton queue
+	touched   []int32 // refactorize: rows touched by the current column
 }
 
 var errSingular = errors.New("lp: basis is numerically singular")
@@ -95,7 +101,17 @@ func newFactor(m int) *factor {
 		colCount:  make([]int32, m),
 		order:     make([]int32, 0, m),
 		sugg:      make([]int32, m),
+		processed: make([]bool, m),
+		rowActive: make([]bool, m),
+		touched:   make([]int32, 0, 64),
 	}
+}
+
+// reset discards the eta file so the factorization state from a previous
+// solve cannot leak into the next one. The backing arrays are kept — that is
+// the point of reusing the factor.
+func (f *factor) reset() {
+	f.numEtas = 0
 }
 
 // planOrder computes a triangularizing processing order of the basis slots
@@ -104,9 +120,10 @@ func newFactor(m int) *factor {
 func (f *factor) planOrder() {
 	m := f.m
 	f.order = f.order[:0]
-	processed := make([]bool, m)
-	rowActive := make([]bool, m)
+	processed := f.processed
+	rowActive := f.rowActive
 	for r := 0; r < m; r++ {
+		processed[r] = false
 		rowActive[r] = true
 		f.rowCols[r] = f.rowCols[r][:0]
 	}
@@ -124,13 +141,13 @@ func (f *factor) planOrder() {
 	}
 
 	// Queue of column singletons.
-	var colQ []int32
+	colQ := f.colQ[:0]
 	for slot := 0; slot < m; slot++ {
 		if f.colCount[slot] == 1 {
 			colQ = append(colQ, int32(slot))
 		}
 	}
-	var rowQ []int32
+	rowQ := f.rowQ[:0]
 	for r := 0; r < m; r++ {
 		if f.rowCount[r] == 1 {
 			rowQ = append(rowQ, int32(r))
@@ -223,6 +240,7 @@ func (f *factor) planOrder() {
 		process(best, -1) // pivot chosen numerically during factorization
 		remaining--
 	}
+	f.colQ, f.rowQ = colQ[:0], rowQ[:0] // retain grown capacity
 }
 
 // refactorize computes a fresh LU factorization of the basis whose columns
@@ -231,11 +249,9 @@ func (f *factor) planOrder() {
 // row list. The eta file is discarded.
 func (f *factor) refactorize(col func(slot int, scatter []float64) []int32) error {
 	m := f.m
+	// Drop the eta file logically; the entries (and their inner slices) stay
+	// allocated for pushEta to recycle.
 	f.numEtas = 0
-	f.etaP = f.etaP[:0]
-	f.etaPiv = f.etaPiv[:0]
-	f.etaIdx = f.etaIdx[:0]
-	f.etaVal = f.etaVal[:0]
 	for i := range f.rowPos {
 		f.rowPos[i] = -1
 	}
@@ -254,7 +270,7 @@ func (f *factor) refactorize(col func(slot int, scatter []float64) []int32) erro
 		return errSingular
 	}
 
-	touched := make([]int32, 0, 64)
+	touched := f.touched[:0]
 	for pos := 0; pos < m; pos++ {
 		slot := f.order[pos]
 		f.slotOfPos[pos] = slot
@@ -348,6 +364,7 @@ func (f *factor) refactorize(col func(slot int, scatter []float64) []int32) erro
 			f.lVal[pos] = append(f.lVal[pos], v/diag)
 		}
 	}
+	f.touched = touched[:0] // retain grown capacity
 	return nil
 }
 
@@ -480,24 +497,34 @@ func (f *factor) btran(buf []float64) {
 
 // pushEta records the basis change where the column with FTRAN image w
 // (slot indexed, dense) replaces the basis variable at slot p. Returns false
-// if the pivot element is too small for a stable update.
+// if the pivot element is too small for a stable update. Eta entries beyond
+// numEtas left over from earlier factorizations are recycled in place.
 func (f *factor) pushEta(p int, w []float64) bool {
 	piv := w[p]
 	if math.Abs(piv) < 1e-9 {
 		return false
 	}
+	e := f.numEtas
 	var idx []int32
 	var val []float64
+	if e < len(f.etaIdx) {
+		idx, val = f.etaIdx[e][:0], f.etaVal[e][:0]
+	}
 	for i, v := range w[:f.m] {
 		if i != p && v != 0 {
 			idx = append(idx, int32(i))
 			val = append(val, v)
 		}
 	}
-	f.etaP = append(f.etaP, int32(p))
-	f.etaPiv = append(f.etaPiv, piv)
-	f.etaIdx = append(f.etaIdx, idx)
-	f.etaVal = append(f.etaVal, val)
+	if e < len(f.etaIdx) {
+		f.etaP[e], f.etaPiv[e] = int32(p), piv
+		f.etaIdx[e], f.etaVal[e] = idx, val
+	} else {
+		f.etaP = append(f.etaP, int32(p))
+		f.etaPiv = append(f.etaPiv, piv)
+		f.etaIdx = append(f.etaIdx, idx)
+		f.etaVal = append(f.etaVal, val)
+	}
 	f.numEtas++
 	return true
 }

@@ -23,6 +23,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 )
 
@@ -217,6 +218,14 @@ type Solution struct {
 	// DualIters is the portion of Iters spent in dual-simplex
 	// reoptimization (warm-started solves only).
 	DualIters int
+	// BoundFlips counts nonbasic variables the long-step (bound-flipping)
+	// dual ratio test moved bound-to-bound without a basis change. Each flip
+	// stands in for a full dual pivot, so on box-constrained problems a high
+	// flip count means far fewer pivots for the same reoptimization.
+	BoundFlips int
+	// PricingUpdates counts dual steepest-edge reference-weight updates
+	// (one per row touched by a dual pivot's Forrest–Goldfarb update).
+	PricingUpdates int
 	// Warm reports that a warm-start basis was accepted and drove the solve;
 	// false when no basis was offered or the solver fell back to a cold
 	// two-phase start.
@@ -272,8 +281,13 @@ type Options struct {
 	// RefactorEvery triggers a fresh basis factorization after this many eta
 	// updates (default 32).
 	RefactorEvery int
-	// Dantzig selects classic most-negative-reduced-cost pricing instead of
-	// the default devex rule (mainly for benchmarking the pricing rules).
+	// Dantzig selects the classic textbook pivot rules instead of the
+	// defaults — most-negative-reduced-cost pricing in the primal (instead
+	// of devex), most-infeasible-row selection and the single-breakpoint
+	// ratio test in the dual (instead of dual steepest-edge pricing and the
+	// bound-flipping long-step ratio test). Both rule sets reach the same
+	// optima; the flag exists for benchmarking and the pivot-rule
+	// independence property tests.
 	Dantzig bool
 	// Cancel, when non-nil, aborts the solve soon after the channel closes
 	// (checked every few simplex iterations). A cancelled solve reports
@@ -281,6 +295,14 @@ type Options struct {
 	// solve stopped early without a verdict. Callers that need to
 	// distinguish cancellation inspect their context afterwards.
 	Cancel <-chan struct{}
+	// Polish re-optimizes a warm-started solve with the deterministic
+	// tie-breaking cost perturbation (then the exact costs) after the dual
+	// simplex reaches optimality, so the returned vertex is the same
+	// canonical one a cold solve picks among degenerate alternative optima.
+	// Costs a few extra pivots; set it when the solution vector itself is
+	// consumed downstream (the approximation's rounding), not just the
+	// objective (branch-and-bound nodes leave it off).
+	Polish bool
 	// WarmStart, when non-nil, seeds the solve with a basis exported from a
 	// previous solve (Solution.Basis) of this problem or of a structurally
 	// identical problem with different bounds or RHS. A primal-feasible
@@ -305,10 +327,49 @@ func (o Options) withDefaults(m, n int) Options {
 	return o
 }
 
+// Solver is a reusable simplex engine. It retains every internal allocation
+// — the column-compressed matrix, the LU factorization workspace, the eta
+// file, pricing weights, and all dense scratch — across Solve calls, so
+// solving a stream of equally-shaped problems (branch-and-bound node
+// relaxations, budget-sweep points, ε-search LPs) allocates almost nothing
+// after the first solve. Problems of a different shape transparently
+// reallocate.
+//
+// A Solver is not safe for concurrent use; give each goroutine its own.
+// The branch-and-bound workers in package milp each own one.
+type Solver struct {
+	s *simplex
+}
+
+// NewSolver returns an empty Solver; the first Solve sizes it.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve optimizes p exactly like Problem.Solve, reusing the engine's
+// buffers when p has the same shape as the previous problem solved.
+func (sv *Solver) Solve(p *Problem, opt Options) *Solution {
+	if sv.s == nil || !sv.s.shapeMatches(p) {
+		sv.s = newSimplex(p, opt)
+	} else {
+		sv.s.load(p, opt)
+	}
+	return sv.s.solve()
+}
+
+// solverPool recycles simplex engines across Problem.Solve calls. Callers
+// like the planning service solve the same problem shapes over and over from
+// short-lived goroutines; pooling gives them the Solver reuse win without
+// threading an explicit engine through every call site.
+var solverPool sync.Pool
+
 // Solve optimizes the problem with the given options.
 func (p *Problem) Solve(opt Options) *Solution {
-	s := newSimplex(p, opt)
-	return s.solve()
+	sv, _ := solverPool.Get().(*Solver)
+	if sv == nil {
+		sv = NewSolver()
+	}
+	sol := sv.Solve(p, opt)
+	solverPool.Put(sv)
+	return sol
 }
 
 // EvalRow computes aᵢᵀx for row i at point x.

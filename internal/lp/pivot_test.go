@@ -1,0 +1,224 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomBoxLP builds a feasible LP whose variables are boxed in small finite
+// ranges (most at [0, small]), the shape of the Checkmate scheduling LPs
+// where the bound-flipping ratio test pays off: nearly every column can flip
+// bound-to-bound.
+func randomBoxLP(rng *rand.Rand) *Problem {
+	n := 6 + rng.Intn(14)
+	m := 4 + rng.Intn(10)
+	p := &Problem{}
+	x0 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		hi := float64(1 + rng.Intn(3)) // tight boxes: [0,1]..[0,3]
+		p.AddVar(0, hi, float64(rng.Intn(21)-10), "v")
+		x0[j] = math.Min(hi, float64(rng.Intn(3)))
+	}
+	for i := 0; i < m; i++ {
+		var idx []int32
+		var val []float64
+		var lhs float64
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				c := float64(rng.Intn(9) - 4)
+				if c == 0 {
+					continue
+				}
+				idx = append(idx, int32(j))
+				val = append(val, c)
+				lhs += c * x0[j]
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddRow(LE, lhs+float64(rng.Intn(4)), idx, val)
+		case 1:
+			p.AddRow(GE, lhs-float64(rng.Intn(4)), idx, val)
+		default:
+			p.AddRow(EQ, lhs, idx, val)
+		}
+	}
+	return p
+}
+
+// TestPivotRuleIndependence: the default rules (devex primal, dual
+// steepest-edge + bound-flipping dual) and the classic rules (Dantzig,
+// most-infeasible row, single-breakpoint) must agree on status and optimal
+// objective on random boxed LPs.
+func TestPivotRuleIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	informative := 0
+	for trial := 0; trial < 150; trial++ {
+		p := randomBoxLP(rng)
+		def := p.Solve(Options{})
+		cls := p.Solve(Options{Dantzig: true})
+		if def.Status != cls.Status {
+			t.Fatalf("trial %d: default status %v != classic %v", trial, def.Status, cls.Status)
+		}
+		if def.Status != StatusOptimal {
+			continue
+		}
+		if !approxEq(def.Obj, cls.Obj, 1e-6*(1+math.Abs(cls.Obj))) {
+			t.Fatalf("trial %d: default obj %v != classic %v", trial, def.Obj, cls.Obj)
+		}
+		if err := p.CheckFeasible(def.X, 1e-5); err != nil {
+			t.Fatalf("trial %d: default solution infeasible: %v", trial, err)
+		}
+		informative++
+	}
+	if informative < 50 {
+		t.Fatalf("too few optimal trials: %d", informative)
+	}
+}
+
+// TestDualRulesAgreeAfterPerturbation drives the dual-simplex fast path the
+// way branch-and-bound and budget sweeps do — bound tightenings and RHS
+// changes on top of an exported basis — and checks both dual rule sets
+// reach the cold optimum. It also asserts the new machinery actually
+// engages: across the trials the steepest-edge weights must update and the
+// long-step test must flip bounds (boxed columns make flips near-certain).
+func TestDualRulesAgreeAfterPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	agreed, dualUsed, flips, pricing := 0, 0, 0, 0
+	for trial := 0; trial < 300; trial++ {
+		p := randomBoxLP(rng)
+		base := p.Solve(Options{})
+		if base.Status != StatusOptimal {
+			continue
+		}
+		q := p.Clone()
+		if rng.Intn(2) == 0 {
+			// Branch-style bound tightening around the optimum.
+			j := rng.Intn(q.NumVars())
+			lo, hi := q.Bounds(j)
+			v := base.X[j]
+			if rng.Intn(2) == 0 {
+				hi = math.Floor(v)
+			} else {
+				lo = math.Ceil(v)
+			}
+			if lo > hi {
+				continue
+			}
+			q.SetBounds(j, lo, hi)
+		} else {
+			// Sweep-style RHS tightening on a few rows.
+			for i := 0; i < q.NumRows(); i++ {
+				if rng.Float64() < 0.4 {
+					q.rowRHS[i] -= float64(rng.Intn(3))
+				}
+			}
+		}
+		cold := q.Solve(Options{})
+		warmDef := q.Solve(Options{WarmStart: base.Basis})
+		warmCls := q.Solve(Options{WarmStart: base.Basis, Dantzig: true})
+		if cold.Status != warmDef.Status || cold.Status != warmCls.Status {
+			t.Fatalf("trial %d: cold=%v default=%v classic=%v",
+				trial, cold.Status, warmDef.Status, warmCls.Status)
+		}
+		if cold.Status != StatusOptimal {
+			continue
+		}
+		tol := 1e-5 * (1 + math.Abs(cold.Obj))
+		if !approxEq(cold.Obj, warmDef.Obj, tol) {
+			t.Fatalf("trial %d: default warm obj %v != cold %v", trial, warmDef.Obj, cold.Obj)
+		}
+		if !approxEq(cold.Obj, warmCls.Obj, tol) {
+			t.Fatalf("trial %d: classic warm obj %v != cold %v", trial, warmCls.Obj, cold.Obj)
+		}
+		if err := q.CheckFeasible(warmDef.X, 1e-5); err != nil {
+			t.Fatalf("trial %d: default warm solution infeasible: %v", trial, err)
+		}
+		agreed++
+		if warmDef.Warm && warmDef.DualIters > 0 {
+			dualUsed++
+		}
+		flips += warmDef.BoundFlips
+		pricing += warmDef.PricingUpdates
+		if warmCls.BoundFlips != 0 || warmCls.PricingUpdates != 0 {
+			t.Fatalf("trial %d: classic rules reported steepest-edge activity: %d flips, %d updates",
+				trial, warmCls.BoundFlips, warmCls.PricingUpdates)
+		}
+	}
+	if agreed < 60 {
+		t.Fatalf("too few informative trials: %d", agreed)
+	}
+	if dualUsed == 0 {
+		t.Fatal("dual simplex never exercised across 300 perturbation trials")
+	}
+	if pricing == 0 {
+		t.Fatal("dual steepest-edge weight updates never applied")
+	}
+	if flips == 0 {
+		t.Fatal("bound-flipping ratio test never flipped a variable")
+	}
+}
+
+// TestSolverReuseMatchesFreshEngine: a reused Solver must behave exactly
+// like a fresh engine across a stream of different problems (including
+// shape changes, which force reallocation).
+func TestSolverReuseMatchesFreshEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	sv := NewSolver()
+	for trial := 0; trial < 120; trial++ {
+		var p *Problem
+		if trial%3 == 0 {
+			p = randomBoxLP(rng)
+		} else {
+			p, _ = randomFeasibleLP(rng)
+		}
+		fresh := newSimplex(p, Options{}).solve()
+		reused := sv.Solve(p, Options{})
+		if fresh.Status != reused.Status {
+			t.Fatalf("trial %d: fresh status %v != reused %v", trial, fresh.Status, reused.Status)
+		}
+		if fresh.Status != StatusOptimal {
+			continue
+		}
+		if !approxEq(fresh.Obj, reused.Obj, 1e-7*(1+math.Abs(fresh.Obj))) {
+			t.Fatalf("trial %d: fresh obj %v != reused %v", trial, fresh.Obj, reused.Obj)
+		}
+		if fresh.Iters != reused.Iters {
+			t.Fatalf("trial %d: fresh took %d iters, reused %d — engine state leaked",
+				trial, fresh.Iters, reused.Iters)
+		}
+	}
+}
+
+// BenchmarkSolverReuseAllocs locks in the allocation win of the reusable
+// engine: after the first solve of a shape, warm re-solves of a perturbed
+// problem must allocate only the returned Solution.
+func BenchmarkSolverReuseAllocs(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var p *Problem
+	var base *Solution
+	for {
+		p = randomBoxLP(rng)
+		if base = p.Solve(Options{}); base.Status == StatusOptimal && base.Basis != nil {
+			break
+		}
+	}
+	q := p.Clone()
+	j := 0
+	lo, hi := q.Bounds(j)
+	q.SetBounds(j, lo, math.Max(lo, math.Floor(hi/2)))
+	sv := NewSolver()
+	sv.Solve(q, Options{WarmStart: base.Basis}) // size the engine
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol := sv.Solve(q, Options{WarmStart: base.Basis})
+		if sol.Status != StatusOptimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package lp
 
 import (
 	"math"
+	"sort"
 )
 
 // Variable statuses for the bounded-variable simplex.
@@ -43,32 +44,88 @@ type simplex struct {
 	bufW []float64 // FTRAN result
 	bufY []float64 // BTRAN result
 	bufA []float64 // dense rhs accumulation
-	bufR []float64 // BTRAN of the pivot unit vector (devex row)
+	bufR []float64 // BTRAN of the pivot unit vector (devex / DSE row)
+	bufT []float64 // FTRAN of the pivot row (DSE weight update)
+	pbuf []float64 // perturbed phase-2 costs
 
 	// Devex reference weights (one per column); reset to 1 when the
 	// reference framework is rebuilt.
 	devex []float64
+	// Dual steepest-edge reference weights, one per basis position
+	// (approximating ‖B⁻ᵀeᵢ‖²); maintained across dual pivots by the
+	// Forrest–Goldfarb update and reset to 1 on refactorization.
+	dse []float64
 
-	iters     int
-	p1iters   int
-	dualIters int
-	degens    int
-	phase     int
-	blandLeft int // if > 0, use Bland's rule for this many iterations
-	degenRun  int
-	warm      bool // a warm-start basis was accepted and used
+	// Candidate scratch for the dual ratio test.
+	cands []dualCand
+
+	fillBuf []int32   // CSC build scratch (one cursor per structural column)
+	seenBuf []bool    // installBasis validation scratch
+	p1buf   []float64 // phase-1 cost vector scratch
+
+	iters      int
+	p1iters    int
+	dualIters  int
+	flips      int // bound flips performed by the long-step dual ratio test
+	dseUpdates int // DSE reference-weight updates applied
+	degens     int
+	phase      int
+	blandLeft  int // if > 0, use Bland's rule for this many iterations
+	degenRun   int
+	warm       bool // a warm-start basis was accepted and used
 
 	duals []float64 // y at phase-2 optimality, original-row indexed
 }
 
+// dualCand is one eligible entering candidate of the dual ratio test.
+type dualCand struct {
+	j     int32
+	alpha float64 // pivot-row coefficient aⱼᵀρ
+	ratio float64 // dual breakpoint |dⱼ|/|αⱼ|
+}
+
 func newSimplex(p *Problem, opt Options) *simplex {
 	n, m := p.NumVars(), p.NumRows()
-	s := &simplex{
-		p: p, opt: opt.withDefaults(m, n),
-		n: n, m: m, total: n + 2*m,
-	}
+	s := &simplex{n: n, m: m, total: n + 2*m}
+	s.colPtr = make([]int32, n+1)
+	s.lower = make([]float64, s.total)
+	s.upper = make([]float64, s.total)
+	s.cost = make([]float64, s.total)
+	s.artSign = make([]float64, m)
+	s.stat = make([]int8, s.total)
+	s.basis = make([]int32, m)
+	s.xB = make([]float64, m)
+	s.f = newFactor(m)
+	s.bufW = make([]float64, m)
+	s.bufY = make([]float64, m)
+	s.bufA = make([]float64, m)
+	s.bufR = make([]float64, m)
+	s.bufT = make([]float64, m)
+	s.devex = make([]float64, s.total)
+	s.dse = make([]float64, m)
+	s.load(p, opt)
+	return s
+}
+
+// shapeMatches reports whether p can be loaded into this engine's buffers
+// without reallocation: same variable and row counts. The sparsity pattern
+// may differ — load rebuilds the CSC arrays (growing them if the nonzero
+// count increased).
+func (s *simplex) shapeMatches(p *Problem) bool {
+	return s.n == p.NumVars() && s.m == p.NumRows()
+}
+
+// load (re)initializes all per-solve state from p, reusing every buffer the
+// engine already owns. newSimplex calls it once; Solver calls it on reuse.
+func (s *simplex) load(p *Problem, opt Options) {
+	n, m := s.n, s.m
+	s.p, s.opt = p, opt.withDefaults(m, n)
+
 	// Build CSC of the structural columns from the row-wise problem data.
-	counts := make([]int32, n+1)
+	counts := s.colPtr
+	for j := range counts {
+		counts[j] = 0
+	}
 	for i := range p.rowIdx {
 		for _, j := range p.rowIdx[i] {
 			counts[j+1]++
@@ -77,26 +134,35 @@ func newSimplex(p *Problem, opt Options) *simplex {
 	for j := 0; j < n; j++ {
 		counts[j+1] += counts[j]
 	}
-	s.colPtr = counts
-	nnz := counts[n]
-	s.colRow = make([]int32, nnz)
-	s.colVal = make([]float64, nnz)
-	fill := make([]int32, n)
+	nnz := int(counts[n])
+	if cap(s.colRow) < nnz {
+		s.colRow = make([]int32, nnz)
+		s.colVal = make([]float64, nnz)
+	}
+	s.colRow = s.colRow[:nnz]
+	s.colVal = s.colVal[:nnz]
+	if cap(s.fillBuf) < n {
+		s.fillBuf = make([]int32, n)
+	}
+	fillBuf := s.fillBuf[:n]
+	for j := range fillBuf {
+		fillBuf[j] = 0
+	}
 	for i := range p.rowIdx {
 		for k, j := range p.rowIdx[i] {
-			at := s.colPtr[j] + fill[j]
+			at := s.colPtr[j] + fillBuf[j]
 			s.colRow[at] = int32(i)
 			s.colVal[at] = p.rowVal[i][k]
-			fill[j]++
+			fillBuf[j]++
 		}
 	}
 
-	s.lower = make([]float64, s.total)
-	s.upper = make([]float64, s.total)
-	s.cost = make([]float64, s.total)
 	copy(s.lower, p.lower)
 	copy(s.upper, p.upper)
 	copy(s.cost, p.cost)
+	for j := n; j < s.total; j++ {
+		s.cost[j] = 0
+	}
 	for i := 0; i < m; i++ {
 		sl := n + i
 		switch p.rowSense[i] {
@@ -110,18 +176,18 @@ func newSimplex(p *Problem, opt Options) *simplex {
 		// Artificials start disabled (fixed at 0); phase 1 opens them.
 		a := n + m + i
 		s.lower[a], s.upper[a] = 0, 0
+		s.artSign[i] = 0
 	}
-	s.artSign = make([]float64, m)
-	s.stat = make([]int8, s.total)
-	s.basis = make([]int32, m)
-	s.xB = make([]float64, m)
-	s.f = newFactor(m)
-	s.bufW = make([]float64, m)
-	s.bufY = make([]float64, m)
-	s.bufA = make([]float64, m)
-	s.bufR = make([]float64, m)
-	s.devex = make([]float64, s.total)
-	return s
+	for j := range s.stat {
+		s.stat[j] = statAtLower
+	}
+	s.pcost = nil
+	s.iters, s.p1iters, s.dualIters = 0, 0, 0
+	s.flips, s.dseUpdates, s.degens = 0, 0, 0
+	s.phase, s.blandLeft, s.degenRun = 0, 0, 0
+	s.warm = false
+	s.duals = s.duals[:0]
+	s.f.reset()
 }
 
 // resetDevex rebuilds the devex reference framework.
@@ -131,12 +197,24 @@ func (s *simplex) resetDevex() {
 	}
 }
 
+// resetDSE rebuilds the dual steepest-edge reference framework with unit
+// weights (the slack-basis exact values, and the cheap restart after a
+// refactorization).
+func (s *simplex) resetDSE() {
+	for i := range s.dse {
+		s.dse[i] = 1
+	}
+}
+
 // perturbedCosts returns the phase-2 cost vector with a tiny deterministic
 // pseudo-random perturbation per column (xorshift hash of the index), which
 // breaks ties among the many identical reduced costs these scheduling LPs
 // produce and sharply reduces degenerate pivoting.
 func (s *simplex) perturbedCosts() []float64 {
-	out := make([]float64, s.total)
+	if cap(s.pbuf) < s.total {
+		s.pbuf = make([]float64, s.total)
+	}
+	out := s.pbuf[:s.total]
 	copy(out, s.cost)
 	const eps = 1e-7
 	for j := range out {
@@ -340,7 +418,13 @@ func (s *simplex) solve() *Solution {
 			return s.finishSolution(&Solution{Status: StatusInfeasible})
 		}
 		s.phase = 1
-		s.pcost = make([]float64, s.total)
+		if cap(s.p1buf) < s.total {
+			s.p1buf = make([]float64, s.total)
+		}
+		s.pcost = s.p1buf[:s.total]
+		for j := range s.pcost {
+			s.pcost[j] = 0
+		}
 		for i := 0; i < s.m; i++ {
 			s.pcost[s.n+s.m+i] = 1
 		}
@@ -372,9 +456,10 @@ func (s *simplex) solve() *Solution {
 	// coefficients), then re-optimizes with the exact costs — typically a
 	// handful of extra pivots. Warm starts skip the perturbation pass: the
 	// inherited basis is already optimal for the exact costs of a nearby
-	// problem, so perturbing would pivot away from it and back.
+	// problem, so perturbing would pivot away from it and back — unless the
+	// caller asked for a polished (canonical) vertex.
 	s.phase = 2
-	if !s.warm {
+	if !s.warm || s.opt.Polish {
 		s.pcost = s.perturbedCosts()
 		if st := s.iterate(); st != StatusOptimal {
 			if st == StatusUnbounded {
@@ -422,6 +507,8 @@ func (s *simplex) finishSolution(sol *Solution) *Solution {
 	sol.Iters = s.iters
 	sol.Phase1Iters = s.p1iters
 	sol.DualIters = s.dualIters
+	sol.BoundFlips = s.flips
+	sol.PricingUpdates = s.dseUpdates
 	sol.Warm = s.warm
 	return sol
 }
@@ -482,9 +569,26 @@ func (s *simplex) dualFeasible(tol float64) bool {
 // StatusInfeasible when a dual ray proves the primal empty, or
 // StatusIterLimit on iteration exhaustion, cancellation, or a stall — the
 // caller treats a stall as "fall back to a cold solve".
+//
+// Two refinements over the textbook method, both off under Options.Dantzig:
+//
+//   - Leaving-row pricing uses dual steepest-edge (Forrest–Goldfarb):
+//     maximize infeasᵢ²/βᵢ where βᵢ approximates ‖B⁻ᵀeᵢ‖². Weights are
+//     maintained across pivots by the exact FG update (one extra FTRAN per
+//     pivot) and reset to 1 on refactorization.
+//   - The ratio test is the long-step bound-flipping test: breakpoints are
+//     crossed in ratio order, flipping each passed boxed variable to its
+//     opposite bound (dual feasibility is restored by the flip), until the
+//     remaining infeasibility would be exhausted. One pivot thus does the
+//     work of many on the 0/1-box Checkmate LPs where nearly every column
+//     is boxed.
 func (s *simplex) dualIterate() Status {
 	tol := s.opt.Tol
 	const pivTol = 1e-9
+	classic := s.opt.Dantzig
+	if !classic {
+		s.resetDSE()
+	}
 	// Stall guard: dual-degenerate pivots (entering reduced cost ~0) make no
 	// dual-objective progress; long runs risk cycling, and a cold solve is
 	// always available, so bail out after a bounded run.
@@ -501,18 +605,33 @@ func (s *simplex) dualIterate() Status {
 			if !s.refactorAndRecompute() {
 				return StatusIterLimit
 			}
+			if !classic {
+				s.resetDSE()
+			}
 		}
 
-		// Leaving row: the most primally infeasible basic variable.
-		leave, worst := -1, tol
+		// Leaving row: the most primally infeasible basic variable, measured
+		// through the steepest-edge reference weights unless classic rules
+		// were requested.
+		leave, best := -1, 0.0
 		var leaveAt int8
 		for i := 0; i < s.m; i++ {
 			j := s.basis[i]
-			if d := s.lower[j] - s.xB[i]; d > worst {
-				leave, worst, leaveAt = i, d, statAtLower
+			var viol float64
+			var at int8
+			if d := s.lower[j] - s.xB[i]; d > tol {
+				viol, at = d, statAtLower
+			} else if d := s.xB[i] - s.upper[j]; d > tol {
+				viol, at = d, statAtUpper
+			} else {
+				continue
 			}
-			if d := s.xB[i] - s.upper[j]; d > worst {
-				leave, worst, leaveAt = i, d, statAtUpper
+			score := viol
+			if !classic {
+				score = viol * viol / s.dse[i]
+			}
+			if score > best {
+				leave, best, leaveAt = i, score, at
 			}
 		}
 		if leave < 0 {
@@ -543,9 +662,10 @@ func (s *simplex) dualIterate() Status {
 		// bound requires the entering nonbasic to move in a direction that
 		// fixes the violation: xB[leave] changes at rate −α_j per unit of
 		// x_j's move, so eligibility depends on the sign of α_j and on which
-		// directions the entering variable's status allows.
+		// directions the entering variable's status allows. Collect every
+		// eligible candidate with its dual breakpoint.
 		needInc := leaveAt == statAtLower // basic below lower: must increase
-		q, bestRatio, bestAbs := -1, math.Inf(1), 0.0
+		cands := s.cands[:0]
 		for j := 0; j < s.total; j++ {
 			st := s.stat[j]
 			if st == statBasic || s.lower[j] == s.upper[j] {
@@ -555,9 +675,6 @@ func (s *simplex) dualIterate() Status {
 			if math.Abs(alpha) < pivTol {
 				continue
 			}
-			// xB[leave] moves by −alpha·cdir·t for an entering step t ≥ 0 in
-			// the allowed direction cdir (+1 from lower, −1 from upper, either
-			// for free). The move must shrink the violation.
 			switch st {
 			case statAtLower:
 				if needInc == (alpha > 0) {
@@ -572,17 +689,54 @@ func (s *simplex) dualIterate() Status {
 				// near-zero reduced cost a free variable wins the ratio test.
 			}
 			d := s.cost[j] - s.colDot(j, y)
-			ratio := math.Abs(d) / math.Abs(alpha)
-			if ratio < bestRatio-1e-10 || (ratio < bestRatio+1e-10 && math.Abs(alpha) > bestAbs) {
-				q, bestRatio, bestAbs = j, ratio, math.Abs(alpha)
-			}
+			cands = append(cands, dualCand{j: int32(j), alpha: alpha, ratio: math.Abs(d) / math.Abs(alpha)})
 		}
-		if q < 0 {
+		s.cands = cands
+		if len(cands) == 0 {
 			// No entering candidate: the dual is unbounded along this row,
 			// so the primal is infeasible.
 			return StatusInfeasible
 		}
-		if bestRatio <= 1e-12 {
+
+		// Signed violation of the leaving basic variable.
+		jb := s.basis[leave]
+		var e float64
+		if leaveAt == statAtLower {
+			e = s.xB[leave] - s.lower[jb]
+		} else {
+			e = s.xB[leave] - s.upper[jb]
+		}
+
+		q := -1
+		var qAlpha, qRatio float64
+		if classic {
+			// Single-breakpoint test: smallest ratio, larger |α| on near ties.
+			bestRatio, bestAbs := math.Inf(1), 0.0
+			for _, c := range cands {
+				if c.ratio < bestRatio-1e-10 || (c.ratio < bestRatio+1e-10 && math.Abs(c.alpha) > bestAbs) {
+					q, qAlpha, bestRatio, bestAbs = int(c.j), c.alpha, c.ratio, math.Abs(c.alpha)
+				}
+			}
+			qRatio = bestRatio
+		} else {
+			var flipped bool
+			q, qAlpha, qRatio, flipped = s.boundFlipRatioTest(cands, leave, math.Abs(e))
+			if flipped {
+				// Recompute the violation: the flips moved every basic value,
+				// including the leaving row's.
+				if leaveAt == statAtLower {
+					e = s.xB[leave] - s.lower[jb]
+				} else {
+					e = s.xB[leave] - s.upper[jb]
+				}
+				// The flips alone can (numerically) restore this row to its
+				// bounds; the basis is unchanged, so simply re-price.
+				if math.Abs(e) <= tol {
+					continue
+				}
+			}
+		}
+		if qRatio <= 1e-12 {
 			stall++
 			if stall > maxStall {
 				return StatusIterLimit
@@ -592,17 +746,9 @@ func (s *simplex) dualIterate() Status {
 		}
 
 		// Step: the entering variable moves until xB[leave] reaches its bound.
-		alphaQ := s.colDot(q, rho)
-		var e float64 // signed violation
-		jb := s.basis[leave]
-		if leaveAt == statAtLower {
-			e = s.xB[leave] - s.lower[jb]
-		} else {
-			e = s.xB[leave] - s.upper[jb]
-		}
-		// Change of x_q; its sign matches the allowed direction by the
-		// eligibility test above.
-		delta := e / alphaQ
+		// The sign of delta matches the allowed direction by the eligibility
+		// test above.
+		delta := e / qAlpha
 
 		// FTRAN the entering column to update the basic values.
 		w := s.bufW
@@ -611,6 +757,44 @@ func (s *simplex) dualIterate() Status {
 		}
 		s.scatterCol(q, w)
 		s.f.ftran(w)
+
+		// Forrest–Goldfarb weight update, before the eta is pushed (the τ
+		// FTRAN must use the pre-pivot basis): β_r ← β_r/α_r²,
+		// β_i ← max(β_i − 2(w_i/α_r)τ_i + (w_i/α_r)²β_r, floor) with
+		// τ = B⁻¹ρ.
+		if !classic {
+			tau := s.bufT
+			copy(tau, rho)
+			s.f.ftran(tau)
+			ar := w[leave]
+			if math.Abs(ar) > pivTol {
+				br := s.dse[leave]
+				if br < 1e-10 {
+					br = 1e-10
+				}
+				for i := 0; i < s.m; i++ {
+					if i == leave || w[i] == 0 {
+						continue
+					}
+					k := w[i] / ar
+					cand := s.dse[i] - 2*k*tau[i] + k*k*br
+					if low := 1e-4 * k * k * br; cand < low {
+						cand = low
+					}
+					if cand < 1e-10 {
+						cand = 1e-10
+					}
+					s.dse[i] = cand
+					s.dseUpdates++
+				}
+				nr := br / (ar * ar)
+				if nr < 1e-10 {
+					nr = 1e-10
+				}
+				s.dse[leave] = nr
+				s.dseUpdates++
+			}
+		}
 
 		enterVal := s.nonbasicValue(q) + delta
 		for i := 0; i < s.m; i++ {
@@ -627,6 +811,108 @@ func (s *simplex) dualIterate() Status {
 				return StatusIterLimit
 			}
 		}
+	}
+}
+
+// boundFlipRatioTest is the long-step dual ratio test. Candidates are walked
+// in breakpoint order; each passed boxed candidate is flipped to its
+// opposite bound (consuming |α|·(u−l) of the remaining infeasibility), and
+// the candidate at which the infeasibility would be exhausted — or that has
+// no opposite bound to flip to — enters the basis. Flips are applied to the
+// basic values immediately (one batched FTRAN); the caller re-reads xB.
+// Returns the entering column, its α, its breakpoint ratio, and whether any
+// flips were applied.
+func (s *simplex) boundFlipRatioTest(cands []dualCand, leave int, remaining float64) (q int, qAlpha, qRatio float64, flipped bool) {
+	sort.Sort(byRatio(cands))
+	stop := len(cands) - 1
+	for k := 0; k < len(cands); k++ {
+		c := cands[k]
+		j := int(c.j)
+		rng := s.upper[j] - s.lower[j] // +Inf for unboxed and free columns
+		gain := math.Abs(c.alpha) * rng
+		if math.IsInf(gain, 1) || remaining-gain <= 1e-9 {
+			stop = k
+			break
+		}
+		remaining -= gain
+	}
+	// The entering column is the best-pivot candidate among those sharing
+	// the stopping breakpoint.
+	choose := stop
+	for k := stop + 1; k < len(cands); k++ {
+		if cands[k].ratio > cands[stop].ratio+1e-10 {
+			break
+		}
+		if math.Abs(cands[k].alpha) > math.Abs(cands[choose].alpha) {
+			choose = k
+		}
+	}
+	// Flip only the candidates whose breakpoints the dual step strictly
+	// passes. Candidates tied with the entering ratio are dual-degenerate
+	// at the new prices: flipping them buys no dual progress but perturbs
+	// every basic value, which on these massively degenerate scheduling LPs
+	// (most reduced costs identical) causes far more pivots than it saves.
+	theta := cands[choose].ratio
+	nflip := 0
+	for k := 0; k < stop && cands[k].ratio < theta-1e-10; k++ {
+		nflip++
+	}
+	if nflip > 0 {
+		acc := s.bufA
+		for i := range acc {
+			acc[i] = 0
+		}
+		for k := 0; k < nflip; k++ {
+			c := cands[k]
+			j := int(c.j)
+			var dv float64
+			if s.stat[j] == statAtLower {
+				dv = s.upper[j] - s.lower[j]
+				s.stat[j] = statAtUpper
+			} else {
+				dv = s.lower[j] - s.upper[j]
+				s.stat[j] = statAtLower
+			}
+			s.addColScaled(j, dv, acc)
+		}
+		s.f.ftran(acc)
+		for i := 0; i < s.m; i++ {
+			if acc[i] != 0 {
+				s.xB[i] -= acc[i]
+			}
+		}
+		s.flips += nflip
+		flipped = true
+	}
+	c := cands[choose]
+	return int(c.j), c.alpha, c.ratio, flipped
+}
+
+// byRatio sorts dual ratio-test candidates by breakpoint, column index as a
+// deterministic tie-break.
+type byRatio []dualCand
+
+func (b byRatio) Len() int      { return len(b) }
+func (b byRatio) Swap(i, j int) { b[i], b[j] = b[j], b[i] }
+func (b byRatio) Less(i, j int) bool {
+	if b[i].ratio != b[j].ratio {
+		return b[i].ratio < b[j].ratio
+	}
+	return b[i].j < b[j].j
+}
+
+// addColScaled accumulates v·aⱼ into dense w (original-row indexed).
+func (s *simplex) addColScaled(j int, v float64, w []float64) {
+	switch {
+	case j < s.n:
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			w[s.colRow[k]] += s.colVal[k] * v
+		}
+	case j < s.n+s.m:
+		w[j-s.n] += v
+	default:
+		r := j - s.n - s.m
+		w[r] += s.artSign[r] * v
 	}
 }
 

@@ -1,0 +1,162 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// TestBranchingRuleIndependence: pseudo-cost and most-fractional branching
+// explore different trees but must prove the same optimum, under both the
+// classic and the steepest-edge/bound-flipping LP pivot rules.
+func TestBranchingRuleIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var tot float64
+		for j := 0; j < n; j++ {
+			values[j] = float64(1 + rng.Intn(25))
+			weights[j] = float64(1 + rng.Intn(10))
+			tot += weights[j]
+		}
+		cap := math.Floor(tot * (0.25 + 0.5*rng.Float64()))
+		prob := mkKnapsack(values, weights, cap)
+		want := bruteKnapsack(values, weights, cap)
+		for _, cfg := range []struct {
+			name    string
+			branch  BranchRule
+			dantzig bool
+		}{
+			{"pseudo+dse", BranchPseudoCost, false},
+			{"mostfrac+dse", BranchMostFractional, false},
+			{"pseudo+classic", BranchPseudoCost, true},
+			{"mostfrac+classic", BranchMostFractional, true},
+		} {
+			sol := Solve(prob, Options{Branch: cfg.branch, LPOpts: lp.Options{Dantzig: cfg.dantzig}})
+			if sol.Status != StatusOptimal {
+				t.Fatalf("trial %d %s: status=%v", trial, cfg.name, sol.Status)
+			}
+			if math.Abs(-sol.Obj-want) > 1e-6 {
+				t.Fatalf("trial %d %s: obj=%v want %v", trial, cfg.name, -sol.Obj, want)
+			}
+		}
+	}
+}
+
+// TestPseudoCostCountersFlow: a branchy solve under the default rule must
+// run strong-branching probes (reliability initialization), account their
+// iterations separately from node-LP work, and eventually branch from
+// reliable tables alone.
+func TestPseudoCostCountersFlow(t *testing.T) {
+	// A multi-dimensional knapsack: with several resource rows the LP
+	// relaxation has several fractional variables per node, so branching
+	// actually has candidates to rank (a single-row knapsack never does —
+	// its relaxation has exactly one fractional variable).
+	rng := rand.New(rand.NewSource(61))
+	n, m := 20, 4
+	p := &lp.Problem{}
+	idx := make([]int32, n)
+	for j := 0; j < n; j++ {
+		idx[j] = int32(p.AddVar(0, 1, -(50 + rng.Float64()*10), "x"))
+	}
+	for i := 0; i < m; i++ {
+		w := make([]float64, n)
+		var tot float64
+		for j := range w {
+			w[j] = 1 + rng.Float64()*9
+			tot += w[j]
+		}
+		p.AddRow(lp.LE, tot*0.45, idx, w)
+	}
+	ints := make([]bool, n)
+	for j := range ints {
+		ints[j] = true
+	}
+	prob := &Problem{LP: p, Integer: ints}
+	sol := Solve(prob, Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status=%v", sol.Status)
+	}
+	if sol.Nodes < 3 {
+		t.Skipf("search closed in %d nodes; nothing to observe", sol.Nodes)
+	}
+	c := sol.Counters
+	if c.StrongBranchProbes == 0 {
+		t.Fatal("no strong-branching probes on a branchy instance")
+	}
+	if c.StrongBranchProbes > probeTotalCap {
+		t.Fatalf("probe budget exceeded: %d > %d", c.StrongBranchProbes, probeTotalCap)
+	}
+	if c.ProbeIters == 0 {
+		t.Fatal("probes ran but ProbeIters is zero")
+	}
+	mf := Solve(prob, Options{Branch: BranchMostFractional})
+	if mf.Counters.StrongBranchProbes != 0 || mf.Counters.PseudoReliable != 0 {
+		t.Fatalf("most-fractional solve reported pseudo-cost activity: %+v", mf.Counters)
+	}
+	if math.Abs(mf.Obj-sol.Obj) > 1e-6 {
+		t.Fatalf("branching rules disagree: %v vs %v", mf.Obj, sol.Obj)
+	}
+}
+
+// TestBranchingRuleIndependenceParallel covers the shared pseudo-cost
+// tables under concurrent workers (runs under -race in CI): any thread
+// count and branching rule must prove the same optimum.
+func TestBranchingRuleIndependenceParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 6; trial++ {
+		n := 10 + rng.Intn(6)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		var tot float64
+		for j := 0; j < n; j++ {
+			values[j] = float64(1 + rng.Intn(30))
+			weights[j] = float64(1 + rng.Intn(12))
+			tot += weights[j]
+		}
+		cap := math.Floor(tot * 0.4)
+		prob := mkKnapsack(values, weights, cap)
+		want := bruteKnapsack(values, weights, cap)
+		for _, threads := range []int{1, 4} {
+			for _, rule := range []BranchRule{BranchPseudoCost, BranchMostFractional} {
+				sol := Solve(prob, Options{Threads: threads, Branch: rule})
+				if sol.Status != StatusOptimal {
+					t.Fatalf("trial %d threads=%d rule=%d: status=%v", trial, threads, rule, sol.Status)
+				}
+				if math.Abs(-sol.Obj-want) > 1e-6 {
+					t.Fatalf("trial %d threads=%d rule=%d: obj=%v want %v", trial, threads, rule, -sol.Obj, want)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkNodeLPAllocs locks in the per-node allocation profile of the
+// tree search: with per-worker reusable LP engines, node expansion must not
+// allocate fresh simplex state.
+func BenchmarkNodeLPAllocs(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 16
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	var tot float64
+	for j := 0; j < n; j++ {
+		values[j] = 50 + rng.Float64()*10
+		weights[j] = 5 + rng.Float64()
+		tot += weights[j]
+	}
+	prob := mkKnapsack(values, weights, tot/2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol := Solve(prob, Options{})
+		if sol.Status != StatusOptimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+		b.ReportMetric(float64(sol.Nodes), "bbnodes")
+	}
+}

@@ -22,7 +22,9 @@ import (
 	"container/heap"
 	"context"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lp"
@@ -69,10 +71,25 @@ func (s Status) String() string {
 
 // Counters aggregates solver performance statistics across one solve.
 type Counters struct {
-	// SimplexIters is the total simplex iterations over every node LP
-	// (primal and dual); DualIters is the dual-simplex share of that total.
+	// SimplexIters is the total simplex iterations over every node
+	// relaxation LP (primal and dual); DualIters is the dual-simplex share
+	// of that total. Strong-branching probe LPs are accounted separately in
+	// ProbeIters so per-node reoptimization cost stays comparable across
+	// branching rules.
 	SimplexIters int64
 	DualIters    int64
+	// ProbeIters is the total simplex iterations spent in strong-branching
+	// probe LPs (pseudo-cost reliability initialization).
+	ProbeIters int64
+	// RootIters is the root relaxation's share of SimplexIters. The root is
+	// the one unavoidable (near-)cold solve; excluding it from per-node
+	// averages leaves the pure reoptimization cost of the tree.
+	RootIters int64
+	// BoundFlips counts nonbasic variables the long-step dual ratio test
+	// flipped bound-to-bound (each flip replaces a full dual pivot);
+	// PricingUpdates counts dual steepest-edge reference-weight updates.
+	BoundFlips     int64
+	PricingUpdates int64
 	// WarmHits counts node LPs that accepted an inherited basis; WarmMisses
 	// counts nodes where a basis was offered but the LP fell back to a cold
 	// start. Their ratio is the warm-start hit rate.
@@ -82,8 +99,37 @@ type Counters struct {
 	// phase-1 iterations — because a warm basis (or the slack basis) was
 	// already feasible, or the dual simplex restored feasibility.
 	Phase1Skipped int64
+	// StrongBranchProbes counts the dual-simplex probe LPs run to
+	// reliability-initialize pseudo-costs; PseudoReliable counts branching
+	// decisions made entirely from already-reliable pseudo-costs (no probe
+	// needed — the steady state of pseudo-cost branching).
+	StrongBranchProbes int64
+	PseudoReliable     int64
+	// EpsSolves / EpsWarmHits describe the approximation path's ε-search LP
+	// chain (populated by package approx, carried here so one counter bag
+	// flows through events, /v1/stats, and BENCH_solver.json): LP
+	// relaxations solved, and how many warm-started from the previous ε's
+	// basis.
+	EpsSolves   int64
+	EpsWarmHits int64
 	// NodesPerSec is the branch-and-bound node throughput of the solve.
 	NodesPerSec float64
+}
+
+// add accumulates a worker-local counter bag (bound reporting fields like
+// NodesPerSec are stamped by finish, not summed).
+func (c *Counters) add(o *Counters) {
+	c.SimplexIters += o.SimplexIters
+	c.DualIters += o.DualIters
+	c.ProbeIters += o.ProbeIters
+	c.RootIters += o.RootIters
+	c.BoundFlips += o.BoundFlips
+	c.PricingUpdates += o.PricingUpdates
+	c.WarmHits += o.WarmHits
+	c.WarmMisses += o.WarmMisses
+	c.Phase1Skipped += o.Phase1Skipped
+	c.StrongBranchProbes += o.StrongBranchProbes
+	c.PseudoReliable += o.PseudoReliable
 }
 
 // Solution is the result of a MILP solve.
@@ -166,7 +212,40 @@ type Options struct {
 	// RootBasis), forcing a cold two-phase LP solve at every node. For
 	// benchmarks and ablation only.
 	ColdStart bool
+	// Branch selects the branching-variable rule (default BranchPseudoCost).
+	Branch BranchRule
 }
+
+// BranchRule selects how the branching variable is chosen at a fractional
+// node. Any rule proves the same optimum; the tree size differs.
+type BranchRule int8
+
+const (
+	// BranchPseudoCost (the default) keeps per-variable averages of the
+	// objective degradation observed per unit of fractionality in each
+	// branching direction and picks the variable maximizing the product of
+	// its predicted up/down degradations. Variables without observations
+	// are reliability-initialized at shallow depth by strong-branching
+	// probes: iteration-capped dual-simplex solves of both children from
+	// the node's own basis.
+	BranchPseudoCost BranchRule = iota
+	// BranchMostFractional picks the variable farthest from integrality —
+	// the pre-pseudo-cost rule, kept for benchmarks and the branching-rule
+	// independence property tests.
+	BranchMostFractional
+)
+
+// Pseudo-cost tuning. Reliability is deliberately low (one observation per
+// direction) because Checkmate trees are shallow and probe LPs, while warm,
+// are not free; strongDepth bounds probing to the part of the tree where a
+// bad branching choice is most expensive.
+const (
+	pcReliable       = 1   // observations per direction to trust a pseudo-cost
+	strongDepth      = 8   // probe only at depth ≤ this
+	maxProbesPerNode = 2   // candidate variables probed per node (2 LPs each)
+	probeIterLimit   = 150 // iteration cap per probe LP
+	probeTotalCap    = 32  // probe LPs per solve — initialization, not a habit
+)
 
 func (o Options) withDefaults() Options {
 	if o.MaxNodes == 0 {
@@ -196,6 +275,14 @@ type node struct {
 	// basis is the parent LP's optimal basis, inherited as a dual-simplex
 	// warm start; shared read-only between siblings.
 	basis *lp.Basis
+	// denom is the fractional distance the branching closed in this node's
+	// direction (f for the down child, 1−f for the up child); once this
+	// node's LP solves, (LPobj − bound)/denom is one pseudo-cost
+	// observation for change.j. Zero at the root, where there is nothing
+	// to observe.
+	denom float64
+	// up records the branching direction for the pseudo-cost tables.
+	up bool
 	// retried marks a node already re-queued once after its LP hit an
 	// iteration limit; a second failure abandons the subtree (folding its
 	// bound into the solution bound).
@@ -260,7 +347,34 @@ type search struct {
 	rootBasis *lp.Basis
 	ctr       Counters
 	start     time.Time
+
+	// incBits mirrors incObj as atomic float64 bits so the hot pruning
+	// check in expand reads the incumbent without taking s.mu.
+	incBits atomic.Uint64
+
+	// Pseudo-cost tables, shared across workers under pcMu (never s.mu —
+	// the tables are touched while no other shared state is held). pcDown/
+	// pcUp hold summed per-unit objective degradations, pcDownN/pcUpN the
+	// observation counts; the mean is the pseudo-cost. pcSumDown/pcSumUp
+	// and pcNDown/pcNUp track the sum of per-variable means and the count
+	// of observed variables, maintained incrementally so the global
+	// fallback average is O(1) at branching time rather than an O(n) table
+	// scan under the lock.
+	pcMu      sync.Mutex
+	pcDown    []float64
+	pcUp      []float64
+	pcDownN   []int32
+	pcUpN     []int32
+	pcSumDown float64
+	pcSumUp   float64
+	pcNDown   int64
+	pcNUp     int64
+	// probeCount caps total strong-branching LPs per solve.
+	probeCount atomic.Int64
 }
+
+// loadInc atomically reads the incumbent objective (+Inf when none).
+func (s *search) loadInc() float64 { return math.Float64frombits(s.incBits.Load()) }
 
 // provenLocked returns the current global lower bound: nothing in the tree
 // lies below the best open node, any in-flight node, or the bound of an
@@ -306,12 +420,21 @@ func Solve(prob *Problem, opt Options) *Solution {
 		start:     time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.incBits.Store(math.Float64bits(math.Inf(1)))
 	for i := range s.inflight {
 		s.inflight[i] = math.Inf(1)
+	}
+	if opt.Branch == BranchPseudoCost {
+		n := prob.LP.NumVars()
+		s.pcDown = make([]float64, n)
+		s.pcUp = make([]float64, n)
+		s.pcDownN = make([]int32, n)
+		s.pcUpN = make([]int32, n)
 	}
 	if opt.Incumbent != nil {
 		s.incumbent = append([]float64(nil), opt.Incumbent...)
 		s.incObj = prob.LP.Objective(s.incumbent)
+		s.incBits.Store(math.Float64bits(s.incObj))
 		if opt.OnImprove != nil {
 			opt.OnImprove(s.incObj, math.Inf(-1))
 		}
@@ -364,10 +487,19 @@ func (s *search) allIdle() bool {
 // worker is one tree-search loop: pop the best-bound node, expand it on a
 // private problem clone, merge results back. Workers exit when a limit or
 // the gap target is hit, or when the heap is empty and nobody is expanding.
+//
+// Each worker owns a reusable lp.Solver (every node LP has the same shape,
+// so after the first solve the LP engine allocates nothing) and a private
+// Counters bag merged into the shared totals once, at exit — per-node work
+// never touches s.mu beyond the pop/push sections.
 func (s *search) worker(id int) {
-	work := s.prob.LP.Clone()
-	rootLB, rootHB := snapshotBounds(work)
-	var chain []boundChange
+	ws := &workerState{work: s.prob.LP.Clone(), solver: lp.NewSolver()}
+	ws.rootLB, ws.rootHB = snapshotBounds(ws.work)
+	defer func() {
+		s.mu.Lock()
+		s.ctr.add(&ws.ctr)
+		s.mu.Unlock()
+	}()
 
 	s.mu.Lock()
 	for {
@@ -421,7 +553,7 @@ func (s *search) worker(id int) {
 			s.reportBound(boundCB, newBound)
 		}
 
-		s.expand(work, rootLB, rootHB, &chain, nd)
+		s.expand(ws, nd)
 
 		s.mu.Lock()
 		s.inflight[id] = math.Inf(1)
@@ -443,17 +575,46 @@ func (s *search) reportBound(cb func(float64), bound float64) {
 	cb(bound)
 }
 
+// workerState is the private per-worker machinery: a cloned problem to
+// mutate bounds on, a reusable LP engine, counter and scratch space. Nothing
+// in it is shared, so per-node work runs lock-free.
+type workerState struct {
+	work           *lp.Problem
+	solver         *lp.Solver
+	ctr            Counters
+	rootLB, rootHB []float64
+	chain          []boundChange
+	cands          []brCand
+	ests           []pcEst
+}
+
+// pcEst is a candidate's per-direction degradation estimate during branching
+// selection: from the pseudo-cost tables when reliable, refreshed by a
+// strong-branching probe when not.
+type pcEst struct {
+	down, up     float64
+	downOK, upOK bool
+}
+
+// brCand is one fractional branching candidate.
+type brCand struct {
+	j     int
+	frac  float64 // x_j − floor(x_j), in (IntTol, 1−IntTol)
+	score float64
+}
+
 // expand solves one node's LP relaxation and branches. Called without s.mu;
 // takes it only for the short merge sections.
-func (s *search) expand(work *lp.Problem, rootLB, rootHB []float64, chain *[]boundChange, nd *node) {
+func (s *search) expand(ws *workerState, nd *node) {
+	work, wctr := ws.work, &ws.ctr
 	// Apply the node's bound changes by walking the parent chain (leaf to
 	// root; changes only ever tighten, so application order is irrelevant).
-	restoreBounds(work, rootLB, rootHB)
-	cs := (*chain)[:0]
+	restoreBounds(work, ws.rootLB, ws.rootHB)
+	cs := ws.chain[:0]
 	for p := nd; p.parent != nil; p = p.parent {
 		cs = append(cs, p.change)
 	}
-	*chain = cs
+	ws.chain = cs
 	for _, ch := range cs {
 		lo, hi := work.Bounds(ch.j)
 		nlo, nhi := math.Max(lo, ch.lo), math.Min(hi, ch.hi)
@@ -467,27 +628,38 @@ func (s *search) expand(work *lp.Problem, rootLB, rootHB []float64, chain *[]bou
 	if !s.opt.ColdStart {
 		lpopt.WarmStart = nd.basis
 	}
-	sol := work.Solve(lpopt)
+	sol := ws.solver.Solve(work, lpopt)
 
-	s.mu.Lock()
-	s.ctr.SimplexIters += int64(sol.Iters)
-	s.ctr.DualIters += int64(sol.DualIters)
+	wctr.SimplexIters += int64(sol.Iters)
+	wctr.DualIters += int64(sol.DualIters)
+	wctr.BoundFlips += int64(sol.BoundFlips)
+	wctr.PricingUpdates += int64(sol.PricingUpdates)
 	if sol.Status != lp.StatusInfeasible && sol.Phase1Iters == 0 {
-		s.ctr.Phase1Skipped++
+		wctr.Phase1Skipped++
 	}
 	if lpopt.WarmStart != nil {
 		if sol.Warm {
-			s.ctr.WarmHits++
+			wctr.WarmHits++
 		} else {
-			s.ctr.WarmMisses++
+			wctr.WarmMisses++
 		}
 	}
-	if nd.parent == nil && sol.Status == lp.StatusOptimal {
-		s.rootObj = sol.Obj
-		s.rootBasis = sol.Basis
+	if nd.parent == nil {
+		wctr.RootIters += int64(sol.Iters)
+		if sol.Status == lp.StatusOptimal {
+			s.mu.Lock()
+			s.rootObj = sol.Obj
+			s.rootBasis = sol.Basis
+			s.mu.Unlock()
+		}
 	}
-	inc := s.incObj
-	s.mu.Unlock()
+	inc := s.loadInc()
+
+	// Pseudo-cost observation: this node's LP degradation over the
+	// fractional distance its branching closed.
+	if s.pcDown != nil && nd.denom > 0 && sol.Status == lp.StatusOptimal && !math.IsInf(nd.bound, -1) {
+		s.recordPseudo(nd.change.j, nd.up, math.Max(sol.Obj-nd.bound, 0)/nd.denom)
+	}
 
 	switch sol.Status {
 	case lp.StatusInfeasible:
@@ -529,32 +701,37 @@ func (s *search) expand(work *lp.Problem, rootLB, rootHB []float64, chain *[]bou
 		}
 	}
 
-	// Find the most fractional integer variable.
-	branchJ, worstFrac := -1, s.opt.IntTol
+	// Collect the fractional integer variables.
+	cands := ws.cands[:0]
 	for j, isInt := range s.prob.Integer {
 		if !isInt {
 			continue
 		}
 		f := sol.X[j] - math.Floor(sol.X[j])
-		if dist := math.Min(f, 1-f); dist > worstFrac {
-			branchJ, worstFrac = j, dist
+		if math.Min(f, 1-f) > s.opt.IntTol {
+			cands = append(cands, brCand{j: j, frac: f})
 		}
 	}
-	if branchJ < 0 {
+	ws.cands = cands
+	if len(cands) == 0 {
 		// Integral: candidate incumbent.
 		x := roundIntegers(s.prob, sol.X, s.opt.IntTol)
 		s.offerIncumbent(x, s.prob.LP.Objective(x))
 		return
 	}
+	branchJ := s.selectBranch(ws, nd, sol, cands)
 	var childBasis *lp.Basis
 	if !s.opt.ColdStart {
 		childBasis = sol.Basis // shared read-only by both children
 	}
 	v := sol.X[branchJ]
+	f := v - math.Floor(v)
 	down := &node{bound: sol.Obj, depth: nd.depth + 1, parent: nd,
-		change: boundChange{branchJ, math.Inf(-1), math.Floor(v)}, basis: childBasis}
+		change: boundChange{branchJ, math.Inf(-1), math.Floor(v)}, basis: childBasis,
+		denom: f}
 	up := &node{bound: sol.Obj, depth: nd.depth + 1, parent: nd,
-		change: boundChange{branchJ, math.Ceil(v), math.Inf(1)}, basis: childBasis}
+		change: boundChange{branchJ, math.Ceil(v), math.Inf(1)}, basis: childBasis,
+		denom: 1 - f, up: true}
 	s.mu.Lock()
 	// Re-check pruning: the incumbent may have improved during the solve.
 	if !prunedBy(sol.Obj, s.incObj, s.opt.RelGap) {
@@ -562,6 +739,178 @@ func (s *search) expand(work *lp.Problem, rootLB, rootHB []float64, chain *[]bou
 		heap.Push(&s.open, up)
 	}
 	s.mu.Unlock()
+}
+
+// selectBranch picks the branching variable. Most-fractional is the classic
+// fallback rule; the default pseudo-cost rule predicts each candidate's
+// up/down objective degradation from the shared observation tables,
+// reliability-initializing unknown candidates at shallow depth with
+// strong-branching probes (iteration-capped dual-simplex solves of the
+// would-be children from the node's own optimal basis), and maximizes the
+// product of the predicted degradations.
+func (s *search) selectBranch(ws *workerState, nd *node, sol *lp.Solution, cands []brCand) int {
+	if s.opt.Branch != BranchPseudoCost || s.pcDown == nil || len(cands) == 1 {
+		best, bestDist := cands[0].j, -1.0
+		for _, c := range cands {
+			if d := math.Min(c.frac, 1-c.frac); d > bestDist {
+				best, bestDist = c.j, d
+			}
+		}
+		return best
+	}
+
+	// Most-fractional-first order makes both the probe budget and the score
+	// tie-break deterministic.
+	sort.Slice(cands, func(a, b int) bool {
+		da := math.Min(cands[a].frac, 1-cands[a].frac)
+		db := math.Min(cands[b].frac, 1-cands[b].frac)
+		if da != db {
+			return da > db
+		}
+		return cands[a].j < cands[b].j
+	})
+
+	if cap(ws.ests) < len(cands) {
+		ws.ests = make([]pcEst, len(cands))
+	}
+	ests := ws.ests[:len(cands)]
+
+	// Snapshot the tables: per-candidate means where reliable, the global
+	// mean (maintained incrementally by recordPseudo — no table scan under
+	// the lock) as the fallback estimate for the rest.
+	s.pcMu.Lock()
+	avgDown, avgUp := 1.0, 1.0
+	if s.pcNDown > 0 {
+		avgDown = s.pcSumDown / float64(s.pcNDown)
+	}
+	if s.pcNUp > 0 {
+		avgUp = s.pcSumUp / float64(s.pcNUp)
+	}
+	for k, c := range cands {
+		e := pcEst{down: avgDown, up: avgUp}
+		if n := s.pcDownN[c.j]; n >= pcReliable {
+			e.down, e.downOK = s.pcDown[c.j]/float64(n), true
+		}
+		if n := s.pcUpN[c.j]; n >= pcReliable {
+			e.up, e.upOK = s.pcUp[c.j]/float64(n), true
+		}
+		ests[k] = e
+	}
+	s.pcMu.Unlock()
+
+	// Reliability initialization: probe the most fractional unknown
+	// candidates. A probe that proves a side infeasible makes its variable
+	// the immediate choice — branching there closes half the subtree.
+	probes := 0
+	if nd.depth <= strongDepth && sol.Basis != nil {
+		for k := range cands {
+			if probes >= maxProbesPerNode || s.probeCount.Load() >= probeTotalCap {
+				break
+			}
+			if ests[k].downOK && ests[k].upOK {
+				continue
+			}
+			c := cands[k]
+			v := sol.X[c.j]
+			if !ests[k].downOK {
+				if obj, ok, infeas := s.probe(ws, sol, c.j, math.Inf(-1), math.Floor(v)); infeas {
+					// An infeasible side wins the product rule outright —
+					// branching here closes half the subtree immediately, and
+					// no further probe could change the selection.
+					return c.j
+				} else if ok {
+					per := math.Max(obj-sol.Obj, 0) / c.frac
+					ests[k].down, ests[k].downOK = per, true
+					s.recordPseudo(c.j, false, per)
+				}
+			}
+			if !ests[k].upOK {
+				if obj, ok, infeas := s.probe(ws, sol, c.j, math.Ceil(v), math.Inf(1)); infeas {
+					return c.j
+				} else if ok {
+					per := math.Max(obj-sol.Obj, 0) / (1 - c.frac)
+					ests[k].up, ests[k].upOK = per, true
+					s.recordPseudo(c.j, true, per)
+				}
+			}
+			probes++
+		}
+	}
+	if probes == 0 {
+		ws.ctr.PseudoReliable++
+	}
+
+	// Product rule: the branching that degrades both children the most
+	// splits the node's LP bound range fastest.
+	const eps = 1e-6
+	best, bestScore := cands[0].j, -1.0
+	for k, c := range cands {
+		score := math.Max(ests[k].down*c.frac, eps) * math.Max(ests[k].up*(1-c.frac), eps)
+		if score > bestScore {
+			best, bestScore = c.j, score
+		}
+	}
+	return best
+}
+
+// probe runs one strong-branching child LP: the candidate's bounds tightened
+// to [lo,hi], warm-started from the node's optimal basis, iteration-capped.
+// Returns the child objective when solved, ok=false when the probe timed out
+// (no information), infeas=true when the child is provably empty.
+func (s *search) probe(ws *workerState, sol *lp.Solution, j int, lo, hi float64) (obj float64, ok, infeas bool) {
+	olo, ohi := ws.work.Bounds(j)
+	nlo, nhi := math.Max(olo, lo), math.Min(ohi, hi)
+	if nlo > nhi {
+		return 0, false, true
+	}
+	ws.work.SetBounds(j, nlo, nhi)
+	popt := s.opt.LPOpts
+	if !s.opt.ColdStart {
+		popt.WarmStart = sol.Basis
+	}
+	popt.MaxIters = probeIterLimit
+	psol := ws.solver.Solve(ws.work, popt)
+	ws.work.SetBounds(j, olo, ohi)
+	s.probeCount.Add(1)
+	ws.ctr.StrongBranchProbes++
+	ws.ctr.ProbeIters += int64(psol.Iters)
+	ws.ctr.BoundFlips += int64(psol.BoundFlips)
+	ws.ctr.PricingUpdates += int64(psol.PricingUpdates)
+	switch psol.Status {
+	case lp.StatusOptimal:
+		return psol.Obj, true, false
+	case lp.StatusInfeasible:
+		return 0, false, true
+	}
+	return 0, false, false
+}
+
+// recordPseudo adds one per-unit degradation observation to the shared
+// pseudo-cost tables, keeping the sum-of-means aggregates in step.
+func (s *search) recordPseudo(j int, up bool, per float64) {
+	s.pcMu.Lock()
+	if up {
+		oldMean, oldN := 0.0, s.pcUpN[j]
+		if oldN > 0 {
+			oldMean = s.pcUp[j] / float64(oldN)
+		} else {
+			s.pcNUp++
+		}
+		s.pcUp[j] += per
+		s.pcUpN[j]++
+		s.pcSumUp += s.pcUp[j]/float64(s.pcUpN[j]) - oldMean
+	} else {
+		oldMean, oldN := 0.0, s.pcDownN[j]
+		if oldN > 0 {
+			oldMean = s.pcDown[j] / float64(oldN)
+		} else {
+			s.pcNDown++
+		}
+		s.pcDown[j] += per
+		s.pcDownN[j]++
+		s.pcSumDown += s.pcDown[j]/float64(s.pcDownN[j]) - oldMean
+	}
+	s.pcMu.Unlock()
 }
 
 // prunedBy reports whether a subtree with LP bound obj cannot improve the
@@ -583,6 +932,7 @@ func (s *search) offerIncumbent(x []float64, obj float64) {
 	}
 	s.incumbent = append(s.incumbent[:0], x...)
 	s.incObj = obj
+	s.incBits.Store(math.Float64bits(obj))
 	cb := s.opt.OnImprove
 	bound := s.provenLocked()
 	s.mu.Unlock()

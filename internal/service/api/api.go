@@ -289,11 +289,28 @@ type AdmissionStats struct {
 // dual-simplex basis-reuse machinery: hits/(hits+misses) is the fraction of
 // node LPs that reoptimized from an inherited basis instead of cold-solving.
 type SolverStats struct {
-	SimplexIters  int64 `json:"simplex_iters"`
-	DualIters     int64 `json:"dual_iters"`
-	Phase1Skipped int64 `json:"phase1_skipped"`
-	WarmHits      int64 `json:"warm_hits"`
-	WarmMisses    int64 `json:"warm_misses"`
+	SimplexIters int64 `json:"simplex_iters"`
+	DualIters    int64 `json:"dual_iters"`
+	// BoundFlips counts bound-to-bound flips by the long-step dual ratio
+	// test (each replaces a full dual pivot); PricingUpdates counts dual
+	// steepest-edge reference-weight updates.
+	BoundFlips     int64 `json:"bound_flips"`
+	PricingUpdates int64 `json:"pricing_updates"`
+	Phase1Skipped  int64 `json:"phase1_skipped"`
+	WarmHits       int64 `json:"warm_hits"`
+	WarmMisses     int64 `json:"warm_misses"`
+	// StrongBranchProbes / ProbeIters describe pseudo-cost reliability
+	// initialization (probe LPs and their simplex iterations);
+	// PseudoReliable counts branchings decided from reliable pseudo-costs
+	// without probing.
+	StrongBranchProbes int64 `json:"strong_branch_probes"`
+	ProbeIters         int64 `json:"probe_iters"`
+	PseudoReliable     int64 `json:"pseudo_reliable"`
+	// EpsSolves / EpsWarmHits describe the approx path's ε-search LP chain:
+	// relaxations solved and how many warm-started from the previous ε's
+	// basis.
+	EpsSolves   int64 `json:"eps_solves"`
+	EpsWarmHits int64 `json:"eps_warm_hits"`
 	// Nodes is total branch-and-bound nodes; NodesPerSec divides it by the
 	// summed solver wall-clock.
 	Nodes       int64   `json:"nodes"`

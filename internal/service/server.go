@@ -166,10 +166,15 @@ type Server struct {
 
 	solves, deduped, errs atomic.Int64
 
-	// Aggregate solver performance counters, accumulated per optimal solve.
+	// Aggregate solver performance counters, accumulated per solve (the
+	// ε-search counters come from approx solves, the rest from optimal).
 	solverIters, solverDual, solverP1Skip atomic.Int64
 	solverWarmHits, solverWarmMisses      atomic.Int64
 	solverNodes, solverSolveMicros        atomic.Int64
+	solverFlips, solverPricing            atomic.Int64
+	solverProbes, solverProbeIters        atomic.Int64
+	solverPseudoRel                       atomic.Int64
+	solverEpsSolves, solverEpsWarm        atomic.Int64
 }
 
 // New builds a Server from cfg. It fails only when a persistent store is
@@ -299,14 +304,21 @@ func (s *Server) Stats() api.StatsResponse {
 			Rejected:           s.pool.rejected.Load(),
 		},
 		Solver: api.SolverStats{
-			SimplexIters:  s.solverIters.Load(),
-			DualIters:     s.solverDual.Load(),
-			Phase1Skipped: s.solverP1Skip.Load(),
-			WarmHits:      s.solverWarmHits.Load(),
-			WarmMisses:    s.solverWarmMisses.Load(),
-			Nodes:         s.solverNodes.Load(),
-			NodesPerSec:   nps,
-			Threads:       s.cfg.SolveThreads,
+			SimplexIters:       s.solverIters.Load(),
+			DualIters:          s.solverDual.Load(),
+			BoundFlips:         s.solverFlips.Load(),
+			PricingUpdates:     s.solverPricing.Load(),
+			Phase1Skipped:      s.solverP1Skip.Load(),
+			WarmHits:           s.solverWarmHits.Load(),
+			WarmMisses:         s.solverWarmMisses.Load(),
+			StrongBranchProbes: s.solverProbes.Load(),
+			ProbeIters:         s.solverProbeIters.Load(),
+			PseudoReliable:     s.solverPseudoRel.Load(),
+			EpsSolves:          s.solverEpsSolves.Load(),
+			EpsWarmHits:        s.solverEpsWarm.Load(),
+			Nodes:              s.solverNodes.Load(),
+			NodesPerSec:        nps,
+			Threads:            s.cfg.SolveThreads,
 		},
 		Deduped:    s.deduped.Load(),
 		Cancelled:  s.pool.cancelled.Load(),
@@ -543,13 +555,20 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 	if err != nil {
 		return nil, err
 	}
+	ctr := sched.Solver
+	s.solverIters.Add(ctr.SimplexIters)
+	s.solverDual.Add(ctr.DualIters)
+	s.solverFlips.Add(ctr.BoundFlips)
+	s.solverPricing.Add(ctr.PricingUpdates)
+	s.solverEpsSolves.Add(ctr.EpsSolves)
+	s.solverEpsWarm.Add(ctr.EpsWarmHits)
 	if !p.approximate {
-		ctr := sched.Solver
-		s.solverIters.Add(ctr.SimplexIters)
-		s.solverDual.Add(ctr.DualIters)
 		s.solverP1Skip.Add(ctr.Phase1Skipped)
 		s.solverWarmHits.Add(ctr.WarmHits)
 		s.solverWarmMisses.Add(ctr.WarmMisses)
+		s.solverProbes.Add(ctr.StrongBranchProbes)
+		s.solverProbeIters.Add(ctr.ProbeIters)
+		s.solverPseudoRel.Add(ctr.PseudoReliable)
 		s.solverNodes.Add(int64(sched.Nodes))
 		s.solverSolveMicros.Add(sched.SolveTime.Microseconds())
 	}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/milp"
 	"repro/internal/nets"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 )
 
 // Options configure workload construction.
@@ -354,7 +355,9 @@ func (w *Workload) SolveApproxCtx(ctx context.Context, budget int64) (*Schedule,
 	return Solve(ctx, Request{Workload: w, Method: Approx, Budget: budget})
 }
 
-func (w *Workload) finish(s *core.Sched, optimal bool, res *core.Result) (*Schedule, error) {
+func (w *Workload) finish(ctx context.Context, s *core.Sched, optimal bool, res *core.Result) (*Schedule, error) {
+	_, span := telemetry.StartSpan(ctx, "plan")
+	defer span.End()
 	plan, err := schedule.Generate(w.Graph, s)
 	if err != nil {
 		return nil, err

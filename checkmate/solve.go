@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/milp"
+	"repro/internal/telemetry"
 )
 
 // Method selects the solving algorithm of a Request.
@@ -235,6 +236,12 @@ func Solve(ctx context.Context, req Request) (*Schedule, error) {
 	if method == "" {
 		method = Optimal
 	}
+	// The root telemetry span covers the entire solve — dispatch, search,
+	// plan generation, and terminal event delivery — so a trace's span tree
+	// accounts for essentially all of the call's wall clock. A no-op when the
+	// context carries no telemetry.Trace.
+	ctx, rootSpan := telemetry.StartSpan(ctx, "solve",
+		telemetry.A("method", string(method)), telemetry.A("budget", req.Budget))
 	em := newEmitter(req)
 	var (
 		sched      *Schedule
@@ -273,6 +280,10 @@ func Solve(ctx context.Context, req Request) (*Schedule, error) {
 		}
 	}
 	em.done(doneBudget, sched, err)
+	if err != nil {
+		rootSpan.SetAttr("error", err.Error())
+	}
+	rootSpan.End()
 	return sched, err
 }
 
@@ -296,19 +307,19 @@ func (w *Workload) solveOptimalRequest(ctx context.Context, req Request, em *emi
 	if err != nil {
 		return nil, err
 	}
-	return w.resultSchedule(res, req.Budget)
+	return w.resultSchedule(ctx, res, req.Budget)
 }
 
 // resultSchedule maps a core Result onto the public Schedule/error surface
 // shared by single solves and sweep points.
-func (w *Workload) resultSchedule(res *core.Result, budget int64) (*Schedule, error) {
+func (w *Workload) resultSchedule(ctx context.Context, res *core.Result, budget int64) (*Schedule, error) {
 	switch res.Status {
 	case milp.StatusInfeasible:
 		return nil, fmt.Errorf("%w: budget %d (min feasible ≥ %d)", ErrInfeasible, budget, w.MinBudget())
 	case milp.StatusLimit:
 		return nil, fmt.Errorf("%w: budget %d", ErrSolveLimit, budget)
 	}
-	return w.finish(res.Sched, res.Status == milp.StatusOptimal, res)
+	return w.finish(ctx, res.Sched, res.Status == milp.StatusOptimal, res)
 }
 
 // solveApproxRequest runs the two-phase-rounding ε-search under the
@@ -333,7 +344,7 @@ func (w *Workload) solveApproxRequest(ctx context.Context, req Request, em *emit
 	if err != nil {
 		return nil, err
 	}
-	sched, err := w.finish(r.Sched, false, nil)
+	sched, err := w.finish(ctx, r.Sched, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -429,7 +440,7 @@ func (w *Workload) solveBaselineRequest(ctx context.Context, req Request, em *em
 		return nil, fmt.Errorf("%w: baseline %q needs more than budget %d", ErrInfeasible, name, req.Budget)
 	}
 	em.incumbent(best.Cost, math.Inf(-1))
-	return w.finish(best.Sched, false, nil)
+	return w.finish(tctx, best.Sched, false, nil)
 }
 
 // baselineCtxErr maps context termination onto the solve-error taxonomy: a
@@ -454,7 +465,7 @@ func (w *Workload) solveSweepRequest(ctx context.Context, req Request, em *emitt
 	hooks := em.coreHooks()
 	hooks.SweepPoint = func(i int, budget int64, res *core.Result) {
 		pt := SweepPoint{Budget: budget}
-		s, err := w.resultSchedule(res, budget)
+		s, err := w.resultSchedule(ctx, res, budget)
 		switch {
 		case err == nil:
 			pt.Schedule = s

@@ -7,7 +7,8 @@
 //	checkmate-serve -addr :8780 -workers 4 -cache 512 -cache-dir /var/lib/checkmate
 //	curl -s localhost:8780/v1/solve -d '{"model":"mobilenet","batch":8,"budget":4294967296}'
 //
-// See internal/service for the API surface and README.md for a tour.
+// See internal/service for the API surface, docs/observability.md for the
+// telemetry endpoints, and README.md for a tour.
 package main
 
 import (
@@ -15,8 +16,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +30,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8780", "listen address")
+		adminAddr   = flag.String("admin-addr", "", "admin listen address for pprof + /metrics + /healthz (empty = disabled); keep it off the public interface")
 		workers     = flag.Int("workers", 0, "solver worker count (0 = GOMAXPROCS)")
 		threads     = flag.Int("threads", 1, "parallel branch-and-bound workers per solve (1 = serial; workers × threads ≈ cores)")
 		queue       = flag.Int("queue", 64, "bounded solve-queue capacity (full queue => 503)")
@@ -40,8 +43,22 @@ func main() {
 		defTL       = flag.Duration("default-timelimit", 30*time.Second, "solver time limit when a request names none")
 		maxTL       = flag.Duration("max-timelimit", 10*time.Minute, "cap on requested solver time limits")
 		heartbeat   = flag.Duration("stream-heartbeat", 15*time.Second, "SSE keepalive interval for /v1/solve/stream")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		logDebug    = flag.Bool("log-debug", false, "log at debug level")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *logDebug {
+		level = slog.LevelDebug
+	}
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	}
+	logger := slog.New(handler)
 
 	srv, err := service.New(service.Config{
 		Workers:            *workers,
@@ -56,15 +73,39 @@ func main() {
 		DefaultTimeLimit:   *defTL,
 		MaxTimeLimit:       *maxTL,
 		StreamHeartbeat:    *heartbeat,
+		Logger:             logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "checkmate-serve: %v\n", err)
 		os.Exit(1)
 	}
 	if *cacheDir != "" {
-		log.Printf("checkmate-serve: persistent schedule store at %s", *cacheDir)
+		logger.Info("persistent schedule store enabled", "dir", *cacheDir)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handlerMux := srv.Handler()
+	httpSrv := &http.Server{Addr: *addr, Handler: handlerMux}
+
+	// The admin server carries the operator-only surface — pprof profiling
+	// plus its own /metrics and /healthz mounts — on a separate listener so
+	// profiling endpoints never face solve traffic's network.
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminMux := http.NewServeMux()
+		adminMux.HandleFunc("/debug/pprof/", pprof.Index)
+		adminMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		adminMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		adminMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		adminMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		adminMux.Handle("/metrics", handlerMux)
+		adminMux.Handle("/healthz", handlerMux)
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: adminMux}
+		go func() {
+			logger.Info("admin server listening", "addr", *adminAddr)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin server failed", "err", err)
+			}
+		}()
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -72,15 +113,18 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("checkmate-serve: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if adminSrv != nil {
+			adminSrv.Shutdown(ctx)
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("checkmate-serve: shutdown: %v", err)
+			logger.Warn("shutdown incomplete", "err", err)
 		}
 	}()
 
-	log.Printf("checkmate-serve: listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "checkmate-serve: %v\n", err)
 		os.Exit(1)

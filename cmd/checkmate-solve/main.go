@@ -20,12 +20,14 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/checkmate"
 	"repro/internal/nets"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 		showPlan = flag.Bool("plan", false, "print the generated execution plan")
 		quiet    = flag.Bool("quiet", false, "suppress live solver progress on stderr")
 		res      = flag.String("input", "", "override input resolution as CxHxW, e.g. 3x416x608")
+		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON of the solve to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -101,7 +104,15 @@ func main() {
 	// instead of killing the process mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var tr *telemetry.Trace
+	if *tracePth != "" {
+		tr = telemetry.NewTrace()
+		ctx = telemetry.WithTrace(ctx, tr)
+	}
 	sched, err := checkmate.Solve(ctx, req)
+	// A timed-out or interrupted solve's trace is the one worth reading, so
+	// the file is written before any error handling.
+	writeTrace(tr, *tracePth)
 	if err != nil {
 		if errors.Is(err, context.Canceled) && lastInc.seen {
 			fmt.Fprintf(os.Stderr, "checkmate-solve: interrupted; best incumbent so far had overhead %.3fx (at %v)\n",
@@ -125,6 +136,36 @@ func main() {
 	if *showPlan {
 		fmt.Print(sched.Plan.String())
 	}
+}
+
+// writeTrace dumps the solve's span tree as Chrome trace_event JSON and a
+// one-line per-phase self-time summary on stderr.
+func writeTrace(tr *telemetry.Trace, path string) {
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkmate-solve: creating trace file: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := tr.WriteChromeTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "checkmate-solve: writing trace: %v\n", err)
+		return
+	}
+	phases := tr.ExclusiveTotals()
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return phases[names[i]] > phases[names[j]] })
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s %v", name, phases[name].Round(time.Millisecond)))
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d spans over %v -> %s (self-time: %s)\n",
+		len(tr.Spans()), tr.Duration().Round(time.Millisecond), path, strings.Join(parts, ", "))
 }
 
 // progressObserver renders the solver's anytime trajectory on stderr: the

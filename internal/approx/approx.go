@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lp"
+	"repro/internal/telemetry"
 )
 
 // Options configure the approximation.
@@ -101,6 +102,8 @@ func SolveCtx(ctx context.Context, inst core.Instance, opt Options) (*Result, er
 // deflated-budget LP from a previous ε's basis when one is offered, and
 // returns the rounding plus the basis for the next point in the chain.
 func solveAtEps(ctx context.Context, inst core.Instance, opt Options, eps float64, warm *lp.Basis, stats *SearchStats) (*Result, *lp.Basis, error) {
+	ctx, span := telemetry.StartSpan(ctx, "eps_point", telemetry.A("eps", eps))
+	defer span.End()
 	deflated := inst
 	deflated.Budget = int64(float64(inst.Budget) * (1 - eps))
 	rel, err := core.SolveRelaxationChained(ctx, deflated, false, warm)
@@ -116,10 +119,14 @@ func solveAtEps(ctx context.Context, inst core.Instance, opt Options, eps float6
 		stats.DualIters += int64(rel.DualIters)
 	}
 	if opt.Randomized {
+		_, rspan := telemetry.StartSpan(ctx, "rounding", telemetry.A("samples", opt.Samples))
 		r, err := bestRandomized(inst, rel.FS, rel.Obj, opt)
+		rspan.End()
 		return r, rel.Basis, err
 	}
+	_, rspan := telemetry.StartSpan(ctx, "rounding")
 	s := core.TwoPhaseRound(inst.G, rel.FS, opt.Threshold, nil)
+	rspan.End()
 	return finish(inst, s, rel.Obj), rel.Basis, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/lp"
 	"repro/internal/milp"
+	"repro/internal/telemetry"
 )
 
 // SolveOptions tune the optimal (MILP) solve.
@@ -113,17 +114,26 @@ func SolveILP(inst Instance, opt SolveOptions) (*Result, error) {
 // this to bound per-request solve time and to abandon solves whose clients
 // have gone away.
 func SolveILPCtx(ctx context.Context, inst Instance, opt SolveOptions) (*Result, error) {
+	_, bspan := telemetry.StartSpan(ctx, "presolve")
 	f, err := Build(inst, BuildOptions{FrontierAdvancing: !opt.Unpartitioned, CostCap: opt.CostCap, AggregatedFree: opt.AggregatedFree})
 	if err != nil {
+		bspan.End()
 		return nil, err
 	}
+	v, r := f.Stats()
+	bspan.SetAttr("vars", v)
+	bspan.SetAttr("rows", r)
+	bspan.End()
 	start := time.Now()
+
+	mctx, mspan := telemetry.StartSpan(ctx, "branch_and_bound", telemetry.A("budget", inst.Budget))
+	defer mspan.End()
 
 	mopt := milp.Options{
 		TimeLimit: opt.TimeLimit,
 		MaxNodes:  opt.MaxNodes,
 		RelGap:    opt.RelGap,
-		Context:   ctx,
+		Context:   mctx,
 		Threads:   opt.Threads,
 		RootBasis: opt.RootBasis,
 		ColdStart: opt.ColdStart,
@@ -164,6 +174,8 @@ func SolveILPCtx(ctx context.Context, inst Instance, opt SolveOptions) (*Result,
 	}
 
 	sol := milp.Solve(f.Prob, mopt)
+	mspan.SetAttr("nodes", sol.Nodes)
+	mspan.SetAttr("status", sol.Status.String())
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: solve cancelled: %w", err)
 	}
@@ -273,6 +285,8 @@ type Relaxation struct {
 // for the next point. The approximation path's ε-search threads its LPs
 // through this in decreasing-budget order.
 func SolveRelaxationChained(ctx context.Context, inst Instance, unpartitioned bool, warm *lp.Basis) (*Relaxation, error) {
+	_, span := telemetry.StartSpan(ctx, "lp_relax", telemetry.A("warm", warm != nil))
+	defer span.End()
 	f, err := Build(inst, BuildOptions{FrontierAdvancing: !unpartitioned})
 	if err != nil {
 		return nil, err
@@ -282,6 +296,8 @@ func SolveRelaxationChained(ctx context.Context, inst Instance, unpartitioned bo
 	// degenerate alternative optima — otherwise chaining would change (and
 	// sometimes degrade) the rounding.
 	sol := f.Prob.LP.Solve(lp.Options{Cancel: ctx.Done(), WarmStart: warm, Polish: warm != nil})
+	span.SetAttr("iters", sol.Iters)
+	span.SetAttr("accepted_warm", sol.Warm)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: relaxation cancelled: %w", err)
 	}

@@ -25,6 +25,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Sense is a row's comparison operator.
@@ -234,6 +235,9 @@ type Solution struct {
 	// StatusOptimal. It warm-starts a later solve of the same problem after
 	// bound or RHS changes (see Options.WarmStart).
 	Basis *Basis
+	// Elapsed is the wall-clock time of this solve, stamped by the engine so
+	// callers (telemetry spans, phase accounting) need not time it themselves.
+	Elapsed time.Duration
 }
 
 // DualBound evaluates the Lagrangian dual bound g(y) for the problem:
@@ -347,12 +351,15 @@ func NewSolver() *Solver { return &Solver{} }
 // Solve optimizes p exactly like Problem.Solve, reusing the engine's
 // buffers when p has the same shape as the previous problem solved.
 func (sv *Solver) Solve(p *Problem, opt Options) *Solution {
+	start := time.Now()
 	if sv.s == nil || !sv.s.shapeMatches(p) {
 		sv.s = newSimplex(p, opt)
 	} else {
 		sv.s.load(p, opt)
 	}
-	return sv.s.solve()
+	sol := sv.s.solve()
+	sol.Elapsed = time.Since(start)
+	return sol
 }
 
 // solverPool recycles simplex engines across Problem.Solve calls. Callers

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/telemetry"
 )
 
 // Problem is a MILP: an lp.Problem plus integrality markers.
@@ -371,6 +372,11 @@ type search struct {
 	pcNUp     int64
 	// probeCount caps total strong-branching LPs per solve.
 	probeCount atomic.Int64
+
+	// traceCtx carries the caller's telemetry trace (if any) into the
+	// workers; it is the post-timeout-wrap context, so span contexts derived
+	// from it observe cancellation. Always non-nil.
+	traceCtx context.Context
 }
 
 // loadInc atomically reads the incumbent objective (+Inf when none).
@@ -407,9 +413,14 @@ func Solve(prob *Problem, opt Options) *Solution {
 		opt.LPOpts.Cancel = opt.Context.Done()
 	}
 
+	tctx := opt.Context
+	if tctx == nil {
+		tctx = context.Background()
+	}
 	s := &search{
 		prob:      prob,
 		opt:       opt,
+		traceCtx:  tctx,
 		inflight:  make([]float64, opt.Threads),
 		incObj:    math.Inf(1),
 		lost:      math.Inf(1),
@@ -493,9 +504,11 @@ func (s *search) allIdle() bool {
 // Counters bag merged into the shared totals once, at exit — per-node work
 // never touches s.mu beyond the pop/push sections.
 func (s *search) worker(id int) {
-	ws := &workerState{work: s.prob.LP.Clone(), solver: lp.NewSolver()}
+	ws := &workerState{work: s.prob.LP.Clone(), solver: lp.NewSolver(),
+		traceCtx: s.traceCtx, lane: id + 1}
 	ws.rootLB, ws.rootHB = snapshotBounds(ws.work)
 	defer func() {
+		ws.endBatch()
 		s.mu.Lock()
 		s.ctr.add(&ws.ctr)
 		s.mu.Unlock()
@@ -553,7 +566,18 @@ func (s *search) worker(id int) {
 			s.reportBound(boundCB, newBound)
 		}
 
-		s.expand(ws, nd)
+		if nd.parent == nil {
+			// The root is traced as its own root_lp span inside expand;
+			// keeping it out of a node_batch keeps that attribution clean.
+			s.expand(ws, nd)
+		} else {
+			ws.ensureBatch()
+			s.expand(ws, nd)
+			ws.batchNodes++
+			if ws.batchNodes >= traceBatchNodes {
+				ws.endBatch()
+			}
+		}
 
 		s.mu.Lock()
 		s.inflight[id] = math.Inf(1)
@@ -586,6 +610,40 @@ type workerState struct {
 	chain          []boundChange
 	cands          []brCand
 	ests           []pcEst
+
+	// Tracing: node expansions are grouped into node_batch spans of up to
+	// traceBatchNodes, one lane per worker, so a trace of a million-node
+	// solve stays a few thousand spans instead of a million.
+	traceCtx   context.Context
+	lane       int
+	batchCtx   context.Context
+	batch      *telemetry.ActiveSpan
+	batchNodes int
+}
+
+// traceBatchNodes is how many node expansions share one node_batch span.
+const traceBatchNodes = 32
+
+// ensureBatch opens a node_batch span on the worker's lane if tracing is
+// active and none is open. No-op (and allocation-free) when tracing is off.
+func (ws *workerState) ensureBatch() {
+	if ws.batch != nil || telemetry.FromContext(ws.traceCtx) == nil {
+		return
+	}
+	ws.batchCtx, ws.batch = telemetry.StartSpan(ws.traceCtx, "node_batch")
+	ws.batch.SetTrack(ws.lane)
+	ws.batchNodes = 0
+}
+
+// endBatch closes the open node_batch span, recording how many nodes it
+// covered. Safe to call with no batch open.
+func (ws *workerState) endBatch() {
+	if ws.batch == nil {
+		return
+	}
+	ws.batch.SetAttr("nodes", ws.batchNodes)
+	ws.batch.End()
+	ws.batch, ws.batchCtx, ws.batchNodes = nil, nil, 0
 }
 
 // pcEst is a candidate's per-direction degradation estimate during branching
@@ -628,7 +686,14 @@ func (s *search) expand(ws *workerState, nd *node) {
 	if !s.opt.ColdStart {
 		lpopt.WarmStart = nd.basis
 	}
+	var rootSpan *telemetry.ActiveSpan
+	if nd.parent == nil {
+		_, rootSpan = telemetry.StartSpan(ws.traceCtx, "root_lp")
+	}
 	sol := ws.solver.Solve(work, lpopt)
+	rootSpan.SetAttr("iters", sol.Iters)
+	rootSpan.SetAttr("status", sol.Status.String())
+	rootSpan.End()
 
 	wctr.SimplexIters += int64(sol.Iters)
 	wctr.DualIters += int64(sol.DualIters)
@@ -869,7 +934,14 @@ func (s *search) probe(ws *workerState, sol *lp.Solution, j int, lo, hi float64)
 		popt.WarmStart = sol.Basis
 	}
 	popt.MaxIters = probeIterLimit
+	pctx := ws.batchCtx
+	if pctx == nil {
+		pctx = ws.traceCtx
+	}
+	_, psp := telemetry.StartSpan(pctx, "probe", telemetry.A("var", j))
 	psol := ws.solver.Solve(ws.work, popt)
+	psp.SetAttr("iters", psol.Iters)
+	psp.End()
 	ws.work.SetBounds(j, olo, ohi)
 	s.probeCount.Add(1)
 	ws.ctr.StrongBranchProbes++

@@ -236,6 +236,9 @@ type StreamDone struct {
 	Error  string         `json:"error,omitempty"`
 	Status int            `json:"status,omitempty"`
 	Result *SolveResponse `json:"result,omitempty"`
+	// RequestID echoes the X-Request-ID of the stream request so a dropped
+	// or failed stream can be correlated with server logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ModelInfo describes one zoo architecture.
@@ -358,4 +361,14 @@ type StatsResponse struct {
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// RequestID identifies the failed request in the server's logs and
+	// metrics; it matches the X-Request-ID response header.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// TraceListResponse lists the solve fingerprints whose execution traces the
+// server still retains (GET /v1/solve/trace with no key), most recent first.
+// Fetch one with GET /v1/solve/trace?key=<fingerprint>.
+type TraceListResponse struct {
+	Keys []string `json:"keys"`
 }

@@ -129,6 +129,27 @@ func (c *scheduleCache) len() int {
 	return n
 }
 
+// cacheTotals is an aggregate snapshot across all shards, taken shard by
+// shard under each shard's lock (see totals).
+type cacheTotals struct {
+	Hits, Misses, Evictions int64
+	Size                    int
+}
+
+// totals aggregates the per-shard snapshots. Each shard's counters are read
+// together under that shard's lock, so a shard's numbers are always mutually
+// consistent even while concurrent solves mutate other shards.
+func (c *scheduleCache) totals() cacheTotals {
+	var t cacheTotals
+	for _, sh := range c.stats() {
+		t.Hits += sh.Hits
+		t.Misses += sh.Misses
+		t.Evictions += sh.Evictions
+		t.Size += sh.Size
+	}
+	return t
+}
+
 // stats snapshots every shard's counters in shard order.
 func (c *scheduleCache) stats() []api.CacheShardStats {
 	out := make([]api.CacheShardStats, len(c.shards))

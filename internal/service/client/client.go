@@ -26,13 +26,23 @@ import (
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RequestID is the server-assigned X-Request-ID of the failed request;
+	// quote it when filing reports so the failure can be found in the
+	// server's structured logs.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
-	if e.Message == "" {
-		return fmt.Sprintf("HTTP %d", e.StatusCode)
+	msg := e.Message
+	if msg == "" {
+		msg = fmt.Sprintf("HTTP %d", e.StatusCode)
+	} else {
+		msg = fmt.Sprintf("%s (HTTP %d)", e.Message, e.StatusCode)
 	}
-	return fmt.Sprintf("%s (HTTP %d)", e.Message, e.StatusCode)
+	if e.RequestID != "" {
+		msg += fmt.Sprintf(" [request %s]", e.RequestID)
+	}
+	return msg
 }
 
 // IsOverloaded reports whether err is the service shedding load (HTTP 503:
@@ -85,7 +95,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if resp.StatusCode/100 != 2 {
 		var e api.ErrorResponse
 		json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("client: %s %s: %w", method, path, &APIError{StatusCode: resp.StatusCode, Message: e.Error})
+		rid := e.RequestID
+		if rid == "" {
+			rid = resp.Header.Get("X-Request-ID")
+		}
+		return fmt.Errorf("client: %s %s: %w", method, path, &APIError{StatusCode: resp.StatusCode, Message: e.Error, RequestID: rid})
 	}
 	if out == nil {
 		return nil
@@ -134,7 +148,11 @@ func (c *Client) SolveStream(ctx context.Context, req api.SolveRequest, lastEven
 	if resp.StatusCode != http.StatusOK {
 		var e api.ErrorResponse
 		json.NewDecoder(resp.Body).Decode(&e)
-		return nil, fmt.Errorf("client: GET /v1/solve/stream: %w", &APIError{StatusCode: resp.StatusCode, Message: e.Error})
+		rid := e.RequestID
+		if rid == "" {
+			rid = resp.Header.Get("X-Request-ID")
+		}
+		return nil, fmt.Errorf("client: GET /v1/solve/stream: %w", &APIError{StatusCode: resp.StatusCode, Message: e.Error, RequestID: rid})
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -164,7 +182,7 @@ func (c *Client) SolveStream(ctx context.Context, req api.SolveRequest, lastEven
 				if status == 0 {
 					status = http.StatusInternalServerError
 				}
-				return nil, fmt.Errorf("client: streamed solve failed: %w", &APIError{StatusCode: status, Message: done.Error})
+				return nil, fmt.Errorf("client: streamed solve failed: %w", &APIError{StatusCode: status, Message: done.Error, RequestID: done.RequestID})
 			}
 			return done.Result, nil
 		case strings.HasPrefix(line, ":"): // comment / heartbeat

@@ -1,0 +1,240 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// serverMetrics is the service's metric surface: a telemetry.Registry plus
+// handles to the hot-path instruments. GET /metrics renders the registry in
+// Prometheus text format, and Stats() reads the very same metric objects to
+// build the /v1/stats JSON view — one source of truth, two renderings, so
+// the surfaces cannot drift.
+//
+// Values the service already counts elsewhere (cache shards, the worker
+// pool, the disk store, the cost calibrator) are registered as scrape-time
+// CounterFunc/GaugeFunc readers instead of mirrored counters; only the
+// solver aggregates and HTTP instruments live in the registry directly.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	// HTTP: requests are counted at arrival (so /v1/stats sees a request
+	// the moment its handler starts, in-flight included), responses and
+	// latency at completion.
+	httpRequests  *telemetry.CounterVec   // checkmate_http_requests_total{route}
+	httpResponses *telemetry.CounterVec   // checkmate_http_responses_total{route,code}
+	httpLatency   *telemetry.HistogramVec // checkmate_http_request_duration_seconds{route}
+
+	solves, deduped, errs *telemetry.Counter
+
+	// Aggregate solver performance counters, accumulated per solve (the
+	// ε-search counters come from approx solves, the rest from optimal).
+	solverIters, solverDual, solverP1Skip *telemetry.Counter
+	solverWarmHits, solverWarmMisses      *telemetry.Counter
+	solverNodes, solverSolveMicros        *telemetry.Counter
+	solverFlips, solverPricing            *telemetry.Counter
+	solverProbes, solverProbeIters        *telemetry.Counter
+	solverPseudoRel                       *telemetry.Counter
+	solverEpsSolves, solverEpsWarm        *telemetry.Counter
+}
+
+// newServerMetrics builds the registry for s. Called at the end of New, when
+// the pool, cache, calibrator, and (optional) store all exist.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := telemetry.NewRegistry()
+	m := &serverMetrics{
+		reg:           r,
+		httpRequests:  r.CounterVec("checkmate_http_requests_total", "HTTP requests received, by route.", "route"),
+		httpResponses: r.CounterVec("checkmate_http_responses_total", "HTTP responses sent, by route and status code.", "route", "code"),
+		httpLatency:   r.HistogramVec("checkmate_http_request_duration_seconds", "HTTP request latency, by route.", telemetry.DefBuckets(), "route"),
+
+		solves:  r.Counter("checkmate_solves_total", "Solver runs completed successfully."),
+		deduped: r.Counter("checkmate_solves_deduped_total", "Requests that joined an already-in-flight identical solve."),
+		errs:    r.Counter("checkmate_solve_errors_total", "Solves that failed (cancellations excluded)."),
+
+		solverIters:       r.Counter("checkmate_solver_simplex_iters_total", "Simplex iterations across all solves."),
+		solverDual:        r.Counter("checkmate_solver_dual_iters_total", "Dual-simplex reoptimization iterations."),
+		solverFlips:       r.Counter("checkmate_solver_bound_flips_total", "Bound-flipping ratio-test flips."),
+		solverPricing:     r.Counter("checkmate_solver_pricing_updates_total", "Dual steepest-edge reference-weight updates."),
+		solverP1Skip:      r.Counter("checkmate_solver_phase1_skipped_total", "Node LPs that skipped phase 1."),
+		solverWarmHits:    r.Counter("checkmate_solver_warm_hits_total", "Node LPs whose warm-start basis was accepted."),
+		solverWarmMisses:  r.Counter("checkmate_solver_warm_misses_total", "Node LPs whose warm-start basis was rejected."),
+		solverProbes:      r.Counter("checkmate_solver_strong_branch_probes_total", "Strong-branching probe LPs."),
+		solverProbeIters:  r.Counter("checkmate_solver_probe_iters_total", "Simplex iterations spent in probes."),
+		solverPseudoRel:   r.Counter("checkmate_solver_pseudo_reliable_total", "Branchings decided from pseudo-costs alone (no probes)."),
+		solverEpsSolves:   r.Counter("checkmate_solver_eps_solves_total", "ε-search LP relaxations solved."),
+		solverEpsWarm:     r.Counter("checkmate_solver_eps_warm_hits_total", "ε-search LPs warm-started from the previous ε's basis."),
+		solverNodes:       r.Counter("checkmate_solver_nodes_total", "Branch-and-bound nodes expanded."),
+		solverSolveMicros: r.Counter("checkmate_solver_solve_micros_total", "Wall-clock microseconds spent in optimal solves."),
+	}
+	r.GaugeFunc("checkmate_solver_nodes_per_sec", "Aggregate branch-and-bound nodes per second of solve time.", func() float64 {
+		if us := m.solverSolveMicros.Value(); us > 0 {
+			return float64(m.solverNodes.Value()) / (float64(us) / 1e6)
+		}
+		return 0
+	})
+	r.GaugeFunc("checkmate_solver_threads", "Branch-and-bound workers per solve.", func() float64 {
+		return float64(s.cfg.SolveThreads)
+	})
+
+	// Cache: shard counters are read live from the shards at scrape time.
+	r.CounterFunc("checkmate_cache_hits_total", "In-memory schedule cache hits.", func() float64 {
+		return float64(s.cache.totals().Hits)
+	})
+	r.CounterFunc("checkmate_cache_misses_total", "In-memory schedule cache misses.", func() float64 {
+		return float64(s.cache.totals().Misses)
+	})
+	r.CounterFunc("checkmate_cache_evictions_total", "In-memory schedule cache LRU evictions.", func() float64 {
+		return float64(s.cache.totals().Evictions)
+	})
+	r.GaugeFunc("checkmate_cache_size", "In-memory schedule cache entries.", func() float64 {
+		return float64(s.cache.totals().Size)
+	})
+	r.GaugeFunc("checkmate_cache_cap", "In-memory schedule cache capacity.", func() float64 {
+		return float64(s.cfg.CacheCap)
+	})
+
+	// Pool and admission control.
+	r.GaugeFunc("checkmate_pool_queue_depth", "Flights waiting for a pool worker.", func() float64 {
+		return float64(s.pool.queueDepth())
+	})
+	r.GaugeFunc("checkmate_pool_inflight", "Solves currently running on pool workers.", func() float64 {
+		return float64(s.pool.active.Load())
+	})
+	r.GaugeFunc("checkmate_pool_workers", "Pool worker count.", func() float64 {
+		return float64(s.pool.workers)
+	})
+	r.CounterFunc("checkmate_solves_cancelled_total", "Solves cancelled because every waiter left.", func() float64 {
+		return float64(s.pool.cancelled.Load())
+	})
+	r.CounterFunc("checkmate_admission_rejected_total", "Solves shed by cost-aware admission control.", func() float64 {
+		return float64(s.pool.rejected.Load())
+	})
+	r.GaugeFunc("checkmate_admission_outstanding_cost", "Summed calibrated cost estimate of unfinished solves.", func() float64 {
+		return s.pool.outstandingCost()
+	})
+	r.GaugeFunc("checkmate_admission_max_outstanding_cost", "Admission-control cost limit (0 = disabled).", func() float64 {
+		return s.cfg.MaxOutstandingCost
+	})
+	r.GaugeFunc("checkmate_admission_estimate_ratio", "Calibrator's observed actual/estimate solve-cost ratio.", func() float64 {
+		ratio, _ := s.calib.snapshot()
+		return ratio
+	})
+	r.GaugeFunc("checkmate_admission_calibration_samples", "Observations behind the calibration ratio.", func() float64 {
+		_, samples := s.calib.snapshot()
+		return float64(samples)
+	})
+
+	// Persistent store, present only when a CacheDir is configured.
+	if s.store != nil {
+		r.GaugeFunc("checkmate_store_entries", "Persistent store entries.", func() float64 {
+			return float64(s.store.Stats().Entries)
+		})
+		r.GaugeFunc("checkmate_store_bytes", "Persistent store bytes on disk.", func() float64 {
+			return float64(s.store.Stats().Bytes)
+		})
+		r.CounterFunc("checkmate_store_hits_total", "Persistent store hits.", func() float64 {
+			return float64(s.store.Stats().Hits)
+		})
+		r.CounterFunc("checkmate_store_misses_total", "Persistent store misses.", func() float64 {
+			return float64(s.store.Stats().Misses)
+		})
+		r.CounterFunc("checkmate_store_corrupt_total", "Corrupt store entries detected and removed.", func() float64 {
+			return float64(s.store.Stats().Corrupt)
+		})
+		r.CounterFunc("checkmate_store_puts_total", "Persistent store writes.", func() float64 {
+			return float64(s.store.Stats().Puts)
+		})
+		r.CounterFunc("checkmate_store_put_errors_total", "Persistent store write failures.", func() float64 {
+			return float64(s.store.Stats().PutErrors)
+		})
+		r.CounterFunc("checkmate_store_evicted_age_total", "Store entries evicted for age.", func() float64 {
+			return float64(s.store.Stats().EvictedAge)
+		})
+		r.CounterFunc("checkmate_store_evicted_size_total", "Store entries evicted for size.", func() float64 {
+			return float64(s.store.Stats().EvictedSize)
+		})
+		r.CounterFunc("checkmate_store_sweeps_total", "Store sweeps completed.", func() float64 {
+			return float64(s.store.Stats().Sweeps)
+		})
+	}
+
+	r.GaugeFunc("checkmate_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	telemetry.RegisterRuntimeMetrics(r)
+	return m
+}
+
+// statusWriter captures the response status code for the HTTP metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// flushStatusWriter additionally forwards Flush. It exists because wrapping
+// every ResponseWriter in a non-Flusher type would break the SSE handler's
+// `w.(http.Flusher)` assertion.
+type flushStatusWriter struct {
+	*statusWriter
+}
+
+func (fw flushStatusWriter) Flush() { fw.ResponseWriter.(http.Flusher).Flush() }
+
+// wrapResponseWriter wraps w for status capture, preserving http.Flusher
+// when the underlying connection supports it.
+func wrapResponseWriter(w http.ResponseWriter) (http.ResponseWriter, *statusWriter) {
+	sw := &statusWriter{ResponseWriter: w}
+	if _, ok := w.(http.Flusher); ok {
+		return flushStatusWriter{sw}, sw
+	}
+	return sw, sw
+}
+
+// count is the per-route middleware: request counting at arrival, request-ID
+// assignment and propagation, latency and response-code accounting at
+// completion.
+func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.httpRequests.With(name).Inc()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = telemetry.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(telemetry.WithRequestID(r.Context(), rid))
+		ww, sw := wrapResponseWriter(w)
+		start := time.Now()
+		h(ww, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.metrics.httpLatency.With(name).Observe(time.Since(start).Seconds())
+		s.metrics.httpResponses.With(name, strconv.Itoa(code)).Inc()
+	}
+}
+
+// handleMetrics is GET /metrics: the registry in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
+}

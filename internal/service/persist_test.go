@@ -1,8 +1,10 @@
 package service
 
 import (
+	"bytes"
 	"context"
-	"fmt"
+	"io"
+	"log/slog"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -16,6 +18,19 @@ import (
 
 func persistentCfg(dir string) Config {
 	return Config{Workers: 2, QueueCap: 16, CacheCap: 32, CacheDir: dir, DefaultTimeLimit: 20 * time.Second}
+}
+
+// lockedWriter serializes writes so a test can read the buffer while the
+// server's slog handler is still writing from background goroutines.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }
 
 // TestRestartServesSolvedScheduleFromDisk is the acceptance test of the
@@ -116,13 +131,9 @@ func TestCorruptStoreFilesAreSkippedNeverFatal(t *testing.T) {
 
 			// Startup over a damaged store must succeed.
 			var mu sync.Mutex
-			var logged []string
+			var logBuf bytes.Buffer
 			cfg := persistentCfg(dir)
-			cfg.Logf = func(f string, a ...any) {
-				mu.Lock()
-				logged = append(logged, fmt.Sprintf(f, a...))
-				mu.Unlock()
-			}
+			cfg.Logger = slog.New(slog.NewTextHandler(lockedWriter{mu: &mu, w: &logBuf}, nil))
 			srv2, err := New(cfg)
 			if err != nil {
 				t.Fatalf("startup failed on a corrupt store: %v", err)
@@ -148,7 +159,7 @@ func TestCorruptStoreFilesAreSkippedNeverFatal(t *testing.T) {
 				t.Fatalf("corruption not counted: %+v", st.Store)
 			}
 			mu.Lock()
-			haveLog := strings.Contains(strings.Join(logged, "\n"), "corrupt")
+			haveLog := strings.Contains(logBuf.String(), "corrupt")
 			mu.Unlock()
 			if !haveLog {
 				t.Fatalf("corruption was not logged")

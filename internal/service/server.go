@@ -19,7 +19,9 @@
 //	                        incumbent/bound progress, terminal done frame
 //	POST /v1/sweep        — one workload at several budgets (Figure 5 as a service)
 //	GET  /v1/models       — the model-zoo names
+//	GET  /v1/solve/trace  — Chrome trace_event JSON for a recent solve
 //	GET  /v1/stats        — cache/pool/request counters
+//	GET  /metrics         — the same counters in Prometheus text format
 //	GET  /healthz         — liveness
 package service
 
@@ -29,12 +31,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/checkmate"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/service/api"
 	"repro/internal/service/store"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the server. The zero value selects sensible defaults.
@@ -89,8 +91,10 @@ type Config struct {
 	// MaxGraphNodes rejects serialized graphs above this node count
 	// (default 4096) before any solver memory is committed.
 	MaxGraphNodes int
-	// Logf receives operational diagnostics (default log.Printf).
-	Logf func(format string, args ...any)
+	// Logger receives structured operational diagnostics (default
+	// slog.Default()). The server logs with component/key/shard attributes;
+	// pass a handler at the level and format the deployment wants.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -129,8 +133,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxOutstandingCost < 0 {
 		c.MaxOutstandingCost = 0 // disabled
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -147,6 +151,13 @@ type Server struct {
 	pool  *pool
 	calib *costCalibrator
 	start time.Time
+	log   *slog.Logger
+
+	// metrics is the single source of truth for service counters: /metrics
+	// renders it as Prometheus text, Stats() as the /v1/stats JSON view.
+	metrics *serverMetrics
+	// traces retains the span trees of recent solves for GET /v1/solve/trace.
+	traces *traceStore
 
 	// wlMu guards wlMemo, a small cache of built zoo workloads keyed by
 	// (model, batch, device, coarse segments). Workloads are read-only
@@ -160,21 +171,6 @@ type Server struct {
 	// the same solve).
 	streamMu sync.Mutex
 	streams  map[string]*streamHub
-
-	reqMu    sync.Mutex
-	requests map[string]int64
-
-	solves, deduped, errs atomic.Int64
-
-	// Aggregate solver performance counters, accumulated per solve (the
-	// ε-search counters come from approx solves, the rest from optimal).
-	solverIters, solverDual, solverP1Skip atomic.Int64
-	solverWarmHits, solverWarmMisses      atomic.Int64
-	solverNodes, solverSolveMicros        atomic.Int64
-	solverFlips, solverPricing            atomic.Int64
-	solverProbes, solverProbeIters        atomic.Int64
-	solverPseudoRel                       atomic.Int64
-	solverEpsSolves, solverEpsWarm        atomic.Int64
 }
 
 // New builds a Server from cfg. It fails only when a persistent store is
@@ -182,21 +178,22 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    newScheduleCache(cfg.CacheCap, cfg.CacheShards),
-		pool:     newPool(cfg.Workers, cfg.QueueCap, cfg.MaxOutstandingCost),
-		calib:    newCostCalibrator(),
-		start:    time.Now(),
-		wlMemo:   make(map[string]*checkmate.Workload),
-		requests: make(map[string]int64),
-		streams:  make(map[string]*streamHub),
+		cfg:     cfg,
+		cache:   newScheduleCache(cfg.CacheCap, cfg.CacheShards),
+		pool:    newPool(cfg.Workers, cfg.QueueCap, cfg.MaxOutstandingCost),
+		calib:   newCostCalibrator(),
+		start:   time.Now(),
+		log:     cfg.Logger.With("component", "service"),
+		traces:  newTraceStore(traceStoreCap),
+		wlMemo:  make(map[string]*checkmate.Workload),
+		streams: make(map[string]*streamHub),
 	}
 	if cfg.CacheDir != "" {
 		st, err := store.OpenDisk(store.DiskOptions{
 			Dir:      cfg.CacheDir,
 			MaxBytes: cfg.StoreMaxBytes,
 			MaxAge:   cfg.StoreMaxAge,
-			Logf:     cfg.Logf,
+			Logger:   cfg.Logger,
 		})
 		if err != nil {
 			s.pool.close()
@@ -204,6 +201,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store = st
 	}
+	// Last: the registry's func metrics close over the pool, cache,
+	// calibrator, and store, so everything must exist first.
+	s.metrics = newServerMetrics(s)
 	return s, nil
 }
 
@@ -213,7 +213,7 @@ func (s *Server) Close() {
 	s.pool.close()
 	if s.store != nil {
 		if err := s.store.Close(); err != nil {
-			s.cfg.Logf("service: closing schedule store: %v", err)
+			s.log.Warn("closing schedule store failed", "err", err)
 		}
 	}
 }
@@ -227,16 +227,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/solve", s.count("solve", s.handleSolve))
 	mux.HandleFunc("/v1/solve/stream", s.count("solve_stream", s.handleSolveStream))
 	mux.HandleFunc("/v1/sweep", s.count("sweep", s.handleSweep))
+	mux.HandleFunc("/v1/solve/trace", s.count("solve_trace", s.handleSolveTrace))
+	mux.HandleFunc("/metrics", s.count("metrics", s.handleMetrics))
 	return mux
-}
-
-func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.reqMu.Lock()
-		s.requests[name]++
-		s.reqMu.Unlock()
-		h(w, r)
-	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -245,8 +238,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+// writeErr sends an api.ErrorResponse stamped with the request's ID so a
+// client error can be correlated with the server's logs and metrics.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeJSON(w, status, api.ErrorResponse{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: telemetry.RequestID(r.Context()),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -265,35 +263,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters. It is a JSON view over the same
+// metric objects /metrics renders: request counts come from the HTTP request
+// counter vector, solver aggregates from the registry counters, and
+// cache/pool/store numbers from the same sources their func metrics read.
 func (s *Server) Stats() api.StatsResponse {
-	s.reqMu.Lock()
-	reqs := make(map[string]int64, len(s.requests))
-	for k, v := range s.requests {
-		reqs[k] = v
-	}
-	s.reqMu.Unlock()
+	m := s.metrics
+	reqs := make(map[string]int64)
+	m.httpRequests.Each(func(values []string, count int64) {
+		reqs[values[0]] = count
+	})
 	shards := s.cache.stats()
-	var hits, misses, evictions int64
-	var size int
-	for _, sh := range shards {
-		hits += sh.Hits
-		misses += sh.Misses
-		evictions += sh.Evictions
-		size += sh.Size
-	}
+	ct := s.cache.totals()
 	ratio, samples := s.calib.snapshot()
 	var nps float64
-	if us := s.solverSolveMicros.Load(); us > 0 {
-		nps = float64(s.solverNodes.Load()) / (float64(us) / 1e6)
+	if us := m.solverSolveMicros.Value(); us > 0 {
+		nps = float64(m.solverNodes.Value()) / (float64(us) / 1e6)
 	}
 	resp := api.StatsResponse{
 		Requests:       reqs,
-		Solves:         s.solves.Load(),
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		CacheSize:      size,
+		Solves:         m.solves.Value(),
+		CacheHits:      ct.Hits,
+		CacheMisses:    ct.Misses,
+		CacheEvictions: ct.Evictions,
+		CacheSize:      ct.Size,
 		CacheCap:       s.cfg.CacheCap,
 		CacheShards:    shards,
 		Admission: api.AdmissionStats{
@@ -304,25 +297,25 @@ func (s *Server) Stats() api.StatsResponse {
 			Rejected:           s.pool.rejected.Load(),
 		},
 		Solver: api.SolverStats{
-			SimplexIters:       s.solverIters.Load(),
-			DualIters:          s.solverDual.Load(),
-			BoundFlips:         s.solverFlips.Load(),
-			PricingUpdates:     s.solverPricing.Load(),
-			Phase1Skipped:      s.solverP1Skip.Load(),
-			WarmHits:           s.solverWarmHits.Load(),
-			WarmMisses:         s.solverWarmMisses.Load(),
-			StrongBranchProbes: s.solverProbes.Load(),
-			ProbeIters:         s.solverProbeIters.Load(),
-			PseudoReliable:     s.solverPseudoRel.Load(),
-			EpsSolves:          s.solverEpsSolves.Load(),
-			EpsWarmHits:        s.solverEpsWarm.Load(),
-			Nodes:              s.solverNodes.Load(),
+			SimplexIters:       m.solverIters.Value(),
+			DualIters:          m.solverDual.Value(),
+			BoundFlips:         m.solverFlips.Value(),
+			PricingUpdates:     m.solverPricing.Value(),
+			Phase1Skipped:      m.solverP1Skip.Value(),
+			WarmHits:           m.solverWarmHits.Value(),
+			WarmMisses:         m.solverWarmMisses.Value(),
+			StrongBranchProbes: m.solverProbes.Value(),
+			ProbeIters:         m.solverProbeIters.Value(),
+			PseudoReliable:     m.solverPseudoRel.Value(),
+			EpsSolves:          m.solverEpsSolves.Value(),
+			EpsWarmHits:        m.solverEpsWarm.Value(),
+			Nodes:              m.solverNodes.Value(),
 			NodesPerSec:        nps,
 			Threads:            s.cfg.SolveThreads,
 		},
-		Deduped:    s.deduped.Load(),
+		Deduped:    m.deduped.Value(),
 		Cancelled:  s.pool.cancelled.Load(),
-		Errors:     s.errs.Load(),
+		Errors:     m.errs.Value(),
 		InFlight:   s.pool.active.Load(),
 		QueueDepth: s.pool.queueDepth(),
 		Workers:    s.pool.workers,
@@ -459,7 +452,14 @@ func (s *Server) solveOne(ctx context.Context, wl *checkmate.Workload, p solvePa
 	if lim := float64(p.opt.TimeLimit.Milliseconds()); lim > 0 && cost > lim {
 		cost = lim
 	}
+	// The flight runs on a detached pool context (waiters may come and go);
+	// carry the submitting request's ID over so the solve's logs and trace
+	// stay correlated with the HTTP request that triggered it.
+	rid := telemetry.RequestID(ctx)
 	val, shared, err := s.pool.submit(ctx, key.String(), cost, func(fctx context.Context) (any, error) {
+		if rid != "" {
+			fctx = telemetry.WithRequestID(fctx, rid)
+		}
 		start := time.Now()
 		resp, err := s.runSolve(fctx, wl, p, key)
 		if err != nil {
@@ -474,18 +474,18 @@ func (s *Server) solveOne(ctx context.Context, wl *checkmate.Workload, p solvePa
 			return nil, err
 		}
 		s.calib.observe(rawEstimate, float64(time.Since(start).Microseconds())/1e3)
-		s.solves.Add(1)
+		s.metrics.solves.Inc()
 		s.cache.put(key, resp)
 		s.writeStored(key, resp)
 		return resp, nil
 	})
 	if shared {
-		s.deduped.Add(1)
+		s.metrics.deduped.Inc()
 	}
 	if err != nil {
 		// Count each failed solve once, not once per deduped waiter.
 		if !shared && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			s.errs.Add(1)
+			s.metrics.errs.Inc()
 		}
 		return nil, err
 	}
@@ -507,7 +507,7 @@ func (s *Server) loadStored(key graph.Fingerprint) (*api.SolveResponse, bool) {
 	}
 	var resp api.SolveResponse
 	if err := json.Unmarshal(payload, &resp); err != nil {
-		s.cfg.Logf("service: stored schedule %s undecodable: %v (re-solving)", key.Short(), err)
+		s.log.Warn("stored schedule undecodable, re-solving", "key", key.Short(), "err", err)
 		return nil, false
 	}
 	resp.Cached = false // per-request flags are stamped by the caller
@@ -524,11 +524,11 @@ func (s *Server) writeStored(key graph.Fingerprint, resp *api.SolveResponse) {
 	}
 	payload, err := json.Marshal(resp)
 	if err != nil {
-		s.cfg.Logf("service: encoding schedule %s for the store: %v", key.Short(), err)
+		s.log.Warn("encoding schedule for the store failed", "key", key.Short(), "err", err)
 		return
 	}
 	if err := s.store.Put(key, payload); err != nil {
-		s.cfg.Logf("service: persisting schedule %s: %v", key.Short(), err)
+		s.log.Warn("persisting schedule failed", "key", key.Short(), "err", err)
 	}
 }
 
@@ -543,6 +543,12 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 	if p.approximate {
 		method = checkmate.Approx
 	}
+	// Record a span tree for this solve and retain it (success or failure —
+	// a timed-out solve's trace is the one worth reading) for
+	// GET /v1/solve/trace?key=<fingerprint>.
+	tr := telemetry.NewTrace()
+	ctx = telemetry.WithTrace(ctx, tr)
+	defer s.traces.put(key.String(), tr)
 	sched, err := checkmate.Solve(ctx, checkmate.Request{
 		Workload:  wl,
 		Method:    method,
@@ -556,21 +562,22 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 		return nil, err
 	}
 	ctr := sched.Solver
-	s.solverIters.Add(ctr.SimplexIters)
-	s.solverDual.Add(ctr.DualIters)
-	s.solverFlips.Add(ctr.BoundFlips)
-	s.solverPricing.Add(ctr.PricingUpdates)
-	s.solverEpsSolves.Add(ctr.EpsSolves)
-	s.solverEpsWarm.Add(ctr.EpsWarmHits)
+	m := s.metrics
+	m.solverIters.Add(ctr.SimplexIters)
+	m.solverDual.Add(ctr.DualIters)
+	m.solverFlips.Add(ctr.BoundFlips)
+	m.solverPricing.Add(ctr.PricingUpdates)
+	m.solverEpsSolves.Add(ctr.EpsSolves)
+	m.solverEpsWarm.Add(ctr.EpsWarmHits)
 	if !p.approximate {
-		s.solverP1Skip.Add(ctr.Phase1Skipped)
-		s.solverWarmHits.Add(ctr.WarmHits)
-		s.solverWarmMisses.Add(ctr.WarmMisses)
-		s.solverProbes.Add(ctr.StrongBranchProbes)
-		s.solverProbeIters.Add(ctr.ProbeIters)
-		s.solverPseudoRel.Add(ctr.PseudoReliable)
-		s.solverNodes.Add(int64(sched.Nodes))
-		s.solverSolveMicros.Add(sched.SolveTime.Microseconds())
+		m.solverP1Skip.Add(ctr.Phase1Skipped)
+		m.solverWarmHits.Add(ctr.WarmHits)
+		m.solverWarmMisses.Add(ctr.WarmMisses)
+		m.solverProbes.Add(ctr.StrongBranchProbes)
+		m.solverProbeIters.Add(ctr.ProbeIters)
+		m.solverPseudoRel.Add(ctr.PseudoReliable)
+		m.solverNodes.Add(int64(sched.Nodes))
+		m.solverSolveMicros.Add(sched.SolveTime.Microseconds())
 	}
 	var planBuf bytes.Buffer
 	if err := sched.Plan.WriteJSON(&planBuf); err != nil {
@@ -616,17 +623,17 @@ func solveStatus(err error) int {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req api.SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	p, err := s.solveParamsFrom(req.Solver, req.Budget, req.TimeLimitMS, req.RelGap)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	wl, err := s.buildWorkload(workloadSpec{
@@ -634,12 +641,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		coarseSegments: req.CoarseSegments, graph: req.Graph,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "building workload: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "building workload: %v", err)
 		return
 	}
 	resp, err := s.solveOne(r.Context(), wl, p, req.NoCache)
 	if err != nil {
-		writeErr(w, solveStatus(err), "%v", err)
+		writeErr(w, r, solveStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -647,12 +654,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		writeErr(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req api.SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	wl, err := s.buildWorkload(workloadSpec{
@@ -660,7 +667,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		coarseSegments: req.CoarseSegments, graph: req.Graph,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "building workload: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "building workload: %v", err)
 		return
 	}
 	resp := api.SweepResponse{
@@ -682,7 +689,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(budgets) > 256 {
-		writeErr(w, http.StatusBadRequest, "sweep of %d budgets exceeds the 256-point limit", len(budgets))
+		writeErr(w, r, http.StatusBadRequest, "sweep of %d budgets exceeds the 256-point limit", len(budgets))
 		return
 	}
 	sort.Slice(budgets, func(i, j int) bool { return budgets[i] < budgets[j] })
@@ -693,7 +700,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, budget := range budgets {
 		p, err := s.solveParamsFrom(req.Solver, budget, req.TimeLimitMS, req.RelGap)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "budget %d: %v", budget, err)
+			writeErr(w, r, http.StatusBadRequest, "budget %d: %v", budget, err)
 			return
 		}
 		params[i] = p
@@ -735,7 +742,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	if err := r.Context().Err(); err != nil {
-		writeErr(w, http.StatusRequestTimeout, "%v", err)
+		writeErr(w, r, http.StatusRequestTimeout, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -18,7 +18,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -100,8 +100,9 @@ type DiskOptions struct {
 	// whenever MaxBytes or MaxAge is set, so size and age bounds hold even
 	// on a read-mostly server that rarely Puts.
 	SweepInterval time.Duration
-	// Logf receives corruption and sweep diagnostics (default log.Printf).
-	Logf func(format string, args ...any)
+	// Logger receives corruption and sweep diagnostics as structured records
+	// (default slog.Default()).
+	Logger *slog.Logger
 }
 
 // Disk is the file-backed Store. Safe for concurrent use: entries are
@@ -112,7 +113,7 @@ type Disk struct {
 	maxBytes   int64
 	maxAge     time.Duration
 	sweepEvery int64
-	logf       func(format string, args ...any)
+	log        *slog.Logger
 
 	hits, misses, corrupt atomic.Int64
 	puts, putErrors       atomic.Int64
@@ -158,15 +159,16 @@ func OpenDisk(opts DiskOptions) (*Disk, error) {
 		maxBytes:   opts.MaxBytes,
 		maxAge:     opts.MaxAge,
 		sweepEvery: int64(opts.SweepEvery),
-		logf:       opts.Logf,
+		log:        opts.Logger,
 		stop:       make(chan struct{}),
 	}
 	if d.sweepEvery <= 0 {
 		d.sweepEvery = 256
 	}
-	if d.logf == nil {
-		d.logf = log.Printf
+	if d.log == nil {
+		d.log = slog.Default()
 	}
+	d.log = d.log.With("component", "store", "dir", d.dir)
 	if _, err := d.Sweep(); err != nil {
 		return nil, err
 	}
@@ -193,7 +195,7 @@ func (d *Disk) sweepLoop(interval time.Duration) {
 			return
 		case <-t.C:
 			if _, err := d.Sweep(); err != nil {
-				d.logf("store: periodic sweep: %v", err)
+				d.log.Warn("periodic sweep failed", "err", err)
 			}
 		}
 	}
@@ -215,7 +217,8 @@ func (d *Disk) Get(key graph.Fingerprint) ([]byte, bool) {
 	if err != nil {
 		if !os.IsNotExist(err) {
 			d.corrupt.Add(1)
-			d.logf("store: reading %s: %v (treating as miss)", path, err)
+			d.log.Warn("entry unreadable, treating as miss",
+				"key", key.Short(), "shard", key.String()[:shardPrefixLen], "err", err)
 		}
 		d.misses.Add(1)
 		return nil, false
@@ -224,7 +227,8 @@ func (d *Disk) Get(key graph.Fingerprint) ([]byte, bool) {
 	if err != nil {
 		d.corrupt.Add(1)
 		d.misses.Add(1)
-		d.logf("store: corrupt entry %s: %v (removing, treating as miss)", path, err)
+		d.log.Warn("corrupt entry, removing and treating as miss",
+			"key", key.Short(), "shard", key.String()[:shardPrefixLen], "err", err)
 		d.removeCorrupt(key, path)
 		return nil, false
 	}
@@ -356,7 +360,7 @@ func (d *Disk) maybeSweep() {
 	go func() {
 		defer d.wg.Done()
 		if _, err := d.Sweep(); err != nil {
-			d.logf("store: background sweep: %v", err)
+			d.log.Warn("background sweep failed", "err", err)
 		}
 	}()
 }
@@ -418,7 +422,7 @@ func (d *Disk) Sweep() (SweepResult, error) {
 		shardDir := filepath.Join(d.dir, shard.Name())
 		files, err := os.ReadDir(shardDir)
 		if err != nil {
-			d.logf("store: sweep: reading %s: %v", shardDir, err)
+			d.log.Warn("sweep cannot read shard dir", "shard", shard.Name(), "err", err)
 			continue
 		}
 		for _, f := range files {

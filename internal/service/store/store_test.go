@@ -1,7 +1,10 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +14,30 @@ import (
 
 	"repro/internal/graph"
 )
+
+// testLogger returns a slog.Logger writing text records into a mutex-guarded
+// buffer, plus a snapshot func for assertions on the captured output.
+func testLogger() (*slog.Logger, func() string) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	logger := slog.New(slog.NewTextHandler(w, nil))
+	return logger, func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.String()
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+var _ io.Writer = writerFunc(nil)
 
 func testKey(i int) graph.Fingerprint {
 	d := graph.NewDigest()
@@ -23,8 +50,8 @@ func openTestDisk(t *testing.T, opts DiskOptions) *Disk {
 	if opts.Dir == "" {
 		opts.Dir = t.TempDir()
 	}
-	if opts.Logf == nil {
-		opts.Logf = t.Logf
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	d, err := OpenDisk(opts)
 	if err != nil {
@@ -170,10 +197,8 @@ func TestDiskCorruptEntriesAreMissesAndRemoved(t *testing.T) {
 	for _, mode := range []string{"truncate", "garbage", "bitflip"} {
 		t.Run(mode, func(t *testing.T) {
 			dir := t.TempDir()
-			var logged []string
-			d := openTestDisk(t, DiskOptions{Dir: dir, Logf: func(f string, a ...any) {
-				logged = append(logged, fmt.Sprintf(f, a...))
-			}})
+			logger, logged := testLogger()
+			d := openTestDisk(t, DiskOptions{Dir: dir, Logger: logger})
 			key := testKey(9)
 			if err := d.Put(key, []byte(`{"v":"precious schedule payload bytes"}`)); err != nil {
 				t.Fatal(err)
@@ -191,8 +216,13 @@ func TestDiskCorruptEntriesAreMissesAndRemoved(t *testing.T) {
 			if st.Corrupt != 1 || st.Hits != 0 {
 				t.Fatalf("stats after corruption: %+v", st)
 			}
-			if len(logged) == 0 || !strings.Contains(strings.Join(logged, "\n"), "corrupt") {
-				t.Fatalf("corruption was not logged: %v", logged)
+			out := logged()
+			if !strings.Contains(out, "corrupt") {
+				t.Fatalf("corruption was not logged: %q", out)
+			}
+			// Structured attributes must identify the entry.
+			if !strings.Contains(out, "key="+key.Short()) || !strings.Contains(out, "shard="+key.String()[:shardPrefixLen]) {
+				t.Fatalf("corruption log lacks key/shard attrs: %q", out)
 			}
 			// A fresh Put must repair the slot.
 			if err := d.Put(key, []byte(`{"v":"rewritten"}`)); err != nil {
@@ -361,7 +391,7 @@ func TestDiskConcurrentPutGet(t *testing.T) {
 }
 
 func BenchmarkDiskPut(b *testing.B) {
-	d, err := OpenDisk(DiskOptions{Dir: b.TempDir(), Logf: b.Logf})
+	d, err := OpenDisk(DiskOptions{Dir: b.TempDir(), Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -380,7 +410,7 @@ func BenchmarkDiskPut(b *testing.B) {
 }
 
 func BenchmarkDiskGet(b *testing.B) {
-	d, err := OpenDisk(DiskOptions{Dir: b.TempDir(), Logf: b.Logf})
+	d, err := OpenDisk(DiskOptions{Dir: b.TempDir(), Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -401,7 +431,7 @@ func BenchmarkDiskGet(b *testing.B) {
 // TestDiskCloseDuringPutsDoesNotPanic races Close against Puts that trigger
 // background sweeps on every write: wg.Add must never race wg.Wait.
 func TestDiskCloseDuringPutsDoesNotPanic(t *testing.T) {
-	d, err := OpenDisk(DiskOptions{Dir: t.TempDir(), MaxBytes: 1 << 20, SweepEvery: 1, Logf: func(string, ...any) {}})
+	d, err := OpenDisk(DiskOptions{Dir: t.TempDir(), MaxBytes: 1 << 20, SweepEvery: 1, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	if err != nil {
 		t.Fatal(err)
 	}

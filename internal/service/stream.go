@@ -14,6 +14,7 @@ import (
 	"repro/checkmate"
 	"repro/internal/graph"
 	"repro/internal/service/api"
+	"repro/internal/telemetry"
 )
 
 // streamHub fans one in-flight solve's progress out to any number of SSE
@@ -222,22 +223,22 @@ func (s *Server) removeStream(h *streamHub) {
 // solve's event history.
 func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		writeErr(w, r, http.StatusInternalServerError, "streaming unsupported by this connection")
 		return
 	}
 	req, err := solveRequestFromQuery(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	p, err := s.solveParamsFrom(req.Solver, req.Budget, req.TimeLimitMS, req.RelGap)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	wl, err := s.buildWorkload(workloadSpec{
@@ -245,14 +246,21 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 		coarseSegments: req.CoarseSegments, graph: req.Graph,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "building workload: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "building workload: %v", err)
 		return
 	}
 	key := wl.SolveKey(p.budget, p.opt, p.approximate)
 
+	// The hub's solve goroutine runs on a detached context (watchers come and
+	// go); carry the initiating request's ID into it so the solve — and the
+	// done frame every watcher receives — stays correlated with this request.
+	rid := telemetry.RequestID(r.Context())
 	hub, release := s.attachStream(key.String(), func(ctx context.Context, h *streamHub) {
+		if rid != "" {
+			ctx = telemetry.WithRequestID(ctx, rid)
+		}
 		resp, err := s.solveOne(ctx, wl, p, req.NoCache)
-		done := api.StreamDone{Result: resp}
+		done := api.StreamDone{Result: resp, RequestID: rid}
 		if err != nil {
 			done.Error = err.Error()
 			done.Status = solveStatus(err)

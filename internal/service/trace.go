@@ -1,0 +1,96 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+
+	"repro/internal/service/api"
+	"repro/internal/telemetry"
+)
+
+// traceStoreCap bounds how many solve traces the server retains. Traces are
+// debugging artifacts, not durable state: keeping the last few dozen covers
+// "why was that solve slow?" without letting span trees accumulate forever.
+const traceStoreCap = 32
+
+// traceStore holds the span trees of recent solves keyed by solve
+// fingerprint, evicting oldest-first once over capacity. A re-solve of the
+// same fingerprint replaces the old trace (and refreshes its position).
+type traceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // insertion order, oldest first
+	m     map[string]*telemetry.Trace
+}
+
+func newTraceStore(capacity int) *traceStore {
+	if capacity <= 0 {
+		capacity = traceStoreCap
+	}
+	return &traceStore{cap: capacity, m: make(map[string]*telemetry.Trace, capacity)}
+}
+
+func (ts *traceStore) put(key string, tr *telemetry.Trace) {
+	if tr == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.m[key]; ok {
+		for i, k := range ts.order {
+			if k == key {
+				ts.order = append(ts.order[:i], ts.order[i+1:]...)
+				break
+			}
+		}
+	}
+	ts.m[key] = tr
+	ts.order = append(ts.order, key)
+	for len(ts.order) > ts.cap {
+		delete(ts.m, ts.order[0])
+		ts.order = ts.order[1:]
+	}
+}
+
+func (ts *traceStore) get(key string) (*telemetry.Trace, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tr, ok := ts.m[key]
+	return tr, ok
+}
+
+// keys returns the retained fingerprints, most recent first.
+func (ts *traceStore) keys() []string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]string, 0, len(ts.order))
+	for i := len(ts.order) - 1; i >= 0; i-- {
+		out = append(out, ts.order[i])
+	}
+	return out
+}
+
+// handleSolveTrace is GET /v1/solve/trace. Without a key it lists the
+// retained solve fingerprints; with ?key=<fingerprint> it returns that
+// solve's span tree as Chrome trace_event JSON, loadable in chrome://tracing
+// or Perfetto.
+func (s *Server) handleSolveTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, r, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeJSON(w, http.StatusOK, api.TraceListResponse{Keys: s.traces.keys()})
+		return
+	}
+	tr, ok := s.traces.get(key)
+	if !ok {
+		writeErr(w, r, http.StatusNotFound, "no trace retained for solve %q (last %d solves are kept)", key, traceStoreCap)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tr.WriteChromeTrace(w); err != nil {
+		s.log.Warn("writing solve trace failed", "key", key, "err", err)
+	}
+}

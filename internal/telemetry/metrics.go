@@ -1,0 +1,410 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a hand-rolled Prometheus-style metric registry: counters,
+// gauges, and histograms, rendered in the text exposition format. It exists
+// so the service can expose /metrics without an external dependency; the
+// /v1/stats JSON view reads the same metric objects, so the two surfaces
+// cannot drift.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is one metric name: HELP/TYPE plus its series (one for plain
+// metrics, one per label-value combination for vectors).
+type family struct {
+	name, help, kind string
+	labels           []string
+
+	mu     sync.Mutex
+	series map[string]renderable // key: joined label values
+}
+
+// renderable is anything that can emit its sample lines.
+type renderable interface {
+	render(w io.Writer, name, labels string) error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, kind string, labels ...string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, series: make(map[string]renderable)}
+	r.families[name] = f
+	return f
+}
+
+// Has reports whether a metric of this name is registered — the drift-guard
+// tests use it to assert every stats field has a registry counterpart.
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.families[name]
+	return ok
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) render(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(float64(c.v.Load())))
+	return err
+}
+
+// Counter registers (or fetches) a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, "counter")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[""]; ok {
+		return s.(*Counter)
+	}
+	c := &Counter{}
+	f.series[""] = c
+	return c
+}
+
+// funcMetric renders a value computed at scrape time. It backs CounterFunc
+// and GaugeFunc: sources that already maintain their own counters (cache
+// shards, the disk store, the pool) are read live instead of mirrored.
+type funcMetric struct{ fn func() float64 }
+
+func (m funcMetric) render(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(m.fn()))
+	return err
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be monotone for the result to behave as a counter.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "counter")
+	f.mu.Lock()
+	f.series[""] = funcMetric{fn}
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, "gauge")
+	f.mu.Lock()
+	f.series[""] = funcMetric{fn}
+	f.mu.Unlock()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) render(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+	return err
+}
+
+// Gauge registers (or fetches) a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[""]; ok {
+		return s.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[""] = g
+	return g
+}
+
+// DefBuckets returns the default histogram buckets (seconds), a copy.
+func DefBuckets() []float64 {
+	return []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60}
+}
+
+// Histogram observes a distribution into cumulative buckets.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf implicit
+	counts  []atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) render(w io.Writer, name, labels string) error {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := writeSample(w, name+"_bucket", mergeLabels(labels, "le", formatFloat(b)), float64(cum)); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if err := writeSample(w, name+"_bucket", mergeLabels(labels, "le", "+Inf"), float64(cum)); err != nil {
+		return err
+	}
+	if err := writeSample(w, name+"_sum", labels, h.Sum()); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", labels, float64(cum))
+}
+
+// Histogram registers (or fetches) a plain histogram with the given bucket
+// upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, "histogram")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[""]; ok {
+		return s.(*Histogram)
+	}
+	h := newHistogram(buckets)
+	f.series[""] = h
+	return h
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, "counter", labels...)}
+}
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(values ...string) *Counter {
+	key := seriesKey(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if s, ok := v.f.series[key]; ok {
+		return s.(*Counter)
+	}
+	c := &Counter{}
+	v.f.series[key] = c
+	return c
+}
+
+// Each visits every series with its label values and current count.
+func (v *CounterVec) Each(fn func(values []string, count int64)) {
+	v.f.mu.Lock()
+	keys := make([]string, 0, len(v.f.series))
+	for k := range v.f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type kv struct {
+		values []string
+		count  int64
+	}
+	snap := make([]kv, 0, len(keys))
+	for _, k := range keys {
+		snap = append(snap, kv{splitSeriesKey(k), v.f.series[k].(*Counter).Value()})
+	}
+	v.f.mu.Unlock()
+	for _, e := range snap {
+		fn(e.values, e.count)
+	}
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, "histogram", labels...), buckets: buckets}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := seriesKey(values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if s, ok := v.f.series[key]; ok {
+		return s.(*Histogram)
+	}
+	h := newHistogram(v.buckets)
+	v.f.series[key] = h
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, families sorted by name, series sorted by label values,
+// so output is stable for golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type entry struct {
+		labels string
+		s      renderable
+	}
+	entries := make([]entry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, entry{renderLabels(f.labels, splitSeriesKey(k)), f.series[k]})
+	}
+	f.mu.Unlock()
+	if len(entries) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := e.s.render(w, f.name, e.labels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const seriesSep = "\x00"
+
+func seriesKey(values []string) string { return strings.Join(values, seriesSep) }
+
+func splitSeriesKey(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, seriesSep)
+}
+
+func renderLabels(names, values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name := "label"
+		if i < len(names) {
+			name = names[i]
+		}
+		// %q produces exactly the Prometheus label escaping: \\, \", \n.
+		fmt.Fprintf(&b, "%s=%q", name, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels appends one extra label pair to an already rendered label set
+// (used for histogram le buckets).
+func mergeLabels(labels, name, value string) string {
+	extra := fmt.Sprintf("%s=%q", name, value)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(v))
+	return err
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// expositionLine matches one valid Prometheus text-format line: a comment or
+// a sample with optional labels and a float value.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+))$`)
+
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.")
+	c.Add(3)
+	g := r.Gauge("test_queue_depth", "Flights waiting.")
+	g.Set(2.5)
+	r.CounterFunc("test_derived_total", "Derived counter.", func() float64 { return 7 })
+	v := r.CounterVec("test_routed_total", "Routed requests.", "route", "code")
+	v.With("solve", "200").Add(2)
+	v.With("stats", "200").Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := `# HELP test_derived_total Derived counter.
+# TYPE test_derived_total counter
+test_derived_total 7
+# HELP test_queue_depth Flights waiting.
+# TYPE test_queue_depth gauge
+test_queue_depth 2.5
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total 3
+# HELP test_routed_total Routed requests.
+# TYPE test_routed_total counter
+test_routed_total{route="solve",code="200"} 2
+test_routed_total{route="stats",code="200"} 1
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	checkExposition(t, got)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 102.65; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checkExposition(t, out)
+	// Cumulative buckets: 0.1 lands in its own boundary bucket (le is <=).
+	for _, line := range []string{
+		`test_latency_seconds_bucket{le="0.1"} 2`,
+		`test_latency_seconds_bucket{le="1"} 3`,
+		`test_latency_seconds_bucket{le="10"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		`test_latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramVecSeparatesSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_route_seconds", "Per-route latency.", []float64{1}, "route")
+	v.With("solve").Observe(0.5)
+	v.With("solve").Observe(3)
+	v.With("stats").Observe(0.1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checkExposition(t, out)
+	for _, line := range []string{
+		`test_route_seconds_bucket{route="solve",le="1"} 1`,
+		`test_route_seconds_bucket{route="solve",le="+Inf"} 2`,
+		`test_route_seconds_count{route="solve"} 2`,
+		`test_route_seconds_count{route="stats"} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestCounterIgnoresNegativeAdd(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter went down: %d", c.Value())
+	}
+}
+
+func TestRegistryHasAndReuse(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("test_total", "help")
+	c2 := r.Counter("test_total", "help")
+	if c1 != c2 {
+		t.Fatalf("same name returned distinct counters")
+	}
+	if !r.Has("test_total") || r.Has("missing") {
+		t.Fatalf("Has is wrong")
+	}
+}
+
+func TestRuntimeMetricsRegister(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	checkExposition(t, out)
+	if !strings.Contains(out, "go_goroutines ") {
+		t.Fatalf("no goroutine gauge:\n%s", out)
+	}
+	// A live process has at least one goroutine and a nonzero heap.
+	if strings.Contains(out, "go_goroutines 0\n") {
+		t.Fatalf("goroutine gauge reads zero")
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "")
+	h := r.Histogram("test_seconds", "", DefBuckets())
+	v := r.CounterVec("test_vec_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+				v.With("a").Inc()
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

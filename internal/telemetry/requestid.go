@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// NewRequestID returns a fresh 16-hex-char request identifier. IDs only need
+// to be unique enough to correlate one request's log lines, SSE frames, and
+// client-side errors; they carry no other structure.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; here an ID of
+		// zeros still produces a working (if uncorrelated) request.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID attaches a request ID to the context. The service's HTTP
+// middleware calls this once per request; the solve path re-attaches it when
+// work hops onto a pool flight's detached context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID, or "" when none is attached.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"runtime/metrics"
+)
+
+// RegisterRuntimeMetrics adds a small runtime/metrics-backed gauge set to the
+// registry: goroutine count, heap usage, GC cycles. Values are sampled at
+// scrape time, so an idle registry costs nothing.
+func RegisterRuntimeMetrics(r *Registry) {
+	for _, m := range []struct {
+		path, name, help string
+	}{
+		{"/sched/goroutines:goroutines", "go_goroutines", "Number of live goroutines."},
+		{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of heap occupied by live objects plus not-yet-collected garbage."},
+		{"/memory/classes/total:bytes", "go_memory_total_bytes", "All memory mapped by the Go runtime."},
+		{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles."},
+	} {
+		path := m.path
+		r.GaugeFunc(m.name, m.help, func() float64 {
+			sample := []metrics.Sample{{Name: path}}
+			metrics.Read(sample)
+			switch sample[0].Value.Kind() {
+			case metrics.KindUint64:
+				return float64(sample[0].Value.Uint64())
+			case metrics.KindFloat64:
+				return sample[0].Value.Float64()
+			default:
+				return 0
+			}
+		})
+	}
+}

@@ -1,0 +1,289 @@
+// Package telemetry is the observability layer of the repo: a lightweight
+// span recorder for solve tracing, a hand-rolled Prometheus-style metrics
+// registry, request-ID helpers, and runtime gauges. It has no dependencies
+// outside the standard library — the point is that every layer (lp, milp,
+// approx, core, checkmate, service) can afford to depend on it.
+//
+// Tracing follows the context-propagation idiom: a *Trace travels in the
+// context, StartSpan opens a span parented on the context's current span,
+// and when no trace is attached every call is a cheap no-op — solver hot
+// paths pay one context lookup, nothing else. Finished traces export as
+// Chrome trace_event JSON (chrome://tracing, Perfetto) where each span's
+// Track selects the rendering lane, so parallel branch-and-bound workers
+// appear side by side.
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values must be JSON-encodable
+// (numbers, strings, bools).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr; it exists so call sites stay one-line.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one finished, immutable span of a trace. Start and End are offsets
+// from the trace's origin, so a trace is self-contained and serializable.
+type Span struct {
+	ID     int64
+	Parent int64 // 0 = root
+	Name   string
+	// Track selects the rendering lane (Chrome tid). 0 inherits the parent's
+	// lane; parallel solver workers set distinct tracks.
+	Track int
+	Start time.Duration
+	End   time.Duration
+	Attrs []Attr
+}
+
+// Trace is an append-only recorder of finished spans. It is safe for
+// concurrent use: parallel branch-and-bound workers end spans freely.
+type Trace struct {
+	origin time.Time
+	nextID atomic.Int64
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts an empty trace whose clock origin is now.
+func NewTrace() *Trace { return &Trace{origin: time.Now()} }
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+	requestIDKey
+)
+
+// WithTrace attaches tr to the context; all spans started under the returned
+// context record into tr.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, tr)
+}
+
+// FromContext returns the context's trace, or nil when none is attached.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// ActiveSpan is an open span. The zero of usefulness is nil: every method is
+// nil-safe, so code paths instrumented with StartSpan need no trace-enabled
+// branch.
+type ActiveSpan struct {
+	tr     *Trace
+	id     int64
+	parent int64
+	name   string
+	start  time.Duration
+
+	mu    sync.Mutex
+	track int
+	attrs []Attr
+	ended bool
+}
+
+// StartSpan opens a span named name under the context's current span and
+// returns a derived context carrying it. Without a trace in ctx it returns
+// (ctx, nil) — and a nil *ActiveSpan ignores End/SetAttr/SetTrack — so
+// instrumentation costs nothing when tracing is off.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *ActiveSpan) {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	var parent int64
+	if ps, ok := ctx.Value(spanKey).(*ActiveSpan); ok && ps != nil {
+		parent = ps.id
+	}
+	sp := &ActiveSpan{
+		tr:     tr,
+		id:     tr.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Since(tr.origin),
+		attrs:  attrs,
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// SetAttr annotates the span. No-op on nil or after End.
+func (s *ActiveSpan) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// SetTrack assigns the span's rendering lane (Chrome tid). Parallel workers
+// use distinct tracks so their spans don't overlap in one lane.
+func (s *ActiveSpan) SetTrack(track int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.track = track
+	s.mu.Unlock()
+}
+
+// End closes the span and records it into the trace. Second and later calls
+// are ignored, as is End on a nil span.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	sp := Span{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Track:  s.track,
+		Start:  s.start,
+		End:    time.Since(s.tr.origin),
+		Attrs:  s.attrs,
+	}
+	s.mu.Unlock()
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, sp)
+	s.tr.mu.Unlock()
+}
+
+// Spans returns a snapshot copy of the finished spans, in end order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Duration is the latest span end recorded so far — the traced wall-clock.
+func (t *Trace) Duration() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var max time.Duration
+	for _, sp := range t.spans {
+		if sp.End > max {
+			max = sp.End
+		}
+	}
+	return max
+}
+
+// PhaseTotals sums span durations by name — the flat "where did time go"
+// view. Nested spans of the same name double-count; use ExclusiveTotals for
+// self-time.
+func (t *Trace) PhaseTotals() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, sp := range t.Spans() {
+		out[sp.Name] += sp.End - sp.Start
+	}
+	return out
+}
+
+// ExclusiveTotals sums per-name self-time: each span's duration minus the
+// summed durations of its direct children. This is the attribution view —
+// a node_batch span's total excludes the probe LPs nested inside it.
+func (t *Trace) ExclusiveTotals() map[string]time.Duration {
+	spans := t.Spans()
+	childSum := make(map[int64]time.Duration, len(spans))
+	for _, sp := range spans {
+		if sp.Parent != 0 {
+			childSum[sp.Parent] += sp.End - sp.Start
+		}
+	}
+	out := make(map[string]time.Duration)
+	for _, sp := range spans {
+		self := (sp.End - sp.Start) - childSum[sp.ID]
+		if self < 0 {
+			self = 0
+		}
+		out[sp.Name] += self
+	}
+	return out
+}
+
+// chromeEvent is one trace_event entry ("X" = complete event; ts/dur in
+// microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes the trace in the Chrome trace_event JSON
+// format, loadable in chrome://tracing and Perfetto. Spans with Track 0
+// inherit their nearest ancestor's track, so only lane owners (solver
+// workers) need to set one.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	byID := make(map[int64]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	var laneOf func(sp *Span, depth int) int
+	laneOf = func(sp *Span, depth int) int {
+		if sp.Track != 0 || depth > 64 {
+			return sp.Track
+		}
+		if p, ok := byID[sp.Parent]; ok {
+			return laneOf(p, depth+1)
+		}
+		return 0
+	}
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "checkmate"},
+	}}
+	for i := range spans {
+		sp := &spans[i]
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  "solve",
+			Ph:   "X",
+			TS:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64((sp.End - sp.Start).Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  laneOf(sp, 0),
+		}
+		if len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

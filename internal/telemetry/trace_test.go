@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestStartSpanWithoutTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything", A("k", 1))
+	if sp != nil {
+		t.Fatalf("got a live span without a trace in context")
+	}
+	if ctx2 != ctx {
+		t.Fatalf("context was derived despite no trace")
+	}
+	// All methods must be nil-safe.
+	sp.SetAttr("a", 1)
+	sp.SetTrack(3)
+	sp.End()
+}
+
+func TestSpanTreeAndParents(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "solve", A("method", "optimal"))
+	cctx, build := StartSpan(ctx, "build")
+	build.End()
+	cctx2, milp := StartSpan(ctx, "milp")
+	_, batch := StartSpan(cctx2, "node_batch")
+	batch.SetTrack(2)
+	batch.SetAttr("nodes", 7)
+	batch.End()
+	milp.End()
+	root.End()
+	_ = cctx
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["build"].Parent != byName["solve"].ID {
+		t.Fatalf("build's parent = %d, want solve %d", byName["build"].Parent, byName["solve"].ID)
+	}
+	if byName["node_batch"].Parent != byName["milp"].ID {
+		t.Fatalf("node_batch's parent = %d, want milp %d", byName["node_batch"].Parent, byName["milp"].ID)
+	}
+	if byName["solve"].Parent != 0 {
+		t.Fatalf("root span has parent %d", byName["solve"].Parent)
+	}
+	if byName["node_batch"].Track != 2 {
+		t.Fatalf("track = %d, want 2", byName["node_batch"].Track)
+	}
+	for _, sp := range spans {
+		if sp.End < sp.Start {
+			t.Fatalf("span %s ends before it starts", sp.Name)
+		}
+	}
+	// Double End records only once.
+	root.End()
+	if n := len(tr.Spans()); n != 4 {
+		t.Fatalf("double End duplicated a span: %d", n)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "solve")
+	wctx, worker := StartSpan(ctx, "node_batch")
+	worker.SetTrack(3)
+	_, probe := StartSpan(wctx, "probe")
+	time.Sleep(time.Millisecond)
+	probe.End()
+	worker.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	// Metadata event + 3 spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	tids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.Ph != "X" {
+			t.Fatalf("span event %s has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 || ev.TS < 0 {
+			t.Fatalf("negative ts/dur on %s", ev.Name)
+		}
+		tids[ev.Name] = ev.TID
+	}
+	// The probe has no explicit track and must inherit the worker's lane.
+	if tids["node_batch"] != 3 || tids["probe"] != 3 {
+		t.Fatalf("lane inheritance broken: %v", tids)
+	}
+	if tids["solve"] != 0 {
+		t.Fatalf("root lane = %d, want 0", tids["solve"])
+	}
+}
+
+func TestPhaseAndExclusiveTotals(t *testing.T) {
+	tr := NewTrace()
+	// Hand-build spans with exact offsets: parent [0,100ms] with one child
+	// [10ms,40ms].
+	tr.spans = []Span{
+		{ID: 1, Name: "outer", Start: 0, End: 100 * time.Millisecond},
+		{ID: 2, Parent: 1, Name: "inner", Start: 10 * time.Millisecond, End: 40 * time.Millisecond},
+	}
+	ph := tr.PhaseTotals()
+	if ph["outer"] != 100*time.Millisecond || ph["inner"] != 30*time.Millisecond {
+		t.Fatalf("phase totals wrong: %v", ph)
+	}
+	ex := tr.ExclusiveTotals()
+	if ex["outer"] != 70*time.Millisecond {
+		t.Fatalf("outer self-time = %v, want 70ms", ex["outer"])
+	}
+	if ex["inner"] != 30*time.Millisecond {
+		t.Fatalf("inner self-time = %v, want 30ms", ex["inner"])
+	}
+	if d := tr.Duration(); d != 100*time.Millisecond {
+		t.Fatalf("duration = %v, want 100ms", d)
+	}
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	id := NewRequestID()
+	if len(id) != 16 {
+		t.Fatalf("request id %q is not 16 hex chars", id)
+	}
+	if id2 := NewRequestID(); id2 == id {
+		t.Fatalf("two request ids collided: %s", id)
+	}
+	ctx := WithRequestID(context.Background(), id)
+	if got := RequestID(ctx); got != id {
+		t.Fatalf("round-trip lost the id: %q", got)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("empty context has id %q", got)
+	}
+}

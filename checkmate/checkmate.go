@@ -250,6 +250,82 @@ func (w *Workload) EstimateSolveCost(budget int64, opt SolveOptions, approximate
 	return cost
 }
 
+// SolveKeyFor is the method-aware schedule-cache key: the complete digest
+// of a solve under the given method. Optimal, Approx, and Baseline map onto
+// the original SolveKey digests, so caches populated before methods were
+// first-class stay valid; Interval schedules live in their own digest
+// domain (the interval solver can legitimately return a different — still
+// budget-feasible — schedule than the MILP). Auto resolves by graph size
+// exactly as Request.Resolve does, so routing and keys agree across
+// processes.
+func (w *Workload) SolveKeyFor(m Method, budget int64, opt SolveOptions) graph.Fingerprint {
+	if m == Auto {
+		m = Optimal
+		if w.Graph.Len() > AutoMethodThreshold {
+			m = Interval
+		}
+	}
+	if m != Interval {
+		return w.SolveKey(budget, opt, m == Approx)
+	}
+	d := graph.NewDigest()
+	d.String("interval/v1")
+	w.Graph.WriteDigest(d)
+	d.Int64(w.Overhead)
+	d.Int64(budget)
+	// Both knobs bound the interval search and change which incumbent it
+	// returns, exactly like the optimal path.
+	d.Int64(int64(opt.TimeLimit))
+	d.Float64(opt.RelGap)
+	return d.Sum()
+}
+
+// EstimateSolveCostFor is the method-aware admission estimate. Optimal,
+// Approx, and Baseline defer to EstimateSolveCost; the interval formulation
+// carries O(|E|) window variables instead of Θ(n²) binaries and its
+// propagation plus warm-started LP bounds keep per-node work near-linear,
+// so its base grows as n^1.5 — the scaling that makes hundreds-of-nodes
+// graphs admissible at all.
+func (w *Workload) EstimateSolveCostFor(m Method, budget int64, opt SolveOptions) float64 {
+	if m == Auto {
+		m = Optimal
+		if w.Graph.Len() > AutoMethodThreshold {
+			m = Interval
+		}
+	}
+	if m != Interval {
+		return w.EstimateSolveCost(budget, opt, m == Approx)
+	}
+	n := float64(w.Graph.Len())
+	if n <= 0 {
+		return 1
+	}
+	base := n * math.Sqrt(n) / 10
+
+	peak := float64(w.CheckpointAllPeak())
+	minB := float64(w.MinBudget())
+	tightness := 0.0
+	if peak > minB {
+		tightness = (peak - float64(budget)) / (peak - minB)
+	}
+	if tightness < 0 {
+		tightness = 0
+	}
+	if tightness > 1 {
+		tightness = 1
+	}
+	cost := base * (1 + 9*tightness*tightness)
+	if opt.TimeLimit > 0 {
+		if lim := float64(opt.TimeLimit.Milliseconds()); cost > lim {
+			cost = lim
+		}
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	return cost
+}
+
 // CheckpointAllPeak returns the peak memory of the no-rematerialization
 // policy — the budget above which rematerialization is unnecessary.
 func (w *Workload) CheckpointAllPeak() int64 {
@@ -292,6 +368,10 @@ type SolveOptions struct {
 type Schedule struct {
 	Sched *core.Sched
 	Plan  *schedule.Plan
+	// Method is the solver method that produced the schedule. For Auto
+	// requests it is the resolved concrete method (Optimal or Interval),
+	// never Auto itself.
+	Method Method
 	// Cost is the per-iteration compute cost (seconds under the roofline
 	// model, FLOPs under the FLOPs model).
 	Cost float64

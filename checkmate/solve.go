@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/interval"
 	"repro/internal/milp"
 	"repro/internal/telemetry"
 )
@@ -42,7 +44,86 @@ const (
 	// Baseline computes the prior-work heuristic named by Request.Baseline
 	// (Table 1).
 	Baseline Method = "baseline"
+	// Interval solves the Moccasin-style retention-interval formulation:
+	// O(|E|) interval variables with constraint propagation and best-first
+	// LP-bounded search — exact within its space and scaling to graphs far
+	// beyond the MILP's reach.
+	Interval Method = "interval"
+	// Auto routes to Optimal for graphs of at most AutoMethodThreshold
+	// nodes and to Interval above it.
+	Auto Method = "auto"
 )
+
+// AutoMethodThreshold is the graph size, in nodes, above which Method Auto
+// selects Interval instead of Optimal. At and below it the MILP proves
+// global optima in reasonable time; above it the O(n²) program outgrows the
+// time limit and the interval formulation wins.
+const AutoMethodThreshold = 64
+
+// MethodInfo describes one registered solve method.
+type MethodInfo struct {
+	Method      Method `json:"method"`
+	Description string `json:"description"`
+}
+
+// Methods returns the registered solve methods in stable order with
+// one-line descriptions — the single source of truth that request
+// validation, the HTTP surface, and the CLI flags enumerate.
+func Methods() []MethodInfo {
+	return []MethodInfo{
+		{Optimal, "exact MILP branch-and-bound (paper Section 4.7); the default"},
+		{Approx, "polynomial-time two-phase LP rounding with ε-search (Section 5, Appendix D)"},
+		{Baseline, "prior-work heuristic named by Request.Baseline (Table 1)"},
+		{Interval, "Moccasin-style retention-interval search; scales to graphs far beyond the MILP"},
+		{Auto, fmt.Sprintf("Optimal for graphs up to %d nodes, Interval above", AutoMethodThreshold)},
+	}
+}
+
+// MethodNames returns the registered method identifiers in stable order —
+// the strings Request.Method and the HTTP "method" field accept.
+func MethodNames() []string {
+	ms := Methods()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = string(m.Method)
+	}
+	return names
+}
+
+// ValidMethod reports whether name is a registered method. The empty string
+// is valid and selects the default (Optimal).
+func ValidMethod(name Method) bool {
+	if name == "" {
+		return true
+	}
+	for _, m := range Methods() {
+		if m.Method == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolve maps the request's Method onto the concrete algorithm it will
+// run: the empty method defaults to Optimal, and Auto picks Optimal at or
+// below AutoMethodThreshold nodes (and for sweeps, which only the MILP
+// serves) and Interval above. Resolution depends only on the request and
+// the workload's graph size, so identical requests resolve — and cache-key
+// — identically across processes.
+func (r Request) Resolve() Method {
+	m := r.Method
+	if m == "" {
+		m = Optimal
+	}
+	if m != Auto {
+		return m
+	}
+	if len(r.Budgets) > 0 || r.Workload == nil || r.Workload.Graph == nil ||
+		r.Workload.Graph.Len() <= AutoMethodThreshold {
+		return Optimal
+	}
+	return Interval
+}
 
 // EventKind discriminates solver progress events.
 type EventKind string
@@ -121,7 +202,8 @@ func (f ObserverFunc) OnEvent(e Event) { f(e) }
 type Request struct {
 	// Workload is the scheduling problem (required).
 	Workload *Workload
-	// Method selects the algorithm: Optimal (default), Approx, or Baseline.
+	// Method selects the algorithm: Optimal (default), Approx, Baseline,
+	// Interval, or Auto. See Methods for the registry with descriptions.
 	Method Method
 	// Budget is the memory budget in bytes (required unless Budgets is set).
 	Budget int64
@@ -191,8 +273,9 @@ func (r Request) options() SolveOptions {
 // can change the resulting schedule. Two requests with equal keys produce
 // interchangeable schedules.
 func (r Request) Key() graph.Fingerprint {
-	key := r.Workload.SolveKey(r.Budget, r.options(), r.Method == Approx)
-	if r.Method != Baseline {
+	method := r.Resolve()
+	key := r.Workload.SolveKeyFor(method, r.Budget, r.options())
+	if method != Baseline {
 		return key
 	}
 	// A heuristic schedule must never collide with the optimal (or approx)
@@ -232,10 +315,7 @@ func Solve(ctx context.Context, req Request) (*Schedule, error) {
 	if w == nil {
 		return nil, fmt.Errorf("checkmate: Request.Workload is required")
 	}
-	method := req.Method
-	if method == "" {
-		method = Optimal
-	}
+	method := req.Resolve()
 	// The root telemetry span covers the entire solve — dispatch, search,
 	// plan generation, and terminal event delivery — so a trace's span tree
 	// accounts for essentially all of the call's wall clock. A no-op when the
@@ -275,9 +355,14 @@ func Solve(ctx context.Context, req Request) (*Schedule, error) {
 			sched, err = w.solveApproxRequest(ctx, req, em)
 		case Baseline:
 			sched, err = w.solveBaselineRequest(ctx, req, em)
+		case Interval:
+			sched, err = w.solveIntervalRequest(ctx, req, em)
 		default:
-			err = fmt.Errorf("checkmate: unknown method %q (want %q, %q, or %q)", method, Optimal, Approx, Baseline)
+			err = fmt.Errorf("checkmate: unknown method %q (valid: %s)", method, strings.Join(MethodNames(), ", "))
 		}
+	}
+	if sched != nil {
+		sched.Method = method
 	}
 	em.done(doneBudget, sched, err)
 	if err != nil {
@@ -308,6 +393,35 @@ func (w *Workload) solveOptimalRequest(ctx context.Context, req Request, em *emi
 		return nil, err
 	}
 	return w.resultSchedule(ctx, res, req.Budget)
+}
+
+// solveIntervalRequest runs the retention-interval solver with progress
+// hooks attached, mapping its result through the shared schedule surface.
+// The interval result's Bound is admissible for the full MILP space, so
+// Incumbent/BoundImproved gaps mean the same thing they do on the optimal
+// path.
+func (w *Workload) solveIntervalRequest(ctx context.Context, req Request, em *emitter) (*Schedule, error) {
+	opt := req.options()
+	if opt.Unpartitioned {
+		return nil, fmt.Errorf("checkmate: Method %q requires frontier-advancing stages (Unpartitioned is %q-only)", Interval, Optimal)
+	}
+	hooks := em.coreHooks()
+	iopt := interval.Options{TimeLimit: opt.TimeLimit, RelGap: opt.RelGap}
+	if hooks.Started != nil {
+		budget := req.Budget
+		iopt.OnStart = func(vars, rows int) { hooks.Started(budget, vars, rows) }
+		iopt.OnIncumbent = hooks.Incumbent
+		iopt.OnBound = hooks.Bound
+	}
+	res, err := interval.SolveCtx(ctx, core.Instance{G: w.Graph, Budget: req.Budget, Overhead: w.Overhead}, iopt)
+	if err != nil {
+		return nil, err
+	}
+	return w.resultSchedule(ctx, &core.Result{
+		Sched: res.Sched, Cost: res.Cost, Status: res.Status, Bound: res.Bound,
+		Nodes: res.Nodes, Vars: res.Vars, Rows: res.Rows,
+		Solver: res.Solver, SolveTime: res.SolveTime,
+	}, req.Budget)
 }
 
 // resultSchedule maps a core Result onto the public Schedule/error surface

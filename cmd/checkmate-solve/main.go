@@ -38,7 +38,8 @@ func main() {
 		segments = flag.Int("segments", 12, "coarse block count for the forward graph (0 = full layer granularity)")
 		device   = flag.String("device", "v100", "cost model device: v100, tpu, cpu")
 		flops    = flag.Bool("flops", false, "use static FLOP costs instead of the roofline model")
-		useApx   = flag.Bool("approx", false, "use two-phase LP rounding instead of the exact ILP")
+		methodFl = flag.String("method", "", "solver method ("+strings.Join(checkmate.MethodNames(), ", ")+"); empty = optimal")
+		useApx   = flag.Bool("approx", false, "deprecated: same as -method approx")
 		limit    = flag.Duration("timelimit", 60*time.Second, "ILP time limit")
 		gap      = flag.Float64("gap", 0.01, "accepted relative optimality gap")
 		threads  = flag.Int("threads", 1, "parallel branch-and-bound workers (1 = serial)")
@@ -71,9 +72,12 @@ func main() {
 	fmt.Printf("checkpoint-all peak %s, minimum feasible budget %s, solving at %s\n",
 		fmtBytes(peak), fmtBytes(minB), fmtBytes(bud))
 
-	method := checkmate.Optimal
-	if *useApx {
+	method := checkmate.Method(*methodFl)
+	if method == "" && *useApx {
 		method = checkmate.Approx
+	}
+	if !checkmate.ValidMethod(method) {
+		fatal(fmt.Errorf("unknown method %q (valid: %s)", method, strings.Join(checkmate.MethodNames(), ", ")))
 	}
 	req := checkmate.Request{
 		Workload: wl, Method: method, Budget: bud,
@@ -121,8 +125,8 @@ func main() {
 		}
 		fatal(err)
 	}
-	fmt.Printf("cost %.6g (overhead %.3fx vs ideal), peak %s, optimal=%v\n",
-		sched.Cost, sched.Overhead(), fmtBytes(sched.PeakBytes), sched.Optimal)
+	fmt.Printf("method=%s cost %.6g (overhead %.3fx vs ideal), peak %s, optimal=%v\n",
+		sched.Method, sched.Cost, sched.Overhead(), fmtBytes(sched.PeakBytes), sched.Optimal)
 	if sched.Nodes > 0 {
 		fmt.Printf("solve: %v, %d branch-and-bound nodes, MILP %d vars × %d rows\n",
 			sched.SolveTime.Round(time.Millisecond), sched.Nodes, sched.LPVars, sched.LPRows)

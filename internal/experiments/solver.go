@@ -14,6 +14,7 @@ import (
 	"repro/internal/autodiff"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/interval"
 	"repro/internal/telemetry"
 )
 
@@ -115,6 +116,27 @@ type SolverPerf struct {
 	EpsColdMS      float64 `json:"eps_cold_ms"`
 	EpsWarmMS      float64 `json:"eps_warm_ms"`
 	EpsSpeedup     float64 `json:"eps_speedup"`
+
+	// Large-graph interval method: a training chain an order of magnitude
+	// past the exact MILP's practical reach. The MILP gets the full scale
+	// time limit to try for any incumbent; the interval method gets a small
+	// fraction of it and must return a feasible schedule anyway. Wall-clock
+	// figures on a graph this size vary with the runner, so the section is
+	// record-only — CompareSolverPerf never gates on it.
+	IntervalGraphNodes   int     `json:"interval_graph_nodes,omitempty"`
+	IntervalBudget       int64   `json:"interval_budget,omitempty"`
+	IntervalLPVars       int     `json:"interval_lp_vars,omitempty"`
+	IntervalLPRows       int     `json:"interval_lp_rows,omitempty"`
+	IntervalFeasible     bool    `json:"interval_feasible,omitempty"`
+	IntervalCost         float64 `json:"interval_cost,omitempty"`
+	IntervalBound        float64 `json:"interval_bound,omitempty"`
+	IntervalOverhead     float64 `json:"interval_overhead,omitempty"`
+	IntervalNodes        int     `json:"interval_nodes,omitempty"`
+	IntervalTimeLimitMS  float64 `json:"interval_time_limit_ms,omitempty"`
+	IntervalSolveMS      float64 `json:"interval_solve_ms,omitempty"`
+	IntervalMILPLimitMS  float64 `json:"interval_milp_limit_ms,omitempty"`
+	IntervalMILPMS       float64 `json:"interval_milp_ms,omitempty"`
+	IntervalMILPTimedOut bool    `json:"interval_milp_timed_out,omitempty"`
 }
 
 // solverBenchGraph builds the unit-cost training chain the solver benchmark
@@ -348,7 +370,74 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	fmt.Fprintf(w, "eps-search (%d LPs): %d/%d warm hits, iters %d cold vs %d warm (%.2fx), %.1f ms vs %.1f ms (%.2fx)\n",
 		perf.EpsSolves, perf.EpsWarmHits, perf.EpsSolves-1, perf.EpsColdIters, perf.EpsWarmIters,
 		perf.EpsIterRatio, perf.EpsColdMS, perf.EpsWarmMS, perf.EpsSpeedup)
+
+	if err := intervalBench(w, sc, perf); err != nil {
+		return nil, err
+	}
 	return perf, nil
+}
+
+// intervalBench runs the large-graph interval-method section: a 150-layer
+// training chain (~300 scheduled nodes) at a tight budget. The exact MILP
+// gets the full scale time limit to look for any incumbent; the interval
+// method gets at most half of it (capped at 30 s) and must still return
+// a feasible schedule with an admissible bound.
+func intervalBench(w io.Writer, sc Scale, perf *SolverPerf) error {
+	big, err := solverBenchGraph(150)
+	if err != nil {
+		return err
+	}
+	minB := core.MinBudgetLowerBound(big, 0)
+	peak := int64(core.CheckpointAll(big).Peak(big, 0))
+	budget := minB + (peak-minB)/5
+	inst := core.Instance{G: big, Budget: budget}
+	perf.IntervalGraphNodes = big.Len()
+	perf.IntervalBudget = budget
+
+	milpLimit := sc.TimeLimit
+	perf.IntervalMILPLimitMS = float64(milpLimit.Milliseconds())
+	t0 := time.Now()
+	mres, err := core.SolveILP(inst, core.SolveOptions{TimeLimit: milpLimit, RelGap: sc.RelGap})
+	if err != nil {
+		return fmt.Errorf("interval bench: milp attempt: %w", err)
+	}
+	perf.IntervalMILPMS = msSince(t0)
+	perf.IntervalMILPTimedOut = mres.Sched == nil
+
+	ivLimit := sc.TimeLimit / 2
+	if ivLimit > 30*time.Second {
+		ivLimit = 30 * time.Second
+	}
+	perf.IntervalTimeLimitMS = float64(ivLimit.Milliseconds())
+	t0 = time.Now()
+	ires, err := interval.Solve(inst, interval.Options{TimeLimit: ivLimit, RelGap: sc.RelGap})
+	if err != nil {
+		return fmt.Errorf("interval bench: %w", err)
+	}
+	perf.IntervalSolveMS = msSince(t0)
+	perf.IntervalLPVars, perf.IntervalLPRows = ires.Vars, ires.Rows
+	perf.IntervalNodes = ires.Nodes
+	if ires.Sched != nil {
+		if p := ires.Sched.Peak(big, 0); p > float64(budget)+0.5 {
+			return fmt.Errorf("interval bench: schedule peak %v exceeds budget %d", p, budget)
+		}
+		perf.IntervalFeasible = true
+		perf.IntervalCost = ires.Cost
+		perf.IntervalOverhead = ires.Cost / big.TotalCost()
+	}
+	if !math.IsInf(ires.Bound, 0) && !math.IsNaN(ires.Bound) {
+		perf.IntervalBound = ires.Bound
+	}
+
+	milpState := "no incumbent"
+	if !perf.IntervalMILPTimedOut {
+		milpState = fmt.Sprintf("incumbent cost %.6g", mres.Cost)
+	}
+	fmt.Fprintf(w, "interval (large graph): %d nodes, budget %d — MILP %s within %.0f s; interval cost %.6g (%.3fx ideal, bound %.6g) in %.1f s, %d search nodes, LP %d vars × %d rows\n",
+		perf.IntervalGraphNodes, perf.IntervalBudget, milpState, perf.IntervalMILPMS/1e3,
+		perf.IntervalCost, perf.IntervalOverhead, perf.IntervalBound,
+		perf.IntervalSolveMS/1e3, perf.IntervalNodes, perf.IntervalLPVars, perf.IntervalLPRows)
+	return nil
 }
 
 // WriteJSON serializes the record, indented for artifact diffing.

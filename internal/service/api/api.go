@@ -69,7 +69,12 @@ func GraphSpecOf(g *graph.Graph, overhead int64) *GraphSpec {
 	return s
 }
 
-// Solver names accepted by SolveRequest.Solver.
+// Solver names accepted by the deprecated SolveRequest.Solver field. They
+// are a subset of the method names served by GET /v1/methods; the "method"
+// field accepts every method the checkmate package registers.
+//
+// Deprecated: set SolveRequest.Method instead. These constants remain only
+// so old clients keep compiling; new code should never reference them.
 const (
 	SolverOptimal = "optimal" // MILP of paper Section 4.7 (default)
 	SolverApprox  = "approx"  // two-phase LP rounding, Section 5
@@ -93,7 +98,14 @@ type SolveRequest struct {
 
 	// Budget is the memory budget in bytes (required, > 0).
 	Budget int64 `json:"budget"`
-	// Solver is "optimal" (default) or "approx".
+	// Method selects the solver method: one of the names served by
+	// GET /v1/methods ("optimal", "approx", "baseline", "interval", "auto");
+	// empty selects the server default (optimal). It supersedes Solver.
+	Method string `json:"method,omitempty"`
+	// Solver is the pre-method spelling of Method and accepts only
+	// "optimal" or "approx". Ignored when Method is set.
+	//
+	// Deprecated: set Method.
 	Solver string `json:"solver,omitempty"`
 	// TimeLimitMS bounds the optimal solve's wall clock (server default and
 	// cap apply).
@@ -106,13 +118,30 @@ type SolveRequest struct {
 	NoCache bool `json:"no_cache,omitempty"`
 }
 
+// EffectiveMethod returns the request's method name: the first-class Method
+// field when set, else the deprecated Solver alias (whose legal values are
+// method names), else empty for the server default. Validation against the
+// registered methods is the server's job.
+func (r *SolveRequest) EffectiveMethod() string {
+	if r.Method != "" {
+		return r.Method
+	}
+	return r.Solver
+}
+
 // SolveResponse is one solved schedule.
 type SolveResponse struct {
 	// Fingerprint is the canonical cache key of this (graph, budget,
 	// options) instance.
 	Fingerprint string `json:"fingerprint"`
 	// Cached reports whether the schedule was served from the cache.
-	Cached bool   `json:"cached"`
+	Cached bool `json:"cached"`
+	// Method is the solver method that produced the schedule. Requests for
+	// method "auto" see the concrete method the router chose, never "auto".
+	Method string `json:"method"`
+	// Solver mirrors Method for pre-method clients.
+	//
+	// Deprecated: read Method.
 	Solver string `json:"solver"`
 	// Optimal reports proven optimality (always false for approx).
 	Optimal bool `json:"optimal"`
@@ -145,11 +174,26 @@ type SweepRequest struct {
 	CoarseSegments int        `json:"coarse_segments,omitempty"`
 	Graph          *GraphSpec `json:"graph,omitempty"`
 
-	Budgets     []int64 `json:"budgets,omitempty"`
-	Points      int     `json:"points,omitempty"`
+	Budgets []int64 `json:"budgets,omitempty"`
+	Points  int     `json:"points,omitempty"`
+	// Method selects the solver method for every point (see
+	// SolveRequest.Method); it supersedes Solver.
+	Method string `json:"method,omitempty"`
+	// Solver is the pre-method spelling of Method.
+	//
+	// Deprecated: set Method.
 	Solver      string  `json:"solver,omitempty"`
 	TimeLimitMS int64   `json:"time_limit_ms,omitempty"`
 	RelGap      float64 `json:"rel_gap,omitempty"`
+}
+
+// EffectiveMethod returns the sweep's method name, preferring the
+// first-class Method field over the deprecated Solver alias.
+func (r *SweepRequest) EffectiveMethod() string {
+	if r.Method != "" {
+		return r.Method
+	}
+	return r.Solver
 }
 
 // SweepPoint is one budget's outcome within a sweep. Infeasible budgets
@@ -249,6 +293,19 @@ type ModelInfo struct {
 // ModelsResponse lists the architectures GET /v1/models can solve by name.
 type ModelsResponse struct {
 	Models []ModelInfo `json:"models"`
+}
+
+// MethodInfo describes one solver method the service accepts; it mirrors
+// the checkmate package's method registry.
+type MethodInfo struct {
+	Method      string `json:"method"`
+	Description string `json:"description"`
+}
+
+// MethodsResponse lists the solver methods GET /v1/methods serves — the
+// legal values of SolveRequest.Method.
+type MethodsResponse struct {
+	Methods []MethodInfo `json:"methods"`
 }
 
 // CacheShardStats describes one shard of the in-memory schedule cache.

@@ -213,6 +213,7 @@ func streamQuery(req api.SolveRequest) url.Values {
 	set("device", req.Device)
 	set("coarse_segments", strconv.Itoa(req.CoarseSegments))
 	set("budget", strconv.FormatInt(req.Budget, 10))
+	set("method", req.Method)
 	set("solver", req.Solver)
 	set("time_limit_ms", strconv.FormatInt(req.TimeLimitMS, 10))
 	if req.RelGap != 0 {
@@ -249,6 +250,16 @@ func (c *Client) Models(ctx context.Context) ([]string, error) {
 		names = append(names, m.Name)
 	}
 	return names, nil
+}
+
+// Methods lists the solver methods the server accepts — the legal values
+// of api.SolveRequest.Method — with one-line descriptions.
+func (c *Client) Methods(ctx context.Context) ([]api.MethodInfo, error) {
+	var out api.MethodsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/methods", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Methods, nil
 }
 
 // Stats fetches the server's counter snapshot.

@@ -180,3 +180,48 @@ func TestClientSolveStreamError(t *testing.T) {
 		t.Fatalf("status = %d, want 422", ae.StatusCode)
 	}
 }
+
+// TestClientMethods: the client discovers the server's solver methods, and
+// a method-carrying request round-trips through both the blocking and the
+// streaming endpoint with the method echoed back.
+func TestClientMethods(t *testing.T) {
+	c := testClient(t)
+	ctx := context.Background()
+
+	methods, err := c.Methods(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(methods) == 0 {
+		t.Fatal("no methods")
+	}
+	byName := map[string]bool{}
+	for _, m := range methods {
+		if m.Description == "" {
+			t.Errorf("method %q has no description", m.Method)
+		}
+		byName[m.Method] = true
+	}
+	if !byName["interval"] || !byName["auto"] {
+		t.Fatalf("methods %v missing interval/auto", byName)
+	}
+
+	req := api.SolveRequest{Graph: chainSpec(10), Budget: 6, Method: "interval"}
+	blocking, err := c.Solve(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking.Method != "interval" {
+		t.Fatalf("blocking solve reported method %q", blocking.Method)
+	}
+	// The stream query must carry the method too: same fingerprint means the
+	// streamed solve keyed — and therefore routed — identically.
+	streamed, err := c.SolveStream(ctx, req, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Method != "interval" || streamed.Fingerprint != blocking.Fingerprint {
+		t.Fatalf("streamed method %q fingerprint %s, want interval %s",
+			streamed.Method, streamed.Fingerprint, blocking.Fingerprint)
+	}
+}

@@ -19,6 +19,7 @@
 //	                        incumbent/bound progress, terminal done frame
 //	POST /v1/sweep        — one workload at several budgets (Figure 5 as a service)
 //	GET  /v1/models       — the model-zoo names
+//	GET  /v1/methods      — the solver methods, with descriptions
 //	GET  /v1/solve/trace  — Chrome trace_event JSON for a recent solve
 //	GET  /v1/stats        — cache/pool/request counters
 //	GET  /metrics         — the same counters in Prometheus text format
@@ -35,6 +36,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -223,6 +225,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.count("healthz", s.handleHealthz))
 	mux.HandleFunc("/v1/models", s.count("models", s.handleModels))
+	mux.HandleFunc("/v1/methods", s.count("methods", s.handleMethods))
 	mux.HandleFunc("/v1/stats", s.count("stats", s.handleStats))
 	mux.HandleFunc("/v1/solve", s.count("solve", s.handleSolve))
 	mux.HandleFunc("/v1/solve/stream", s.count("solve_stream", s.handleSolveStream))
@@ -255,6 +258,20 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	resp := api.ModelsResponse{}
 	for _, name := range checkmate.Models() {
 		resp.Models = append(resp.Models, api.ModelInfo{Name: name})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMethods serves the solver-method registry: the legal values of a
+// solve request's "method" field, straight from the checkmate package so the
+// wire list can never drift from what Solve dispatches on.
+func (s *Server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	resp := api.MethodsResponse{}
+	for _, m := range checkmate.Methods() {
+		resp.Methods = append(resp.Methods, api.MethodInfo{
+			Method:      string(m.Method),
+			Description: m.Description,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -387,19 +404,18 @@ func (s *Server) buildWorkload(spec workloadSpec) (*checkmate.Workload, error) {
 
 // solveParams are the normalized solver knobs for one budget point.
 type solveParams struct {
-	budget      int64
-	approximate bool
-	opt         checkmate.SolveOptions
+	budget int64
+	// method is the requested solver method; Auto stays Auto here (the
+	// checkmate router resolves it, and SolveKeyFor keys on the resolution
+	// so identical requests cache identically either way).
+	method checkmate.Method
+	opt    checkmate.SolveOptions
 }
 
-func (s *Server) solveParamsFrom(solver string, budget, timeLimitMS int64, relGap float64) (solveParams, error) {
-	p := solveParams{budget: budget}
-	switch solver {
-	case "", api.SolverOptimal:
-	case api.SolverApprox:
-		p.approximate = true
-	default:
-		return p, fmt.Errorf("unknown solver %q (want %q or %q)", solver, api.SolverOptimal, api.SolverApprox)
+func (s *Server) solveParamsFrom(method string, budget, timeLimitMS int64, relGap float64) (solveParams, error) {
+	p := solveParams{budget: budget, method: checkmate.Method(method)}
+	if !checkmate.ValidMethod(p.method) {
+		return p, fmt.Errorf("unknown method %q (valid: %s)", method, strings.Join(checkmate.MethodNames(), ", "))
 	}
 	if budget <= 0 {
 		return p, fmt.Errorf("budget must be positive, got %d", budget)
@@ -424,7 +440,7 @@ func (s *Server) solveParamsFrom(solver string, budget, timeLimitMS int64, relGa
 // of the trajectory). Cache hits bypass the solver, so watchers see no
 // events for them.
 func (s *Server) solveOne(ctx context.Context, wl *checkmate.Workload, p solveParams, noCache bool) (*api.SolveResponse, error) {
-	key := wl.SolveKey(p.budget, p.opt, p.approximate)
+	key := wl.SolveKeyFor(p.method, p.budget, p.opt)
 	if !noCache {
 		// Tier 1: in-memory shard. Hit/miss accounting lives in the shard;
 		// NoCache requests never consult the cache, so they skew no counter.
@@ -447,7 +463,7 @@ func (s *Server) solveOne(ctx context.Context, wl *checkmate.Workload, p solvePa
 	// re-applied after calibration — it caps real solver work no matter
 	// what ratio was learned from other requests, so the admission cost
 	// must respect the same ceiling.
-	rawEstimate := wl.EstimateSolveCost(p.budget, p.opt, p.approximate)
+	rawEstimate := wl.EstimateSolveCostFor(p.method, p.budget, p.opt)
 	cost := s.calib.calibrated(rawEstimate)
 	if lim := float64(p.opt.TimeLimit.Milliseconds()); lim > 0 && cost > lim {
 		cost = lim
@@ -539,10 +555,6 @@ func (s *Server) writeStored(key graph.Fingerprint, resp *api.SolveResponse) {
 // included).
 func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solveParams, key graph.Fingerprint) (*api.SolveResponse, error) {
 	start := time.Now()
-	method := checkmate.Optimal
-	if p.approximate {
-		method = checkmate.Approx
-	}
 	// Record a span tree for this solve and retain it (success or failure —
 	// a timed-out solve's trace is the one worth reading) for
 	// GET /v1/solve/trace?key=<fingerprint>.
@@ -551,7 +563,7 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 	defer s.traces.put(key.String(), tr)
 	sched, err := checkmate.Solve(ctx, checkmate.Request{
 		Workload:  wl,
-		Method:    method,
+		Method:    p.method,
 		Budget:    p.budget,
 		TimeLimit: p.opt.TimeLimit,
 		RelGap:    p.opt.RelGap,
@@ -569,7 +581,11 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 	m.solverPricing.Add(ctr.PricingUpdates)
 	m.solverEpsSolves.Add(ctr.EpsSolves)
 	m.solverEpsWarm.Add(ctr.EpsWarmHits)
-	if !p.approximate {
+	// Node-count and warm-start counters only make sense for the
+	// branch-and-bound methods (optimal and interval both report them);
+	// sched.Method is the resolved method, so Auto routing is accounted
+	// under whatever actually ran.
+	if sched.Method != checkmate.Approx && sched.Method != checkmate.Baseline {
 		m.solverP1Skip.Add(ctr.Phase1Skipped)
 		m.solverWarmHits.Add(ctr.WarmHits)
 		m.solverWarmMisses.Add(ctr.WarmMisses)
@@ -583,13 +599,10 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 	if err := sched.Plan.WriteJSON(&planBuf); err != nil {
 		return nil, fmt.Errorf("serializing plan: %w", err)
 	}
-	solver := api.SolverOptimal
-	if p.approximate {
-		solver = api.SolverApprox
-	}
 	return &api.SolveResponse{
 		Fingerprint: key.String(),
-		Solver:      solver,
+		Method:      string(sched.Method),
+		Solver:      string(sched.Method),
 		Optimal:     sched.Optimal,
 		Cost:        sched.Cost,
 		IdealCost:   sched.IdealCost,
@@ -631,7 +644,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	p, err := s.solveParamsFrom(req.Solver, req.Budget, req.TimeLimitMS, req.RelGap)
+	p, err := s.solveParamsFrom(req.EffectiveMethod(), req.Budget, req.TimeLimitMS, req.RelGap)
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
@@ -698,7 +711,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// rejects the sweep cleanly instead of orphaning queued solves.
 	params := make([]solveParams, len(budgets))
 	for i, budget := range budgets {
-		p, err := s.solveParamsFrom(req.Solver, budget, req.TimeLimitMS, req.RelGap)
+		p, err := s.solveParamsFrom(req.EffectiveMethod(), budget, req.TimeLimitMS, req.RelGap)
 		if err != nil {
 			writeErr(w, r, http.StatusBadRequest, "budget %d: %v", budget, err)
 			return

@@ -133,7 +133,7 @@ func TestFingerprintKeysDistinguishWorkloads(t *testing.T) {
 		t.Fatalf("different budget produced the same fingerprint")
 	}
 
-	apx, _ := postSolve(t, ts, api.SolveRequest{Graph: chainSpec(10), Budget: 6, Solver: api.SolverApprox})
+	apx, _ := postSolve(t, ts, api.SolveRequest{Graph: chainSpec(10), Budget: 6, Method: string(checkmate.Approx)})
 	if apx.Fingerprint == base.Fingerprint {
 		t.Fatalf("approx solver shares the optimal solver's cache key")
 	}
@@ -410,7 +410,7 @@ func TestSolveCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := srv.solveParamsFrom(api.SolverOptimal, 8, 60_000, 0)
+	p, err := srv.solveParamsFrom(string(checkmate.Optimal), 8, 60_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -453,7 +453,7 @@ func TestSolveCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	qp, _ := srv.solveParamsFrom(api.SolverOptimal, 6, 20_000, 0)
+	qp, _ := srv.solveParamsFrom(string(checkmate.Optimal), 6, 20_000, 0)
 	if _, err := srv.solveOne(context.Background(), quick, qp, false); err != nil {
 		t.Fatalf("pool unusable after cancellation: %v", err)
 	}

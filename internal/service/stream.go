@@ -236,7 +236,7 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	p, err := s.solveParamsFrom(req.Solver, req.Budget, req.TimeLimitMS, req.RelGap)
+	p, err := s.solveParamsFrom(req.EffectiveMethod(), req.Budget, req.TimeLimitMS, req.RelGap)
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "%v", err)
 		return
@@ -249,7 +249,7 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "building workload: %v", err)
 		return
 	}
-	key := wl.SolveKey(p.budget, p.opt, p.approximate)
+	key := wl.SolveKeyFor(p.method, p.budget, p.opt)
 
 	// The hub's solve goroutine runs on a detached context (watchers come and
 	// go); carry the initiating request's ID into it so the solve — and the
@@ -347,6 +347,7 @@ func solveRequestFromQuery(r *http.Request) (api.SolveRequest, error) {
 	req := api.SolveRequest{
 		Model:  q.Get("model"),
 		Device: q.Get("device"),
+		Method: q.Get("method"),
 		Solver: q.Get("solver"),
 	}
 	intOf := func(name string) (int64, error) {

@@ -363,11 +363,11 @@ func TestKeyObserverResolvesHubPerEvent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := srv.solveParamsFrom(api.SolverOptimal, 6, 10_000, 0)
+	p, err := srv.solveParamsFrom(string(checkmate.Optimal), 6, 10_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := wl.SolveKey(p.budget, p.opt, p.approximate)
+	key := wl.SolveKeyFor(p.method, p.budget, p.opt)
 	obs := srv.keyObserver(key, wl.Graph.Len())
 
 	// No hub yet: the event goes nowhere (and must not panic).

@@ -250,34 +250,87 @@ func (w *Workload) EstimateSolveCost(budget int64, opt SolveOptions, approximate
 	return cost
 }
 
+// autoDeadlineHeadroom is the overrun factor at which Auto reroutes to the
+// anytime ladder: the preferred method must be projected to cost more than
+// this multiple of the request deadline before Auto gives up on it. The
+// admission estimates are deliberately rough, so only a clear overrun —
+// not estimation noise — changes the routing.
+const autoDeadlineHeadroom = 4
+
+// autoResolve maps Method Auto onto the concrete method it runs for this
+// workload, budget, and option set: Optimal at or below AutoMethodThreshold
+// nodes, Interval above — unless the preferred method's projected solve
+// cost clearly overruns the deadline, in which case the request routes to
+// the Anytime fallback ladder so a tight deadline degrades schedule quality
+// instead of failing with ErrSolveLimit. The decision is a pure function of
+// the workload and the request knobs, so routing — and therefore cache
+// keys — agree across processes.
+func (w *Workload) autoResolve(budget int64, opt SolveOptions) Method {
+	m := Optimal
+	if w.Graph.Len() > AutoMethodThreshold {
+		m = Interval
+	}
+	// Unpartitioned is Optimal-only; the fallback rungs would silently solve
+	// a different problem, so Auto never reroutes such a request.
+	if opt.Unpartitioned {
+		return m
+	}
+	if opt.TimeLimit == 0 {
+		opt.TimeLimit = 60 * time.Second
+	}
+	// Compare the deadline against the method's unclamped projection — the
+	// clamp in EstimateSolveCostFor exists precisely to hide the overrun
+	// this decision needs to see.
+	unclamped := opt
+	unclamped.TimeLimit = 0
+	if w.EstimateSolveCostFor(m, budget, unclamped) > autoDeadlineHeadroom*float64(opt.TimeLimit.Milliseconds()) {
+		return Anytime
+	}
+	return m
+}
+
 // SolveKeyFor is the method-aware schedule-cache key: the complete digest
 // of a solve under the given method. Optimal, Approx, and Baseline map onto
 // the original SolveKey digests, so caches populated before methods were
 // first-class stay valid; Interval schedules live in their own digest
 // domain (the interval solver can legitimately return a different — still
-// budget-feasible — schedule than the MILP). Auto resolves by graph size
-// exactly as Request.Resolve does, so routing and keys agree across
-// processes.
+// budget-feasible — schedule than the MILP), and Anytime in its own (the
+// ladder may serve a schedule from any rung). Auto resolves exactly as
+// Request.Resolve does, so routing and keys agree across processes.
 func (w *Workload) SolveKeyFor(m Method, budget int64, opt SolveOptions) graph.Fingerprint {
 	if m == Auto {
-		m = Optimal
-		if w.Graph.Len() > AutoMethodThreshold {
-			m = Interval
-		}
+		m = w.autoResolve(budget, opt)
 	}
-	if m != Interval {
+	switch m {
+	case Interval:
+		d := graph.NewDigest()
+		d.String("interval/v1")
+		w.Graph.WriteDigest(d)
+		d.Int64(w.Overhead)
+		d.Int64(budget)
+		// Both knobs bound the interval search and change which incumbent it
+		// returns, exactly like the optimal path.
+		d.Int64(int64(opt.TimeLimit))
+		d.Float64(opt.RelGap)
+		return d.Sum()
+	case Anytime:
+		d := graph.NewDigest()
+		d.String("anytime/v1")
+		w.Graph.WriteDigest(d)
+		d.Int64(w.Overhead)
+		d.Int64(budget)
+		// The deadline shapes the ladder's slices — and thereby which rung
+		// serves — so it is as much a part of the result's identity as the
+		// solver knobs the rungs inherit.
+		d.Int64(int64(opt.TimeLimit))
+		d.Float64(opt.RelGap)
+		if opt.Threads > 1 {
+			d.Int64(int64(opt.Threads))
+		}
+		return d.Sum()
+	default:
 		return w.SolveKey(budget, opt, m == Approx)
 	}
-	d := graph.NewDigest()
-	d.String("interval/v1")
-	w.Graph.WriteDigest(d)
-	d.Int64(w.Overhead)
-	d.Int64(budget)
-	// Both knobs bound the interval search and change which incumbent it
-	// returns, exactly like the optimal path.
-	d.Int64(int64(opt.TimeLimit))
-	d.Float64(opt.RelGap)
-	return d.Sum()
 }
 
 // EstimateSolveCostFor is the method-aware admission estimate. Optimal,
@@ -288,10 +341,17 @@ func (w *Workload) SolveKeyFor(m Method, budget int64, opt SolveOptions) graph.F
 // graphs admissible at all.
 func (w *Workload) EstimateSolveCostFor(m Method, budget int64, opt SolveOptions) float64 {
 	if m == Auto {
-		m = Optimal
-		if w.Graph.Len() > AutoMethodThreshold {
-			m = Interval
+		m = w.autoResolve(budget, opt)
+	}
+	if m == Anytime {
+		// The ladder may spend the entire deadline across its rungs, so
+		// admission budgets for the worst case: the optimal-path cost,
+		// clamped at the deadline like any other method.
+		aopt := opt
+		if aopt.TimeLimit == 0 {
+			aopt.TimeLimit = 60 * time.Second
 		}
+		return w.EstimateSolveCost(budget, aopt, false)
 	}
 	if m != Interval {
 		return w.EstimateSolveCost(budget, opt, m == Approx)
@@ -368,10 +428,26 @@ type SolveOptions struct {
 type Schedule struct {
 	Sched *core.Sched
 	Plan  *schedule.Plan
-	// Method is the solver method that produced the schedule. For Auto
-	// requests it is the resolved concrete method (Optimal or Interval),
-	// never Auto itself.
+	// Method is the solver method that produced the schedule. For Auto and
+	// Anytime requests it is the concrete method that actually served the
+	// result (the winning ladder rung for Anytime), never Auto or Anytime
+	// itself.
 	Method Method
+	// Degraded reports that graceful degradation was engaged: the schedule
+	// was served by a fallback rung after an earlier rung failed or was
+	// skipped, or it is an incumbent adopted at the deadline without an
+	// optimality proof. Quality may be below what an unconstrained solve
+	// would return; budget feasibility is unaffected.
+	Degraded bool
+	// DegradedCode classifies the first deviation from a full solve with a
+	// small closed vocabulary — "panic", "limit", "infeasible", "skipped",
+	// "error", "unproven" — bounded cardinality by construction, suitable
+	// for metric labels. Empty when Degraded is false.
+	DegradedCode string
+	// DegradedReason is the human-readable account of what the ladder did:
+	// each rung's outcome and which one finally served. Empty when Degraded
+	// is false.
+	DegradedReason string
 	// Cost is the per-iteration compute cost (seconds under the roofline
 	// model, FLOPs under the FLOPs model).
 	Cost float64

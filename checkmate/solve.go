@@ -49,8 +49,16 @@ const (
 	// LP-bounded search — exact within its space and scaling to graphs far
 	// beyond the MILP's reach.
 	Interval Method = "interval"
+	// Anytime is the graceful-degradation ladder: the request deadline is
+	// split into slices escalating Optimal → Interval → Approx → Baseline,
+	// and the best feasible schedule any rung produced is returned — stamped
+	// Schedule.Degraded when quality fell short of a full solve — instead of
+	// ErrSolveLimit. Availability degrades quality, never feasibility.
+	Anytime Method = "anytime"
 	// Auto routes to Optimal for graphs of at most AutoMethodThreshold
-	// nodes and to Interval above it.
+	// nodes and to Interval above it; when the chosen method's projected
+	// solve cost clearly overruns the request deadline it routes to Anytime
+	// instead, so a tight deadline degrades quality rather than failing.
 	Auto Method = "auto"
 )
 
@@ -75,7 +83,8 @@ func Methods() []MethodInfo {
 		{Approx, "polynomial-time two-phase LP rounding with ε-search (Section 5, Appendix D)"},
 		{Baseline, "prior-work heuristic named by Request.Baseline (Table 1)"},
 		{Interval, "Moccasin-style retention-interval search; scales to graphs far beyond the MILP"},
-		{Auto, fmt.Sprintf("Optimal for graphs up to %d nodes, Interval above", AutoMethodThreshold)},
+		{Anytime, "graceful-degradation ladder Optimal → Interval → Approx → Baseline within the deadline; degrades quality, never feasibility"},
+		{Auto, fmt.Sprintf("Optimal for graphs up to %d nodes, Interval above; Anytime when the deadline is clearly too tight", AutoMethodThreshold)},
 	}
 }
 
@@ -107,9 +116,10 @@ func ValidMethod(name Method) bool {
 // Resolve maps the request's Method onto the concrete algorithm it will
 // run: the empty method defaults to Optimal, and Auto picks Optimal at or
 // below AutoMethodThreshold nodes (and for sweeps, which only the MILP
-// serves) and Interval above. Resolution depends only on the request and
-// the workload's graph size, so identical requests resolve — and cache-key
-// — identically across processes.
+// serves) and Interval above — rerouting to Anytime when the preferred
+// method's projected cost clearly overruns the request deadline. Resolution
+// depends only on the request and the workload, so identical requests
+// resolve — and cache-key — identically across processes.
 func (r Request) Resolve() Method {
 	m := r.Method
 	if m == "" {
@@ -118,11 +128,10 @@ func (r Request) Resolve() Method {
 	if m != Auto {
 		return m
 	}
-	if len(r.Budgets) > 0 || r.Workload == nil || r.Workload.Graph == nil ||
-		r.Workload.Graph.Len() <= AutoMethodThreshold {
+	if len(r.Budgets) > 0 || r.Workload == nil || r.Workload.Graph == nil {
 		return Optimal
 	}
-	return Interval
+	return r.Workload.autoResolve(r.Budget, r.options())
 }
 
 // EventKind discriminates solver progress events.
@@ -143,6 +152,11 @@ const (
 	EventBound EventKind = "bound"
 	// EventSweepPoint reports one completed budget of a sweep request.
 	EventSweepPoint EventKind = "sweep_point"
+	// EventDegraded reports that the anytime ladder fell from one rung to
+	// the next (the From rung failed or was skipped; the To rung runs next)
+	// — never rate-limited, so deadline-bound callers always see quality
+	// degrade as it happens.
+	EventDegraded EventKind = "degraded"
 	// EventDone is the terminal event, carrying the final Schedule or error.
 	EventDone EventKind = "done"
 )
@@ -176,6 +190,12 @@ type Event struct {
 	// Index addresses the request's Budgets slice.
 	Index int
 	Point *SweepPoint
+
+	// From and To name the ladder rungs of an anytime fallback and Reason
+	// why the From rung did not serve (Degraded).
+	From   Method
+	To     Method
+	Reason string
 
 	// Schedule and Err carry the final outcome (Done). Both may be set on
 	// a failed sweep that still produced per-point schedules.
@@ -275,12 +295,15 @@ func (r Request) options() SolveOptions {
 func (r Request) Key() graph.Fingerprint {
 	method := r.Resolve()
 	key := r.Workload.SolveKeyFor(method, r.Budget, r.options())
-	if method != Baseline {
-		return key
-	}
 	// A heuristic schedule must never collide with the optimal (or approx)
 	// one for the same workload/budget, and distinct heuristics must not
-	// collide with each other.
+	// collide with each other. The anytime ladder's last rung runs the
+	// named baseline, so the name is part of its key too (the inner keys
+	// already live in distinct digest domains, so baseline and anytime
+	// extensions cannot collide with each other).
+	if method != Baseline && method != Anytime {
+		return key
+	}
 	name := r.Baseline
 	if name == "" {
 		name = "checkpoint-all"
@@ -357,11 +380,15 @@ func Solve(ctx context.Context, req Request) (*Schedule, error) {
 			sched, err = w.solveBaselineRequest(ctx, req, em)
 		case Interval:
 			sched, err = w.solveIntervalRequest(ctx, req, em)
+		case Anytime:
+			sched, err = w.solveAnytimeRequest(ctx, req, em)
 		default:
 			err = fmt.Errorf("checkmate: unknown method %q (valid: %s)", method, strings.Join(MethodNames(), ", "))
 		}
 	}
-	if sched != nil {
+	// The anytime ladder stamps the rung that served; every other path
+	// reports the dispatched method.
+	if sched != nil && sched.Method == "" {
 		sched.Method = method
 	}
 	em.done(doneBudget, sched, err)
@@ -741,6 +768,20 @@ func (e *emitter) bound(bound float64) {
 		gap = gapOf(e.lastObj, bound)
 	}
 	e.deliver(Event{Kind: EventBound, Bound: bound, Gap: gap})
+}
+
+// degraded announces an anytime-ladder fall. Never rate-limited — a
+// degradation is load-bearing for a deadline-bound caller — and it resets
+// the incumbent count so the next rung's first incumbent goes out too.
+func (e *emitter) degraded(from, to Method, reason string) {
+	if !e.active() {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.incumbents = 0
+	e.lastObj = math.Inf(1)
+	e.deliver(Event{Kind: EventDegraded, From: from, To: to, Reason: reason})
 }
 
 func (e *emitter) sweepPoint(i int, pt *SweepPoint) {

@@ -39,6 +39,10 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "directory for the persistent schedule store; restarts keep warm state (empty = memory only)")
 		cacheBytes  = flag.Int64("cache-max-bytes", 0, "persistent store size bound; sweep evicts oldest first (0 = unbounded)")
 		cacheAge    = flag.Duration("cache-max-age", 0, "persistent store entry age bound (0 = keep forever)")
+		brkThresh   = flag.Int("store-breaker-threshold", 0, "consecutive store write failures that open the circuit breaker (0 = default 5)")
+		brkBackoff  = flag.Duration("store-breaker-backoff", 0, "first heal-probe delay after the store breaker opens (0 = default 1s)")
+		brkMax      = flag.Duration("store-breaker-max-backoff", 0, "heal-probe backoff cap (0 = default 2m)")
+		drainTO     = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight solves before they are cancelled")
 		maxOutCost  = flag.Float64("max-outstanding-cost", 0, "admission limit on projected unfinished solver work, in cost units (~ms of solver time; 0 = auto, negative = disabled)")
 		defTL       = flag.Duration("default-timelimit", 30*time.Second, "solver time limit when a request names none")
 		maxTL       = flag.Duration("max-timelimit", 10*time.Minute, "cap on requested solver time limits")
@@ -61,19 +65,22 @@ func main() {
 	logger := slog.New(handler)
 
 	srv, err := service.New(service.Config{
-		Workers:            *workers,
-		SolveThreads:       *threads,
-		QueueCap:           *queue,
-		CacheCap:           *cacheCap,
-		CacheShards:        *cacheShards,
-		CacheDir:           *cacheDir,
-		StoreMaxBytes:      *cacheBytes,
-		StoreMaxAge:        *cacheAge,
-		MaxOutstandingCost: *maxOutCost,
-		DefaultTimeLimit:   *defTL,
-		MaxTimeLimit:       *maxTL,
-		StreamHeartbeat:    *heartbeat,
-		Logger:             logger,
+		Workers:                *workers,
+		SolveThreads:           *threads,
+		QueueCap:               *queue,
+		CacheCap:               *cacheCap,
+		CacheShards:            *cacheShards,
+		CacheDir:               *cacheDir,
+		StoreMaxBytes:          *cacheBytes,
+		StoreMaxAge:            *cacheAge,
+		StoreBreakerThreshold:  *brkThresh,
+		StoreBreakerBackoff:    *brkBackoff,
+		StoreBreakerMaxBackoff: *brkMax,
+		MaxOutstandingCost:     *maxOutCost,
+		DefaultTimeLimit:       *defTL,
+		MaxTimeLimit:           *maxTL,
+		StreamHeartbeat:        *heartbeat,
+		Logger:                 logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "checkmate-serve: %v\n", err)
@@ -113,9 +120,16 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		logger.Info("shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		logger.Info("shutting down", "drain_timeout", *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
+		// Drain the solve plane first: new solves get 503 + Retry-After,
+		// in-flight solves finish (or are cancelled at the deadline), and
+		// every SSE stream ends with a terminal done frame. Only then stop
+		// the HTTP listeners, so those final responses actually go out.
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Warn("solve drain incomplete; in-flight solves cancelled", "err", err)
+		}
 		if adminSrv != nil {
 			adminSrv.Shutdown(ctx)
 		}

@@ -176,6 +176,12 @@ func SolveILPCtx(ctx context.Context, inst Instance, opt SolveOptions) (*Result,
 	sol := milp.Solve(f.Prob, mopt)
 	mspan.SetAttr("nodes", sol.Nodes)
 	mspan.SetAttr("status", sol.Status.String())
+	if sol.Err != nil {
+		// A contained worker panic: the process survived, but the search is
+		// unfinished and untrustworthy — surface it ahead of any deadline.
+		mspan.SetAttr("panic", sol.Err.Error())
+		return nil, fmt.Errorf("core: solver worker failed: %w", sol.Err)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: solve cancelled: %w", err)
 	}

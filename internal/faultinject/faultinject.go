@@ -1,0 +1,175 @@
+// Package faultinject is the chaos-testing harness: named injection points
+// compiled into production code paths (store I/O, pool dispatch, solver
+// workers) that are free when disabled and can be armed by tests to return
+// errors, add latency, or panic.
+//
+// The hot-path contract mirrors package telemetry's tracing: a disabled
+// injection point costs one atomic pointer load and a nil check — no map
+// lookup, no allocation, no lock. Production code never arms the harness;
+// chaos tests do, via Enable, and restore with the returned func.
+//
+//	defer faultinject.Enable(faultinject.NewInjector(map[faultinject.Point]faultinject.Rule{
+//		faultinject.StorePut: {Err: errors.New("disk gone")},
+//	}))()
+//
+// Injection points are deterministic by default (every Fire triggers);
+// Rule.Prob arms probabilistic faults from a seeded generator so chaos runs
+// reproduce.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site. The constants below are the sites wired
+// into the tree; tests may also mint ad-hoc points for their own code.
+type Point string
+
+// Wired injection points.
+const (
+	// StoreGet fires in the disk store's read path; an error is handled as
+	// an unreadable entry (cache miss).
+	StoreGet Point = "store.get"
+	// StorePut fires in the disk store's write path (including breaker
+	// probes); an error fails the Put.
+	StorePut Point = "store.put"
+	// PoolDispatch fires in the service worker pool just before a flight
+	// runs; an error fails the flight, a panic exercises worker recovery.
+	PoolDispatch Point = "pool.dispatch"
+	// MILPWorker fires once per branch-and-bound node expansion; a panic
+	// exercises solver-worker recovery and sibling drain.
+	MILPWorker Point = "milp.worker"
+	// IntervalSearch fires once per interval-search node; a panic exercises
+	// the search's recovery.
+	IntervalSearch Point = "interval.search"
+	// Handler fires inside the HTTP middleware after recovery is armed; a
+	// panic exercises the 500-with-request-ID containment.
+	Handler Point = "service.handler"
+)
+
+// Rule describes what one armed point does when it fires. Latency (if any)
+// is applied first, then Panic, then Err.
+type Rule struct {
+	// Err, when non-nil, is returned from Fire.
+	Err error
+	// Panic, when non-empty, makes Fire panic with a message naming the
+	// point — the injected failure mode for recovery tests.
+	Panic string
+	// Latency is slept before the outcome is applied.
+	Latency time.Duration
+	// Prob is the trigger probability in (0, 1]; zero means always trigger.
+	Prob float64
+	// Count, when positive, bounds how many times the rule triggers; after
+	// that the point behaves as unarmed.
+	Count int
+}
+
+type ruleState struct {
+	Rule
+	triggered int
+}
+
+// Injector holds the armed rules of one chaos scenario.
+type Injector struct {
+	mu    sync.Mutex
+	rnd   *rand.Rand
+	rules map[Point]*ruleState
+	fired map[Point]int
+}
+
+// NewInjector builds an injector from a rule set, with a fixed seed so
+// probabilistic rules reproduce. The injector does nothing until Enable.
+func NewInjector(rules map[Point]Rule) *Injector {
+	inj := &Injector{
+		rnd:   rand.New(rand.NewSource(1)),
+		rules: make(map[Point]*ruleState, len(rules)),
+		fired: make(map[Point]int),
+	}
+	for p, r := range rules {
+		inj.rules[p] = &ruleState{Rule: r}
+	}
+	return inj
+}
+
+// Set arms (or replaces) one rule. Safe while enabled — chaos tests use it
+// to heal a fault mid-scenario.
+func (inj *Injector) Set(p Point, r Rule) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.rules[p] = &ruleState{Rule: r}
+}
+
+// Clear disarms one point.
+func (inj *Injector) Clear(p Point) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	delete(inj.rules, p)
+}
+
+// Triggered reports how many times the point's rule actually fired an
+// outcome (error or panic) — the assertion hook for chaos tests.
+func (inj *Injector) Triggered(p Point) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired[p]
+}
+
+// fire applies the point's rule, if any.
+func (inj *Injector) fire(p Point) error {
+	inj.mu.Lock()
+	rs, ok := inj.rules[p]
+	if !ok {
+		inj.mu.Unlock()
+		return nil
+	}
+	if rs.Count > 0 && rs.triggered >= rs.Count {
+		inj.mu.Unlock()
+		return nil
+	}
+	if rs.Prob > 0 && inj.rnd.Float64() >= rs.Prob {
+		inj.mu.Unlock()
+		return nil
+	}
+	rs.triggered++
+	inj.fired[p]++
+	r := rs.Rule
+	inj.mu.Unlock()
+
+	if r.Latency > 0 {
+		time.Sleep(r.Latency)
+	}
+	if r.Panic != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", p, r.Panic))
+	}
+	return r.Err
+}
+
+// active is the enabled injector; nil in production, so Fire is one atomic
+// load and a nil check.
+var active atomic.Pointer[Injector]
+
+// Enable arms the injector process-wide and returns a restore func that
+// re-installs the previous state — call it in a defer. Tests that enable
+// injection must not run in parallel with each other.
+func Enable(inj *Injector) (restore func()) {
+	prev := active.Swap(inj)
+	return func() { active.Store(prev) }
+}
+
+// Enabled reports whether any injector is armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Fire triggers the named point against the enabled injector. It returns
+// nil instantly when the harness is disabled (the production case); when a
+// rule is armed it may sleep, panic, or return the rule's error.
+func Fire(p Point) error {
+	inj := active.Load()
+	if inj == nil {
+		return nil
+	}
+	return inj.fire(p)
+}

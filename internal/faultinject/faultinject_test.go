@@ -1,0 +1,147 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFireDisabledIsNil(t *testing.T) {
+	if Enabled() {
+		t.Fatal("harness enabled at test start")
+	}
+	if err := Fire(StorePut); err != nil {
+		t.Fatalf("disabled Fire returned %v", err)
+	}
+}
+
+func TestErrorRule(t *testing.T) {
+	boom := errors.New("boom")
+	inj := NewInjector(map[Point]Rule{StorePut: {Err: boom}})
+	defer Enable(inj)()
+
+	if !Enabled() {
+		t.Fatal("Enabled() = false after Enable")
+	}
+	if err := Fire(StorePut); !errors.Is(err, boom) {
+		t.Fatalf("Fire(StorePut) = %v, want boom", err)
+	}
+	if err := Fire(StoreGet); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if n := inj.Triggered(StorePut); n != 1 {
+		t.Fatalf("Triggered = %d, want 1", n)
+	}
+}
+
+func TestCountBoundsTriggers(t *testing.T) {
+	boom := errors.New("boom")
+	inj := NewInjector(map[Point]Rule{PoolDispatch: {Err: boom, Count: 2}})
+	defer Enable(inj)()
+
+	var hits int
+	for i := 0; i < 5; i++ {
+		if Fire(PoolDispatch) != nil {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("rule with Count=2 fired %d times", hits)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	inj := NewInjector(map[Point]Rule{MILPWorker: {Panic: "injected"}})
+	defer Enable(inj)()
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Fire did not panic")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, "milp.worker") || !strings.Contains(msg, "injected") {
+			t.Fatalf("panic message %q does not name point and cause", msg)
+		}
+	}()
+	Fire(MILPWorker)
+}
+
+func TestLatencyRule(t *testing.T) {
+	inj := NewInjector(map[Point]Rule{StoreGet: {Latency: 30 * time.Millisecond}})
+	defer Enable(inj)()
+
+	start := time.Now()
+	if err := Fire(StoreGet); err != nil {
+		t.Fatalf("latency-only rule returned error %v", err)
+	}
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("Fire returned after %v, want >= 30ms", el)
+	}
+}
+
+func TestProbabilisticRuleIsSeeded(t *testing.T) {
+	// Two injectors with the same rules trigger on the same Fire sequence.
+	run := func() []bool {
+		inj := NewInjector(map[Point]Rule{StorePut: {Err: errors.New("x"), Prob: 0.5}})
+		restore := Enable(inj)
+		defer restore()
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Fire(StorePut) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probabilistic schedule diverged at fire %d", i)
+		}
+	}
+	var hits int
+	for _, h := range a {
+		if h {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("Prob=0.5 triggered %d/%d times; generator not applied", hits, len(a))
+	}
+}
+
+func TestSetAndClearWhileEnabled(t *testing.T) {
+	boom := errors.New("boom")
+	inj := NewInjector(nil)
+	defer Enable(inj)()
+
+	if err := Fire(StorePut); err != nil {
+		t.Fatalf("empty injector fired: %v", err)
+	}
+	inj.Set(StorePut, Rule{Err: boom})
+	if err := Fire(StorePut); !errors.Is(err, boom) {
+		t.Fatalf("armed mid-run: Fire = %v, want boom", err)
+	}
+	inj.Clear(StorePut)
+	if err := Fire(StorePut); err != nil {
+		t.Fatalf("cleared point still fires: %v", err)
+	}
+}
+
+func TestEnableRestoresPrevious(t *testing.T) {
+	a := NewInjector(map[Point]Rule{StoreGet: {Err: errors.New("a")}})
+	b := NewInjector(map[Point]Rule{StoreGet: {Err: errors.New("b")}})
+	restoreA := Enable(a)
+	restoreB := Enable(b)
+	if err := Fire(StoreGet); err == nil || err.Error() != "b" {
+		t.Fatalf("inner injector not active: %v", err)
+	}
+	restoreB()
+	if err := Fire(StoreGet); err == nil || err.Error() != "a" {
+		t.Fatalf("outer injector not restored: %v", err)
+	}
+	restoreA()
+	if Enabled() {
+		t.Fatal("harness still enabled after final restore")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/lp"
 	"repro/internal/milp"
 	"repro/internal/telemetry"
@@ -54,9 +55,18 @@ func Solve(inst core.Instance, opt Options) (*Result, error) {
 
 // SolveCtx compiles the instance into retention windows, tightens their
 // start domains by constraint propagation, and searches best-first with
-// LP-relaxation bounds. The error return covers context cancellation only;
-// infeasibility and exhausted limits are reported in Result.Status.
-func SolveCtx(ctx context.Context, inst core.Instance, opt Options) (*Result, error) {
+// LP-relaxation bounds. The error return covers context cancellation and
+// contained panics (a panic anywhere in the search is recovered into a
+// *telemetry.PanicError instead of killing the process); infeasibility and
+// exhausted limits are reported in Result.Status.
+func SolveCtx(ctx context.Context, inst core.Instance, opt Options) (res *Result, err error) {
+	// The search runs on the caller's goroutine; recovery here contains
+	// panics from compilation, propagation, LP pricing, and rounding alike.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, telemetry.Recovered("interval.search", r)
+		}
+	}()
 	start := time.Now()
 	timeLimit := opt.TimeLimit
 	if timeLimit <= 0 {
@@ -80,7 +90,7 @@ func SolveCtx(ctx context.Context, inst core.Instance, opt Options) (*Result, er
 	pspan.SetAttr("windows", len(pb.wins))
 	pspan.SetAttr("rows", pb.rel.NumRows())
 	pspan.End()
-	res := &Result{Windows: len(pb.wins), Vars: pb.rel.NumVars(), Rows: pb.rel.NumRows(), Bound: math.Inf(-1)}
+	res = &Result{Windows: len(pb.wins), Vars: pb.rel.NumVars(), Rows: pb.rel.NumRows(), Bound: math.Inf(-1)}
 	if !rootOK {
 		res.Status = milp.StatusInfeasible
 		res.Bound = math.Inf(1)
@@ -140,6 +150,11 @@ func SolveCtx(ctx context.Context, inst core.Instance, opt Options) (*Result, er
 	for h.Len() > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		// Chaos hook: one fire per search node; injected errors escalate to
+		// (contained) panics like the MILP workers.
+		if err := faultinject.Fire(faultinject.IntervalSearch); err != nil {
+			panic(err)
 		}
 		if time.Now().After(deadline) || (opt.MaxNodes > 0 && res.Nodes >= opt.MaxNodes) {
 			limit = true

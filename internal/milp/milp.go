@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/lp"
 	"repro/internal/telemetry"
 )
@@ -157,6 +158,12 @@ type Solution struct {
 	RootBasis *lp.Basis
 	// Counters holds the solve's performance statistics.
 	Counters Counters
+	// Err is non-nil when a tree-search worker panicked: the recovered
+	// *telemetry.PanicError (value + goroutine stack). The panic is
+	// contained — sibling workers drain cleanly and the process survives —
+	// but the search is unfinished, so callers must treat the Solution as
+	// failed regardless of Status.
+	Err error
 }
 
 // Heuristic attempts to repair an LP-relaxation point x into an
@@ -336,6 +343,9 @@ type search struct {
 	dangling  float64
 	stopLimit bool // node/time/context limit reached
 	stopGap   bool // incumbent proven within RelGap of the global bound
+	// panicErr records the first worker panic (as a telemetry.PanicError);
+	// it also raises stopLimit so the remaining workers drain.
+	panicErr error
 	// proven is the best bound reported through OnBound so far; boundMu
 	// serializes the deliveries themselves (outside s.mu) so the callback's
 	// bound sequence stays monotone under parallel workers — without it, a
@@ -458,19 +468,43 @@ func Solve(prob *Problem, opt Options) *Solution {
 	heap.Init(&s.open)
 
 	if opt.Threads == 1 {
-		s.worker(0)
+		s.runWorker(0)
 	} else {
 		var wg sync.WaitGroup
 		for id := 0; id < opt.Threads; id++ {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				s.worker(id)
+				s.runWorker(id)
 			}(id)
 		}
 		wg.Wait()
 	}
 	return s.finish()
+}
+
+// runWorker runs one tree-search worker with panic containment: a panic in
+// the expansion machinery (LP numerics, branching, the heuristic) is
+// recovered into Solution.Err instead of killing the process, and the stop
+// flag plus broadcast drain the sibling workers cleanly. Expansion runs
+// outside s.mu, so the recovery path can take the lock safely.
+func (s *search) runWorker(id int) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := telemetry.Recovered("milp.worker", r)
+			s.mu.Lock()
+			if s.panicErr == nil {
+				s.panicErr = pe
+			}
+			s.stopLimit = true
+			// The dying worker can no longer report idle; clear its in-flight
+			// slot so the siblings' all-idle exit check still converges.
+			s.inflight[id] = math.Inf(1)
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}()
+	s.worker(id)
 }
 
 // minInflight returns the smallest bound among nodes other workers are
@@ -664,6 +698,11 @@ type brCand struct {
 // expand solves one node's LP relaxation and branches. Called without s.mu;
 // takes it only for the short merge sections.
 func (s *search) expand(ws *workerState, nd *node) {
+	// Chaos hook: one fire per node expansion. The worker has no per-node
+	// error path, so an injected error escalates to a (contained) panic.
+	if err := faultinject.Fire(faultinject.MILPWorker); err != nil {
+		panic(err)
+	}
 	work, wctr := ws.work, &ws.ctr
 	// Apply the node's bound changes by walking the parent chain (leaf to
 	// root; changes only ever tighten, so application order is irrelevant).
@@ -1022,6 +1061,7 @@ func (s *search) finish() *Solution {
 		Nodes:     s.nodes,
 		RootLPObj: s.rootObj,
 		RootBasis: s.rootBasis,
+		Err:       s.panicErr,
 	}
 	if el := time.Since(s.start).Seconds(); el > 0 {
 		s.ctr.NodesPerSec = float64(s.nodes) / el

@@ -1,0 +1,62 @@
+package milp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// panicProb is a knapsack whose tree needs several node expansions, so an
+// injected per-node panic fires after the root.
+func panicProb() *Problem {
+	return mkKnapsack(
+		[]float64{10, 13, 7, 8, 2, 5, 9, 4},
+		[]float64{3, 4, 2, 3, 1, 2, 4, 2},
+		9)
+}
+
+// TestWorkerPanicContainedSerial: a panic in the (serial) worker surfaces as
+// Solution.Err carrying a *telemetry.PanicError instead of unwinding out of
+// Solve.
+func TestWorkerPanicContainedSerial(t *testing.T) {
+	defer faultinject.Enable(faultinject.NewInjector(map[faultinject.Point]faultinject.Rule{
+		faultinject.MILPWorker: {Panic: "chaos"},
+	}))()
+
+	sol := Solve(panicProb(), Options{TimeLimit: time.Minute})
+	if sol.Err == nil {
+		t.Fatalf("Solution.Err = nil after injected panic (status %v)", sol.Status)
+	}
+	var pe *telemetry.PanicError
+	if !errors.As(sol.Err, &pe) {
+		t.Fatalf("Err = %T %v, want *telemetry.PanicError", sol.Err, sol.Err)
+	}
+	if pe.Op != "milp.worker" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error missing op/stack: op=%q stackLen=%d", pe.Op, len(pe.Stack))
+	}
+}
+
+// TestWorkerPanicDrainsSiblings: with parallel workers, one injected panic
+// must not deadlock or kill the others — Solve returns (promptly) with the
+// panic recorded, proving the stop-flag drain works.
+func TestWorkerPanicDrainsSiblings(t *testing.T) {
+	defer faultinject.Enable(faultinject.NewInjector(map[faultinject.Point]faultinject.Rule{
+		// Count=1: exactly one worker dies; the siblings must drain on the
+		// stop flag, not on further injected failures.
+		faultinject.MILPWorker: {Panic: "chaos", Count: 1},
+	}))()
+
+	done := make(chan *Solution, 1)
+	go func() { done <- Solve(panicProb(), Options{Threads: 4, TimeLimit: time.Minute}) }()
+	select {
+	case sol := <-done:
+		if sol.Err == nil {
+			t.Fatalf("Solution.Err = nil after injected panic (status %v)", sol.Status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel solve did not drain after a worker panic")
+	}
+}

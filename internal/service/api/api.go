@@ -158,6 +158,14 @@ type SolveResponse struct {
 	// SolveMS is the wall-clock of the solve that produced the schedule
 	// (zero-ish when served from cache).
 	SolveMS float64 `json:"solve_ms"`
+	// Degraded reports that the anytime fallback ladder served this schedule
+	// below full quality — a stronger rung failed, was skipped, or ran out of
+	// deadline. The schedule is still budget-feasible. DegradedCode is the
+	// machine-readable cause ("panic", "limit", "infeasible", "skipped",
+	// "error", "unproven"); DegradedReason narrates the ladder's path.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedCode   string `json:"degraded_code,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 	// Plan is the execution plan in the internal/schedule JSON format
 	// (version-tagged; decode with schedule.ReadPlanJSON).
 	Plan json.RawMessage `json:"plan"`
@@ -203,6 +211,7 @@ type SweepPoint struct {
 	Feasible    bool    `json:"feasible"`
 	Cached      bool    `json:"cached,omitempty"`
 	Optimal     bool    `json:"optimal,omitempty"`
+	Degraded    bool    `json:"degraded,omitempty"`
 	Overhead    float64 `json:"overhead,omitempty"`
 	PeakBytes   int64   `json:"peak_bytes,omitempty"`
 	Fingerprint string  `json:"fingerprint,omitempty"`
@@ -219,12 +228,13 @@ type SweepResponse struct {
 
 // Stream event names of GET /v1/solve/stream. A stream is a sequence of
 // SSE frames: exactly one "started" (absent on a cache hit), any number of
-// "incumbent" and "bound" frames, and exactly one terminal "done". SSE
-// comment lines (": hb") are heartbeats and carry no event.
+// "incumbent", "bound", and "degraded" frames, and exactly one terminal
+// "done". SSE comment lines (": hb") are heartbeats and carry no event.
 const (
 	StreamEventStarted   = "started"
 	StreamEventIncumbent = "incumbent"
 	StreamEventBound     = "bound"
+	StreamEventDegraded  = "degraded"
 	StreamEventDone      = "done"
 )
 
@@ -269,6 +279,21 @@ type StreamIncumbent struct {
 // improved (the incumbent is unchanged).
 type StreamBound struct {
 	Bound     float64 `json:"bound"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// StreamDegraded is the payload of the "degraded" event: the anytime
+// fallback ladder abandoned one rung and fell through to the next. The
+// stream continues — the following incumbents come from the To method.
+type StreamDegraded struct {
+	// From is the method that failed or was skipped; To is the rung the
+	// ladder fell to.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Reason narrates why the rung did not serve (panic, time limit, skip
+	// projection, ...).
+	Reason string `json:"reason"`
+	// ElapsedMS is solver time since the solve started.
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
@@ -379,6 +404,16 @@ type SolverStats struct {
 	Threads int `json:"threads"`
 }
 
+// DegradedStats counts schedules the anytime fallback ladder served below
+// full quality (SolveResponse.Degraded set).
+type DegradedStats struct {
+	// Solves counts degraded schedules served since start.
+	Solves int64 `json:"solves"`
+	// ByCode breaks Solves down by DegradedCode ("panic", "limit",
+	// "skipped", ...).
+	ByCode map[string]int64 `json:"by_code,omitempty"`
+}
+
 // StatsResponse is the service-level counter snapshot of GET /v1/stats.
 type StatsResponse struct {
 	// Requests counts HTTP requests accepted per endpoint.
@@ -401,6 +436,9 @@ type StatsResponse struct {
 	Admission AdmissionStats `json:"admission"`
 	// Solver aggregates MILP performance counters across solves.
 	Solver SolverStats `json:"solver"`
+	// Degraded counts schedules served below full quality by the anytime
+	// fallback ladder.
+	Degraded DegradedStats `json:"degraded"`
 	// Deduped counts requests that attached to an identical in-flight solve
 	// instead of starting their own.
 	Deduped int64 `json:"deduped"`

@@ -10,10 +10,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/schedule"
 	"repro/internal/service/api"
@@ -30,6 +32,10 @@ type APIError struct {
 	// quote it when filing reports so the failure can be found in the
 	// server's structured logs.
 	RequestID string
+	// RetryAfter is the server's Retry-After hint (zero when the response
+	// carried none). The service sets it on 503 load-shed responses, sized
+	// to the projected solver backlog; WithRetry honors it automatically.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -53,38 +59,149 @@ func IsOverloaded(err error) bool {
 	return errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable
 }
 
+// RetryPolicy opts the client in to retrying transient failures: transport
+// errors and 503 load-shed responses (the server is healthy, just busy or
+// draining). Waits grow exponentially from BaseDelay and are jittered to
+// [50%, 100%] so a fleet of training jobs does not retry in lockstep; a
+// larger server Retry-After hint overrides the computed wait. Non-transient
+// failures (4xx, 500, 504) are never retried — the request itself is the
+// problem, or the server already spent a full time limit on it.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, the first included (default 3;
+	// 1 disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 200ms).
+	BaseDelay time.Duration
+	// MaxDelay caps any single computed wait (default 10s). A longer server
+	// Retry-After still wins: the server knows its backlog.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 200 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * time.Second
+	}
+	return p
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithRetry enables automatic retries of transient failures per policy.
+// Retries apply to the JSON endpoints (Solve, Sweep, Stats, ...); the SSE
+// stream is not retried — reconnect with SolveStream's lastEventID instead,
+// which resumes the in-flight solve without replaying frames.
+func WithRetry(policy RetryPolicy) Option {
+	return func(c *Client) {
+		p := policy.withDefaults()
+		c.retry = &p
+	}
+}
+
 // Client talks to one planning server.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry *RetryPolicy // nil = no retries
 }
 
 // New returns a client for the server at base (e.g. "http://localhost:8780").
 // httpClient may be nil to use http.DefaultClient; pass one with a Timeout
 // when the server's solve limits exceed your patience.
-func New(base string, httpClient *http.Client) *Client {
+func New(base string, httpClient *http.Client, opts ...Option) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	c := &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// retryAfter parses a Retry-After header's delay-seconds form (the form the
+// service emits; HTTP-date is not supported and reads as zero).
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// transient reports whether err is worth retrying: a 503 (load shed or
+// draining — the request is fine, the instance is busy) or a transport
+// error. Context cancellation is the caller's decision, never transient.
+func transient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode == http.StatusServiceUnavailable
+	}
+	return true // transport-level failure
+}
+
+// backoffWait computes the wait before retry attempt (0-based): jittered
+// exponential from the policy, floored by the server's hint.
+func (p RetryPolicy) backoffWait(attempt int, hint time.Duration) time.Duration {
+	d := p.BaseDelay << attempt
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if hint > d {
+		d = hint
+	}
+	return d
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body *bytes.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
-		body = bytes.NewReader(b)
-	} else {
-		body = bytes.NewReader(nil)
+		payload = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, payload, in != nil, out)
+		if err == nil || c.retry == nil || attempt+1 >= c.retry.MaxAttempts || !transient(err) {
+			return err
+		}
+		var hint time.Duration
+		var ae *APIError
+		if errors.As(err, &ae) {
+			hint = ae.RetryAfter
+		}
+		t := time.NewTimer(c.retry.backoffWait(attempt, hint))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("client: %s %s: %w (after %v)", method, path, ctx.Err(), err)
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -99,7 +216,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if rid == "" {
 			rid = resp.Header.Get("X-Request-ID")
 		}
-		return fmt.Errorf("client: %s %s: %w", method, path, &APIError{StatusCode: resp.StatusCode, Message: e.Error, RequestID: rid})
+		return fmt.Errorf("client: %s %s: %w", method, path, &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    e.Error,
+			RequestID:  rid,
+			RetryAfter: retryAfter(resp.Header),
+		})
 	}
 	if out == nil {
 		return nil
@@ -152,7 +274,7 @@ func (c *Client) SolveStream(ctx context.Context, req api.SolveRequest, lastEven
 		if rid == "" {
 			rid = resp.Header.Get("X-Request-ID")
 		}
-		return nil, fmt.Errorf("client: GET /v1/solve/stream: %w", &APIError{StatusCode: resp.StatusCode, Message: e.Error, RequestID: rid})
+		return nil, fmt.Errorf("client: GET /v1/solve/stream: %w", &APIError{StatusCode: resp.StatusCode, Message: e.Error, RequestID: rid, RetryAfter: retryAfter(resp.Header)})
 	}
 
 	sc := bufio.NewScanner(resp.Body)

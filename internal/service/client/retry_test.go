@@ -1,0 +1,158 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers 503 (with a Retry-After hint) until failures runs
+// out, then succeeds.
+func flakyHandler(failures int32, retryAfter string) (http.HandlerFunc, *atomic.Int32) {
+	var calls atomic.Int32
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= failures {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("X-Request-ID", "rid-503")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}, &calls
+}
+
+func TestRetryRecoversFrom503(t *testing.T) {
+	h, calls := flakyHandler(2, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL, nil, WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("retrying client failed across 2 transient 503s: %v", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 failures + 1 success)", n)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	h, calls := flakyHandler(100, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(ts.URL, nil, WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}))
+	err := c.Health(context.Background())
+	if !IsOverloaded(err) {
+		t.Fatalf("err = %v, want the final 503", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want exactly MaxAttempts = 3", n)
+	}
+}
+
+func TestNoRetryWithoutPolicy(t *testing.T) {
+	h, calls := flakyHandler(1, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	if err := New(ts.URL, nil).Health(context.Background()); !IsOverloaded(err) {
+		t.Fatalf("err = %v, want untouched 503", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry opted in)", n)
+	}
+}
+
+func TestNoRetryOnNonTransientStatus(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad budget"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, nil, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	var ae *APIError
+	if err := c.Health(context.Background()); !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want the 400 back unretried", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls for a 400, want 1", n)
+	}
+}
+
+func TestRetryAfterParsedIntoAPIError(t *testing.T) {
+	h, _ := flakyHandler(100, "7")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	err := New(ts.URL, nil).Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", ae.RetryAfter)
+	}
+	if ae.RequestID != "rid-503" {
+		t.Fatalf("RequestID = %q", ae.RequestID)
+	}
+}
+
+// TestRetryTransportError: a connection-refused dial error is transient and
+// retried up to MaxAttempts.
+func TestRetryTransportError(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	addr := ts.URL
+	ts.Close() // nothing listens here any more
+
+	c := New(addr, nil, WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	start := time.Now()
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("dial against a closed listener succeeded")
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("transport failure surfaced as APIError: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("retries took %v, backoff not bounded", time.Since(start))
+	}
+}
+
+// TestRetryStopsOnContextCancel: cancellation mid-backoff returns promptly
+// with the context error, not after the remaining attempts.
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	h, calls := flakyHandler(100, "")
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ts.URL, nil, WithRetry(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour}))
+	done := make(chan error, 1)
+	go func() { done <- c.Health(ctx) }()
+	// Let the first attempt land, then cancel during the hour-long backoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client kept backing off after cancellation")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls, want 1", n)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/service/store"
 	"repro/internal/telemetry"
 )
 
@@ -30,6 +32,16 @@ type serverMetrics struct {
 
 	solves, deduped, errs *telemetry.Counter
 
+	// degraded counts schedules the anytime fallback ladder served below
+	// full quality; degradedBy breaks them down by cause code and serving
+	// method (the code vocabulary is closed, so cardinality is bounded).
+	degraded   *telemetry.Counter
+	degradedBy *telemetry.CounterVec // checkmate_degraded_solves_by_code_total{code,method}
+
+	// handlerPanics counts panics recovered by the HTTP middleware — each
+	// one was a request that got a 500 instead of killing the process.
+	handlerPanics *telemetry.Counter
+
 	// Aggregate solver performance counters, accumulated per solve (the
 	// ε-search counters come from approx solves, the rest from optimal).
 	solverIters, solverDual, solverP1Skip *telemetry.Counter
@@ -54,6 +66,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 		solves:  r.Counter("checkmate_solves_total", "Solver runs completed successfully."),
 		deduped: r.Counter("checkmate_solves_deduped_total", "Requests that joined an already-in-flight identical solve."),
 		errs:    r.Counter("checkmate_solve_errors_total", "Solves that failed (cancellations excluded)."),
+
+		degraded:      r.Counter("checkmate_degraded_solves_total", "Schedules served below full quality by the anytime fallback ladder."),
+		degradedBy:    r.CounterVec("checkmate_degraded_solves_by_code_total", "Degraded schedules, by cause code and serving method.", "code", "method"),
+		handlerPanics: r.Counter("checkmate_handler_panics_total", "Panics recovered by the HTTP middleware (requests answered 500)."),
 
 		solverIters:       r.Counter("checkmate_solver_simplex_iters_total", "Simplex iterations across all solves."),
 		solverDual:        r.Counter("checkmate_solver_dual_iters_total", "Dual-simplex reoptimization iterations."),
@@ -160,6 +176,36 @@ func newServerMetrics(s *Server) *serverMetrics {
 		r.CounterFunc("checkmate_store_sweeps_total", "Store sweeps completed.", func() float64 {
 			return float64(s.store.Stats().Sweeps)
 		})
+		// Circuit breaker around the disk tier. The readers are defensive
+		// against a store without a breaker block (nil → 0), so they stay
+		// correct even if the store is ever configured unwrapped.
+		breaker := func(read func(b store.BreakerStats) float64) func() float64 {
+			return func() float64 {
+				if b := s.store.Stats().Breaker; b != nil {
+					return read(*b)
+				}
+				return 0
+			}
+		}
+		r.GaugeFunc("checkmate_store_breaker_open", "1 while the store circuit breaker is open (cache memory-only).",
+			breaker(func(b store.BreakerStats) float64 {
+				if b.Open {
+					return 1
+				}
+				return 0
+			}))
+		r.GaugeFunc("checkmate_store_breaker_consecutive_failures", "Current run of consecutive store write failures.",
+			breaker(func(b store.BreakerStats) float64 { return float64(b.ConsecutiveFailures) }))
+		r.CounterFunc("checkmate_store_breaker_opens_total", "Closed-to-open breaker transitions.",
+			breaker(func(b store.BreakerStats) float64 { return float64(b.Opens) }))
+		r.CounterFunc("checkmate_store_breaker_skipped_puts_total", "Store writes dropped while the breaker was open.",
+			breaker(func(b store.BreakerStats) float64 { return float64(b.SkippedPuts) }))
+		r.CounterFunc("checkmate_store_breaker_skipped_gets_total", "Store reads answered as instant misses while the breaker was open.",
+			breaker(func(b store.BreakerStats) float64 { return float64(b.SkippedGets) }))
+		r.CounterFunc("checkmate_store_breaker_probes_total", "Heal probes attempted against the sick store.",
+			breaker(func(b store.BreakerStats) float64 { return float64(b.Probes) }))
+		r.CounterFunc("checkmate_store_breaker_probe_failures_total", "Heal probes that failed.",
+			breaker(func(b store.BreakerStats) float64 { return float64(b.ProbeFailures) }))
 	}
 
 	r.GaugeFunc("checkmate_uptime_seconds", "Seconds since the server started.", func() float64 {
@@ -209,8 +255,11 @@ func wrapResponseWriter(w http.ResponseWriter) (http.ResponseWriter, *statusWrit
 }
 
 // count is the per-route middleware: request counting at arrival, request-ID
-// assignment and propagation, latency and response-code accounting at
-// completion.
+// assignment and propagation, panic containment, latency and response-code
+// accounting at completion. A panicking handler answers 500 with the request
+// ID (when nothing was written yet) instead of killing the process — the
+// net/http per-connection recovery would save the process too, but it drops
+// the connection without a response and skips the metrics.
 func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.httpRequests.With(name).Inc()
@@ -222,13 +271,28 @@ func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
 		r = r.WithContext(telemetry.WithRequestID(r.Context(), rid))
 		ww, sw := wrapResponseWriter(w)
 		start := time.Now()
-		h(ww, r)
-		code := sw.code
-		if code == 0 {
-			code = http.StatusOK
+		defer func() {
+			if rec := recover(); rec != nil {
+				perr := telemetry.Recovered("http:"+name, rec)
+				s.metrics.handlerPanics.Inc()
+				s.log.Error("handler panic contained", "route", name,
+					"request_id", rid, "err", perr, "stack", string(perr.Stack))
+				if sw.code == 0 {
+					writeErr(ww, r, http.StatusInternalServerError, "internal error: %v", rec)
+				}
+			}
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.metrics.httpLatency.With(name).Observe(time.Since(start).Seconds())
+			s.metrics.httpResponses.With(name, strconv.Itoa(code)).Inc()
+		}()
+		if err := faultinject.Fire(faultinject.Handler); err != nil {
+			writeErr(ww, r, http.StatusInternalServerError, "%v", err)
+			return
 		}
-		s.metrics.httpLatency.With(name).Observe(time.Since(start).Seconds())
-		s.metrics.httpResponses.With(name, strconv.Itoa(code)).Inc()
+		h(ww, r)
 	}
 }
 

@@ -201,6 +201,17 @@ var statsMetricFor = map[string]string{
 	"store.evicted_size": "checkmate_store_evicted_size_total",
 	"store.sweeps":       "checkmate_store_sweeps_total",
 
+	"store.breaker.open":                 "checkmate_store_breaker_open",
+	"store.breaker.opens":                "checkmate_store_breaker_opens_total",
+	"store.breaker.consecutive_failures": "checkmate_store_breaker_consecutive_failures",
+	"store.breaker.skipped_puts":         "checkmate_store_breaker_skipped_puts_total",
+	"store.breaker.skipped_gets":         "checkmate_store_breaker_skipped_gets_total",
+	"store.breaker.probes":               "checkmate_store_breaker_probes_total",
+	"store.breaker.probe_failures":       "checkmate_store_breaker_probe_failures_total",
+
+	"degraded.solves":  "checkmate_degraded_solves_total",
+	"degraded.by_code": "", // per-code breakdown: checkmate_degraded_solves_by_code_total{code,method}
+
 	"admission.max_outstanding_cost": "checkmate_admission_max_outstanding_cost",
 	"admission.outstanding_cost":     "checkmate_admission_outstanding_cost",
 	"admission.estimate_ratio":       "checkmate_admission_estimate_ratio",

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
 )
 
 // errQueueFull is returned by submit when the bounded request queue cannot
@@ -93,10 +96,25 @@ func (p *pool) worker() {
 			continue
 		}
 		p.active.Add(1)
-		val, err := f.run(f.ctx)
+		val, err := p.runFlight(f)
 		p.active.Add(-1)
 		p.finish(f, val, err)
 	}
+}
+
+// runFlight executes one flight's work with panic containment: a panicking
+// solve must fail only its own waiters, never take the worker goroutine —
+// and with it the whole pool's capacity — down.
+func (p *pool) runFlight(f *flight) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = nil, telemetry.Recovered("pool.worker", r)
+		}
+	}()
+	if err := faultinject.Fire(faultinject.PoolDispatch); err != nil {
+		return nil, err
+	}
+	return f.run(f.ctx)
 }
 
 func (p *pool) finish(f *flight, val any, err error) {
@@ -203,6 +221,22 @@ func (p *pool) outstandingCost() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.outstanding
+}
+
+// abort cancels every in-flight flight's context. Graceful shutdown calls it
+// when the drain deadline fires: solves still running see their context end
+// (the solver checks it between nodes) and return promptly, waiters receive
+// context.Canceled, and close() can finish.
+func (p *pool) abort() {
+	p.mu.Lock()
+	flights := make([]*flight, 0, len(p.inflight))
+	for _, f := range p.inflight {
+		flights = append(flights, f)
+	}
+	p.mu.Unlock()
+	for _, f := range flights {
+		f.cancel()
+	}
 }
 
 // close stops accepting work and waits for the workers to drain.

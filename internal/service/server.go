@@ -33,11 +33,14 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/checkmate"
@@ -68,6 +71,14 @@ type Config struct {
 	StoreMaxBytes int64
 	// StoreMaxAge bounds persistent entries' age (0 = keep forever).
 	StoreMaxAge time.Duration
+	// StoreBreakerThreshold is the consecutive store-write-failure run that
+	// opens the circuit breaker around the persistent store, degrading the
+	// cache to memory-only until a background heal probe round-trips
+	// (default 5). StoreBreakerBackoff and StoreBreakerMaxBackoff shape the
+	// healer's jittered exponential probe schedule (defaults 1s and 2min).
+	StoreBreakerThreshold  int
+	StoreBreakerBackoff    time.Duration
+	StoreBreakerMaxBackoff time.Duration
 	// MaxOutstandingCost is the admission limit: a new solve is rejected
 	// (503) when the summed calibrated cost estimate of unfinished solves
 	// would exceed it. Cost units are roughly milliseconds of solver work.
@@ -173,6 +184,10 @@ type Server struct {
 	// the same solve).
 	streamMu sync.Mutex
 	streams  map[string]*streamHub
+
+	// draining is set by Shutdown: solve-plane endpoints answer 503 with a
+	// Retry-After hint while in-flight work finishes.
+	draining atomic.Bool
 }
 
 // New builds a Server from cfg. It fails only when a persistent store is
@@ -201,12 +216,67 @@ func New(cfg Config) (*Server, error) {
 			s.pool.close()
 			return nil, fmt.Errorf("service: opening schedule store: %w", err)
 		}
-		s.store = st
+		// The breaker makes a sick disk cost the serving path nothing: after
+		// a run of write failures the cache degrades to memory-only and a
+		// background healer probes the disk until it answers again.
+		s.store = store.NewBreaker(st, store.BreakerOptions{
+			Threshold:  cfg.StoreBreakerThreshold,
+			Backoff:    cfg.StoreBreakerBackoff,
+			MaxBackoff: cfg.StoreBreakerMaxBackoff,
+			Logger:     cfg.Logger,
+		})
 	}
 	// Last: the registry's func metrics close over the pool, cache,
 	// calibrator, and store, so everything must exist first.
 	s.metrics = newServerMetrics(s)
 	return s, nil
+}
+
+// Shutdown gracefully stops the solve plane. New solve, sweep, and stream
+// requests are refused with 503 + Retry-After; in-flight solves get until
+// ctx's deadline to finish, after which their contexts are cancelled; and
+// every still-open SSE stream receives a terminal done frame so no watcher
+// hangs on a solve that will never complete. The read-only endpoints
+// (/healthz, /v1/stats, /metrics) keep serving — call Shutdown before
+// http.Server.Shutdown so in-flight HTTP requests end with real replies,
+// then Close to release the store. Returns ctx's error when the drain
+// deadline fired before all solves finished.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil // already shutting down
+	}
+	done := make(chan struct{})
+	go func() {
+		s.pool.close()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline: cancel every in-flight solve; the workers notice between
+		// branch-and-bound nodes and return promptly.
+		err = ctx.Err()
+		s.pool.abort()
+		<-done
+	}
+	// Belt and braces for streams: hubs normally publish their own terminal
+	// frame when the solve returns (including the cancellation error above),
+	// but any hub still registered now gets an explicit one — publish is a
+	// no-op on hubs already closed.
+	s.streamMu.Lock()
+	hubs := make([]*streamHub, 0, len(s.streams))
+	for _, h := range s.streams {
+		hubs = append(hubs, h)
+	}
+	s.streamMu.Unlock()
+	for _, h := range hubs {
+		h.publish(api.StreamEventDone, api.StreamDone{
+			Error:  "server is shutting down",
+			Status: http.StatusServiceUnavailable,
+		})
+	}
+	return err
 }
 
 // Close drains the worker pool and releases the persistent store. In-flight
@@ -297,6 +367,13 @@ func (s *Server) Stats() api.StatsResponse {
 	if us := m.solverSolveMicros.Value(); us > 0 {
 		nps = float64(m.solverNodes.Value()) / (float64(us) / 1e6)
 	}
+	var degradedByCode map[string]int64
+	m.degradedBy.Each(func(values []string, count int64) {
+		if degradedByCode == nil {
+			degradedByCode = make(map[string]int64)
+		}
+		degradedByCode[values[0]] += count
+	})
 	resp := api.StatsResponse{
 		Requests:       reqs,
 		Solves:         m.solves.Value(),
@@ -330,6 +407,7 @@ func (s *Server) Stats() api.StatsResponse {
 			NodesPerSec:        nps,
 			Threads:            s.cfg.SolveThreads,
 		},
+		Degraded:   api.DegradedStats{Solves: m.degraded.Value(), ByCode: degradedByCode},
 		Deduped:    m.deduped.Value(),
 		Cancelled:  s.pool.cancelled.Load(),
 		Errors:     m.errs.Value(),
@@ -595,23 +673,36 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 		m.solverNodes.Add(int64(sched.Nodes))
 		m.solverSolveMicros.Add(sched.SolveTime.Microseconds())
 	}
+	if sched.Degraded {
+		code := sched.DegradedCode
+		if code == "" {
+			code = "unknown"
+		}
+		s.metrics.degraded.Inc()
+		s.metrics.degradedBy.With(code, string(sched.Method)).Inc()
+		s.log.Warn("schedule served degraded", "key", key.Short(),
+			"method", sched.Method, "code", code, "reason", sched.DegradedReason)
+	}
 	var planBuf bytes.Buffer
 	if err := sched.Plan.WriteJSON(&planBuf); err != nil {
 		return nil, fmt.Errorf("serializing plan: %w", err)
 	}
 	return &api.SolveResponse{
-		Fingerprint: key.String(),
-		Method:      string(sched.Method),
-		Solver:      string(sched.Method),
-		Optimal:     sched.Optimal,
-		Cost:        sched.Cost,
-		IdealCost:   sched.IdealCost,
-		Overhead:    sched.Overhead(),
-		PeakBytes:   sched.PeakBytes,
-		Budget:      p.budget,
-		GraphNodes:  wl.Graph.Len(),
-		SolveMS:     float64(time.Since(start).Microseconds()) / 1e3,
-		Plan:        json.RawMessage(bytes.TrimSpace(planBuf.Bytes())),
+		Fingerprint:    key.String(),
+		Method:         string(sched.Method),
+		Solver:         string(sched.Method),
+		Optimal:        sched.Optimal,
+		Cost:           sched.Cost,
+		IdealCost:      sched.IdealCost,
+		Overhead:       sched.Overhead(),
+		PeakBytes:      sched.PeakBytes,
+		Budget:         p.budget,
+		GraphNodes:     wl.Graph.Len(),
+		SolveMS:        float64(time.Since(start).Microseconds()) / 1e3,
+		Degraded:       sched.Degraded,
+		DegradedCode:   sched.DegradedCode,
+		DegradedReason: sched.DegradedReason,
+		Plan:           json.RawMessage(bytes.TrimSpace(planBuf.Bytes())),
 	}, nil
 }
 
@@ -634,9 +725,53 @@ func solveStatus(err error) int {
 	}
 }
 
+// retryAfterSeconds suggests a Retry-After for 503 responses: the projected
+// outstanding solver work spread across the workers (cost units approximate
+// solver milliseconds), clamped to [1, 60] seconds. While draining for
+// shutdown the instance will never accept the retry, so the hint is the
+// minimum — the client should go elsewhere immediately.
+func (s *Server) retryAfterSeconds() int {
+	if s.draining.Load() {
+		return 1
+	}
+	secs := int(math.Ceil(s.pool.outstandingCost() / float64(s.pool.workers) / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeSolveErr maps a solve error onto its HTTP reply. Load-shedding 503s
+// carry a Retry-After hint so well-behaved clients back off for roughly the
+// backlog's duration instead of hammering an overloaded instance.
+func (s *Server) writeSolveErr(w http.ResponseWriter, r *http.Request, err error) {
+	status := solveStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeErr(w, r, status, "%v", err)
+}
+
+// rejectIfDraining answers solve-plane requests arriving during shutdown
+// with 503 + Retry-After and reports whether it did.
+func (s *Server) rejectIfDraining(w http.ResponseWriter, r *http.Request) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeErr(w, r, http.StatusServiceUnavailable, "server is shutting down")
+	return true
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.rejectIfDraining(w, r) {
 		return
 	}
 	var req api.SolveRequest
@@ -659,7 +794,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.solveOne(r.Context(), wl, p, req.NoCache)
 	if err != nil {
-		writeErr(w, r, solveStatus(err), "%v", err)
+		s.writeSolveErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -668,6 +803,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.rejectIfDraining(w, r) {
 		return
 	}
 	var req api.SweepRequest
@@ -746,6 +884,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				pt.Feasible = true
 				pt.Cached = res.Cached
 				pt.Optimal = res.Optimal
+				pt.Degraded = res.Degraded
 				pt.Overhead = res.Overhead
 				pt.PeakBytes = res.PeakBytes
 				pt.Fingerprint = res.Fingerprint

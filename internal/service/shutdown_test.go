@@ -1,0 +1,196 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/service/api"
+)
+
+// waitCond polls cond for up to 10s.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestGracefulShutdownDrainsInFlight: a solve running when Shutdown begins
+// finishes and returns 200; a solve arriving after gets 503 with a
+// Retry-After hint; read-only endpoints keep answering.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	defer faultinject.Enable(faultinject.NewInjector(map[faultinject.Point]faultinject.Rule{
+		// Slow every flight down enough that Shutdown provably overlaps it.
+		faultinject.PoolDispatch: {Latency: 300 * time.Millisecond},
+	}))()
+	srv, ts := testServer(t)
+
+	type result struct {
+		code int
+		body []byte
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		body, _ := json.Marshal(api.SolveRequest{Graph: chainSpec(10), Budget: 6})
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inflight <- result{code: -1}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		inflight <- result{code: resp.StatusCode, body: b}
+	}()
+	waitCond(t, "the solve to reach the pool", func() bool {
+		return srv.pool.active.Load() > 0 || srv.pool.queueDepth() > 0
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain within a generous deadline failed: %v", err)
+	}
+
+	res := <-inflight
+	if res.code != http.StatusOK {
+		t.Fatalf("in-flight solve during graceful shutdown: HTTP %d %s", res.code, res.body)
+	}
+	var solved api.SolveResponse
+	if err := json.Unmarshal(res.body, &solved); err != nil || len(solved.Plan) == 0 {
+		t.Fatalf("drained solve returned no plan: %v", err)
+	}
+
+	// New solve-plane work is refused with a retry hint.
+	body, _ := json.Marshal(api.SolveRequest{Graph: chainSpec(8), Budget: 5})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown solve: HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("draining 503 carries no Retry-After")
+	}
+	var e api.ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&e)
+	if !strings.Contains(e.Error, "shutting down") {
+		t.Fatalf("draining 503 error = %q", e.Error)
+	}
+
+	// The observability plane stays up until the HTTP server itself stops.
+	for _, path := range []string{"/healthz", "/v1/stats", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s during drain: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s during drain: HTTP %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestShutdownDeadlineCancelsSolves: when the drain budget is shorter than
+// the in-flight work, Shutdown cancels the solves, reports the deadline
+// error, and still returns instead of hanging.
+func TestShutdownDeadlineCancelsSolves(t *testing.T) {
+	defer faultinject.Enable(faultinject.NewInjector(map[faultinject.Point]faultinject.Rule{
+		faultinject.PoolDispatch: {Latency: time.Second},
+	}))()
+	srv, ts := testServer(t)
+
+	errs := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(api.SolveRequest{Graph: chainSpec(10), Budget: 6})
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			errs <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		errs <- resp.StatusCode
+	}()
+	waitCond(t, "the solve to reach the pool", func() bool {
+		return srv.pool.active.Load() > 0 || srv.pool.queueDepth() > 0
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown err = %v, want DeadlineExceeded", err)
+	}
+	// The injected 1s dispatch latency bounds how long abort takes to bite;
+	// anything much past it means the drain hung.
+	if d := time.Since(start); d > 8*time.Second {
+		t.Fatalf("Shutdown took %v after its 50ms deadline", d)
+	}
+	if code := <-errs; code == http.StatusOK || code == -1 {
+		t.Fatalf("cancelled in-flight solve returned %d, want an error status", code)
+	}
+}
+
+// TestShutdownClosesStreamsWithTerminalFrame: an SSE watcher of a solve
+// overtaken by shutdown receives a terminal done frame — with either the
+// cancellation error or the explicit shutting-down frame — never a silently
+// dropped connection.
+func TestShutdownClosesStreamsWithTerminalFrame(t *testing.T) {
+	defer faultinject.Enable(faultinject.NewInjector(map[faultinject.Point]faultinject.Rule{
+		faultinject.PoolDispatch: {Latency: time.Second},
+	}))()
+	srv, ts := testServer(t)
+
+	resp, err := http.Get(streamURL(ts, chainSpec(10), 6, "&no_cache=true"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: HTTP %d", resp.StatusCode)
+	}
+	waitCond(t, "the streamed solve to reach the pool", func() bool {
+		return srv.pool.active.Load() > 0 || srv.pool.queueDepth() > 0
+	})
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	frames, _ := readSSE(t, resp.Body)
+	if len(frames) == 0 {
+		t.Fatal("stream ended with no frames at all")
+	}
+	last := frames[len(frames)-1]
+	if last.Event != api.StreamEventDone {
+		t.Fatalf("last frame = %q, want terminal done", last.Event)
+	}
+	var done api.StreamDone
+	if err := json.Unmarshal(last.Data, &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Error == "" {
+		t.Fatalf("shutdown-terminated stream reports success: %+v", done)
+	}
+	<-shutdownDone
+}

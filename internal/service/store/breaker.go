@@ -1,0 +1,226 @@
+// The self-healing circuit breaker: a sick disk must cost the serving path
+// nothing. Persistent Put failures open the breaker, after which the cache
+// degrades to memory-only — Gets answer miss instantly, Puts are dropped
+// silently — while a background healer probes the disk on a jittered
+// exponential backoff and closes the breaker the moment a probe round-trips.
+// Solving is always possible without the disk tier; what the breaker
+// protects is request latency and log hygiene while the disk is down.
+
+package store
+
+import (
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// BreakerOptions configure NewBreaker. The zero value selects the
+// documented defaults.
+type BreakerOptions struct {
+	// Threshold is the number of consecutive Put failures that opens the
+	// breaker (default 5). A single failure is weather; a run of them is a
+	// sick disk.
+	Threshold int
+	// Backoff is the delay before the first heal probe after opening
+	// (default 1s). Each failed probe doubles it, up to MaxBackoff
+	// (default 2min); every delay is jittered to [50%, 100%] so a fleet of
+	// processes does not probe a shared sick volume in lockstep.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Logger receives open/close/probe diagnostics (default slog.Default()).
+	Logger *slog.Logger
+}
+
+// BreakerStats is the point-in-time breaker snapshot exposed via Stats.
+type BreakerStats struct {
+	// Open reports whether the breaker is currently open (disk bypassed,
+	// cache memory-only).
+	Open bool `json:"open"`
+	// Opens counts closed→open transitions since start.
+	Opens int64 `json:"opens"`
+	// ConsecutiveFailures is the current run of Put failures while closed.
+	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	// SkippedPuts and SkippedGets count operations answered without touching
+	// the disk while open.
+	SkippedPuts int64 `json:"skipped_puts"`
+	SkippedGets int64 `json:"skipped_gets"`
+	// Probes and ProbeFailures count heal attempts.
+	Probes        int64 `json:"probes"`
+	ProbeFailures int64 `json:"probe_failures"`
+}
+
+// Breaker wraps a Store with the circuit breaker. Safe for concurrent use;
+// implements Store itself, so it drops into the service transparently.
+type Breaker struct {
+	inner     Store
+	probe     func() error
+	threshold int64
+	backoff   time.Duration
+	maxWait   time.Duration
+	log       *slog.Logger
+
+	open        atomic.Bool
+	consecutive atomic.Int64
+	opens       atomic.Int64
+	skippedPuts atomic.Int64
+	skippedGets atomic.Int64
+	probes      atomic.Int64
+	probeFails  atomic.Int64
+
+	// mu orders trip/heal transitions and healer spawning against Close.
+	mu     sync.Mutex
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewBreaker wraps inner. When inner exposes Probe() error (as *Disk does)
+// the healer uses it to test recovery; otherwise every probe optimistically
+// succeeds and the breaker re-closes on its first attempt.
+func NewBreaker(inner Store, opts BreakerOptions) *Breaker {
+	b := &Breaker{
+		inner:     inner,
+		threshold: int64(opts.Threshold),
+		backoff:   opts.Backoff,
+		maxWait:   opts.MaxBackoff,
+		log:       opts.Logger,
+		stop:      make(chan struct{}),
+	}
+	if b.threshold <= 0 {
+		b.threshold = 5
+	}
+	if b.backoff <= 0 {
+		b.backoff = time.Second
+	}
+	if b.maxWait <= 0 {
+		b.maxWait = 2 * time.Minute
+	}
+	if b.log == nil {
+		b.log = slog.Default()
+	}
+	b.log = b.log.With("component", "store-breaker")
+	if p, ok := inner.(interface{ Probe() error }); ok {
+		b.probe = p.Probe
+	} else {
+		b.probe = func() error { return nil }
+	}
+	return b
+}
+
+// Get answers from the inner store, or — while open — an instant miss: a
+// sick disk must not add its timeouts to the serving path. The in-memory
+// cache tier above still serves its hits.
+func (b *Breaker) Get(key graph.Fingerprint) ([]byte, bool) {
+	if b.open.Load() {
+		b.skippedGets.Add(1)
+		return nil, false
+	}
+	return b.inner.Get(key)
+}
+
+// Put writes through while closed, counting consecutive failures toward the
+// trip threshold. While open it silently drops the payload and reports
+// success — the schedule stays in the in-memory tier, and losing durability
+// is precisely the degradation the breaker exists to make graceful.
+func (b *Breaker) Put(key graph.Fingerprint, payload []byte) error {
+	if b.open.Load() {
+		b.skippedPuts.Add(1)
+		return nil
+	}
+	err := b.inner.Put(key, payload)
+	if err == nil {
+		b.consecutive.Store(0)
+		return nil
+	}
+	if n := b.consecutive.Add(1); n >= b.threshold {
+		b.trip(n)
+	}
+	return err
+}
+
+// trip opens the breaker and starts the healer. Idempotent under races:
+// only the transition that flips the flag spawns a healer.
+func (b *Breaker) trip(failures int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.open.Load() {
+		return
+	}
+	b.open.Store(true)
+	b.opens.Add(1)
+	b.log.Warn("store breaker opened; cache degrades to memory-only",
+		"consecutive_put_failures", failures)
+	b.wg.Add(1)
+	go b.heal()
+}
+
+// heal probes the disk on a jittered exponential backoff until a probe
+// succeeds, then re-closes the breaker.
+func (b *Breaker) heal() {
+	defer b.wg.Done()
+	wait := b.backoff
+	for attempt := 1; ; attempt++ {
+		t := time.NewTimer(jitter(wait))
+		select {
+		case <-b.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		b.probes.Add(1)
+		err := b.probe()
+		if err == nil {
+			b.mu.Lock()
+			b.open.Store(false)
+			b.consecutive.Store(0)
+			b.mu.Unlock()
+			b.log.Info("store breaker closed; disk healthy again", "probes", attempt)
+			return
+		}
+		b.probeFails.Add(1)
+		b.log.Warn("store heal probe failed", "attempt", attempt, "next_wait", wait*2, "err", err)
+		if wait *= 2; wait > b.maxWait {
+			wait = b.maxWait
+		}
+	}
+}
+
+// jitter spreads d over [d/2, d] so independent processes desynchronize.
+func jitter(d time.Duration) time.Duration {
+	if d <= time.Millisecond {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// Stats snapshots the inner store with the breaker block attached.
+func (b *Breaker) Stats() Stats {
+	s := b.inner.Stats()
+	s.Breaker = &BreakerStats{
+		Open:                b.open.Load(),
+		Opens:               b.opens.Load(),
+		ConsecutiveFailures: b.consecutive.Load(),
+		SkippedPuts:         b.skippedPuts.Load(),
+		SkippedGets:         b.skippedGets.Load(),
+		Probes:              b.probes.Load(),
+		ProbeFailures:       b.probeFails.Load(),
+	}
+	return s
+}
+
+// Close stops any in-flight healer and closes the inner store.
+func (b *Breaker) Close() error {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.stop)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	return b.inner.Close()
+}

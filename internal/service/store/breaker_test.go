@@ -1,0 +1,213 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+)
+
+// fakeStore is an in-memory Store whose Put can be forced to fail and
+// whose Probe follows the same switch.
+type fakeStore struct {
+	mu      sync.Mutex
+	data    map[graph.Fingerprint][]byte
+	failing bool
+	puts    int
+	probes  int
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{data: map[graph.Fingerprint][]byte{}} }
+
+func (f *fakeStore) setFailing(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failing = v
+}
+
+func (f *fakeStore) Get(key graph.Fingerprint) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.data[key]
+	return p, ok
+}
+
+func (f *fakeStore) Put(key graph.Fingerprint, payload []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	if f.failing {
+		return errors.New("disk on fire")
+	}
+	f.data[key] = payload
+	return nil
+}
+
+func (f *fakeStore) Probe() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.probes++
+	if f.failing {
+		return errors.New("still on fire")
+	}
+	return nil
+}
+
+func (f *fakeStore) Stats() Stats { return Stats{} }
+func (f *fakeStore) Close() error { return nil }
+
+func key(i int) graph.Fingerprint {
+	d := graph.NewDigest()
+	d.String(fmt.Sprintf("breaker-test-%d", i))
+	return d.Sum()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	inner := newFakeStore()
+	b := NewBreaker(inner, BreakerOptions{Threshold: 3, Backoff: time.Hour, Logger: slog.Default()})
+	defer b.Close()
+	inner.setFailing(true)
+
+	// Two failures: still closed, errors surface.
+	for i := 0; i < 2; i++ {
+		if err := b.Put(key(i), []byte("x")); err == nil {
+			t.Fatal("failing Put returned nil while closed")
+		}
+	}
+	if b.Stats().Breaker.Open {
+		t.Fatal("breaker opened below threshold")
+	}
+	// Third consecutive failure trips it.
+	if err := b.Put(key(2), []byte("x")); err == nil {
+		t.Fatal("tripping Put returned nil")
+	}
+	st := b.Stats().Breaker
+	if !st.Open || st.Opens != 1 {
+		t.Fatalf("breaker = %+v, want open after 3 consecutive failures", st)
+	}
+
+	// While open: Puts silently dropped, Gets instant misses, no disk I/O.
+	putsBefore := inner.puts
+	if err := b.Put(key(3), []byte("x")); err != nil {
+		t.Fatalf("open-breaker Put returned %v, want nil (memory-only degradation)", err)
+	}
+	if _, ok := b.Get(key(0)); ok {
+		t.Fatal("open-breaker Get returned a hit")
+	}
+	if inner.puts != putsBefore {
+		t.Fatal("open breaker still touched the disk")
+	}
+	st = b.Stats().Breaker
+	if st.SkippedPuts != 1 || st.SkippedGets != 1 {
+		t.Fatalf("skip counters = %+v", st)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	inner := newFakeStore()
+	b := NewBreaker(inner, BreakerOptions{Threshold: 3, Backoff: time.Hour})
+	defer b.Close()
+
+	inner.setFailing(true)
+	b.Put(key(0), []byte("x"))
+	b.Put(key(1), []byte("x"))
+	inner.setFailing(false)
+	if err := b.Put(key(2), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	inner.setFailing(true)
+	b.Put(key(3), []byte("x"))
+	b.Put(key(4), []byte("x"))
+	if b.Stats().Breaker.Open {
+		t.Fatal("breaker opened on a non-consecutive failure run")
+	}
+}
+
+func TestBreakerHealsAndRecloses(t *testing.T) {
+	inner := newFakeStore()
+	b := NewBreaker(inner, BreakerOptions{Threshold: 2, Backoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond})
+	defer b.Close()
+
+	inner.setFailing(true)
+	b.Put(key(0), []byte("x"))
+	b.Put(key(1), []byte("x"))
+	if !b.Stats().Breaker.Open {
+		t.Fatal("breaker did not open")
+	}
+	// Let a few probes fail, then heal the disk.
+	waitFor(t, "failed probes", func() bool { return b.Stats().Breaker.ProbeFailures >= 2 })
+	inner.setFailing(false)
+	waitFor(t, "breaker to re-close", func() bool { return !b.Stats().Breaker.Open })
+
+	// Writes flow to disk again.
+	if err := b.Put(key(2), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := b.Get(key(2)); !ok || string(p) != "y" {
+		t.Fatalf("post-heal Get = %q, %v", p, ok)
+	}
+	st := b.Stats().Breaker
+	if st.Probes == 0 || st.ProbeFailures == 0 {
+		t.Fatalf("probe counters not recorded: %+v", st)
+	}
+}
+
+// TestBreakerAroundDiskWithInjectedFaults is the integration shape the
+// service runs: a real Disk, faults injected at the Put I/O point, the
+// breaker opening on them, and healing once the faults stop — because the
+// probe exercises the same injected path.
+func TestBreakerAroundDiskWithInjectedFaults(t *testing.T) {
+	inj := faultinject.NewInjector(map[faultinject.Point]faultinject.Rule{
+		faultinject.StorePut: {Err: errors.New("injected I/O error")},
+	})
+	defer faultinject.Enable(inj)()
+
+	disk, err := OpenDisk(DiskOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBreaker(disk, BreakerOptions{Threshold: 3, Backoff: 5 * time.Millisecond, MaxBackoff: 20 * time.Millisecond})
+	defer b.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := b.Put(key(i), []byte(`"p"`)); err == nil {
+			t.Fatal("injected Put fault returned nil while closed")
+		}
+	}
+	if !b.Stats().Breaker.Open {
+		t.Fatal("breaker did not open on injected disk faults")
+	}
+	waitFor(t, "a probe to fail through the injected path", func() bool {
+		return b.Stats().Breaker.ProbeFailures >= 1
+	})
+
+	// Clear the fault: the next probe round-trips and the breaker closes.
+	inj.Clear(faultinject.StorePut)
+	waitFor(t, "breaker to heal", func() bool { return !b.Stats().Breaker.Open })
+	if err := b.Put(key(9), []byte(`"p"`)); err != nil {
+		t.Fatalf("post-heal Put: %v", err)
+	}
+	if _, ok := b.Get(key(9)); !ok {
+		t.Fatal("post-heal Get missed a fresh Put")
+	}
+	if ds := disk.Stats(); ds.Entries != 1 {
+		t.Fatalf("disk entries = %d after probe cleanup + 1 real Put, want 1", ds.Entries)
+	}
+}

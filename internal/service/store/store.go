@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -61,6 +62,9 @@ type Stats struct {
 	EvictedAge  int64 `json:"evicted_age"`
 	EvictedSize int64 `json:"evicted_size"`
 	Sweeps      int64 `json:"sweeps"`
+	// Breaker is the circuit-breaker snapshot when the store is wrapped in
+	// one (see NewBreaker); nil for a bare store.
+	Breaker *BreakerStats `json:"breaker,omitempty"`
 }
 
 // envelope is the on-disk file format. The embedded key and payload checksum
@@ -212,6 +216,14 @@ func (d *Disk) path(key graph.Fingerprint) string {
 // is a miss; defective files are removed so they are not re-parsed on every
 // lookup.
 func (d *Disk) Get(key graph.Fingerprint) ([]byte, bool) {
+	if err := faultinject.Fire(faultinject.StoreGet); err != nil {
+		// An injected I/O fault is an unreadable entry: corrupt + miss,
+		// exactly the non-ENOENT ReadFile branch below.
+		d.corrupt.Add(1)
+		d.misses.Add(1)
+		d.log.Warn("entry unreadable, treating as miss", "key", key.Short(), "err", err)
+		return nil, false
+	}
 	path := d.path(key)
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -290,6 +302,9 @@ func (d *Disk) Put(key graph.Fingerprint, payload []byte) error {
 }
 
 func (d *Disk) put(key graph.Fingerprint, payload []byte) error {
+	if err := faultinject.Fire(faultinject.StorePut); err != nil {
+		return fmt.Errorf("store: writing entry: %w", err)
+	}
 	sum := sha256.Sum256(payload)
 	raw, err := json.Marshal(envelope{
 		Version: envelopeVersion,
@@ -505,6 +520,41 @@ func (d *Disk) Sweep() (SweepResult, error) {
 	d.evictedSize.Add(int64(res.RemovedSize))
 	d.sweeps.Add(1)
 	return res, nil
+}
+
+// Probe verifies the store is serviceable with a full write → read →
+// verify → remove round trip on a sentinel key, exercising the same I/O
+// paths (and fault-injection points) real traffic uses. The circuit
+// breaker's healer calls this to decide whether the disk has recovered;
+// probe traffic does not touch the hit/miss/put counters, so cache-quality
+// stats stay honest.
+func (d *Disk) Probe() error {
+	dg := graph.NewDigest()
+	dg.String("store/probe/v1")
+	dg.String(d.dir)
+	key := dg.Sum()
+	if err := d.put(key, []byte(`"probe"`)); err != nil {
+		return err
+	}
+	if err := faultinject.Fire(faultinject.StoreGet); err != nil {
+		return fmt.Errorf("store: probe read: %w", err)
+	}
+	path := d.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: probe read: %w", err)
+	}
+	if _, err := decodeEnvelope(raw, key); err != nil {
+		return fmt.Errorf("store: probe verify: %w", err)
+	}
+	lock := d.keyLock(key)
+	lock.Lock()
+	defer lock.Unlock()
+	if os.Remove(path) == nil {
+		d.entries.Add(-1)
+		d.bytes.Add(-int64(len(raw)))
+	}
+	return nil
 }
 
 // Stats snapshots the store counters.

@@ -144,6 +144,13 @@ func (h *streamHub) solverEvent(e checkmate.Event, key graph.Fingerprint, graphN
 			Bound:     e.Bound,
 			ElapsedMS: float64(e.Elapsed.Microseconds()) / 1e3,
 		})
+	case checkmate.EventDegraded:
+		h.publish(api.StreamEventDegraded, api.StreamDegraded{
+			From:      string(e.From),
+			To:        string(e.To),
+			Reason:    e.Reason,
+			ElapsedMS: float64(e.Elapsed.Microseconds()) / 1e3,
+		})
 	}
 }
 
@@ -224,6 +231,9 @@ func (s *Server) removeStream(h *streamHub) {
 func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, r, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.rejectIfDraining(w, r) {
 		return
 	}
 	flusher, ok := w.(http.Flusher)

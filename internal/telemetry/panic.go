@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic converted into an error, carrying the
+// recovered value and the goroutine stack captured at the recovery site.
+// The solver workers, the service worker pool, and the HTTP middleware all
+// contain panics this way: the process stays up, the failure surfaces as an
+// ordinary error, and the stack rides along for structured logging
+// (slog.Any("stack", ...)) and span attributes.
+type PanicError struct {
+	// Op names the recovery site, e.g. "milp.worker" or "http:solve".
+	Op string
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: panic: %v", e.Op, e.Value)
+}
+
+// Recovered wraps a value returned by recover() into a PanicError, capturing
+// the current goroutine's stack. Call it directly inside the deferred
+// function that recovered, so the stack still shows the panic site. r must
+// be non-nil.
+func Recovered(op string, r any) *PanicError {
+	return &PanicError{Op: op, Value: r, Stack: debug.Stack()}
+}

@@ -42,7 +42,7 @@ func benchScale() experiments.Scale {
 
 func BenchmarkFig1MemoryTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig1(io.Discard, benchScale()); err != nil {
+		if err := experiments.Fig1(context.Background(), io.Discard, benchScale()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +65,7 @@ func BenchmarkTable1StrategyMatrix(b *testing.B) {
 func benchFig5(b *testing.B, model string, batch int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig5(io.Discard, model, batch, benchScale())
+		pts, err := experiments.Fig5(context.Background(), io.Discard, model, batch, benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +95,7 @@ func BenchmarkFig5UNet(b *testing.B)      { benchFig5(b, "unet", 2) }
 
 func BenchmarkFig6MaxBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig6(io.Discard, []string{"mobilenet"}, benchScale())
+		rows, err := experiments.Fig6(context.Background(), io.Discard, []string{"mobilenet"}, benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func BenchmarkFig6MaxBatch(b *testing.B) {
 
 func BenchmarkTable2ApproxRatios(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(io.Discard, []string{"mobilenet", "vgg16"}, benchScale())
+		rows, err := experiments.Table2(context.Background(), io.Discard, []string{"mobilenet", "vgg16"}, benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func BenchmarkTable2ApproxRatios(b *testing.B) {
 
 func BenchmarkFig7ScheduleViz(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig7(io.Discard, benchScale()); err != nil {
+		if err := experiments.Fig7(context.Background(), io.Discard, benchScale()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -130,7 +130,7 @@ func BenchmarkFig7ScheduleViz(b *testing.B) {
 
 func BenchmarkFig8Rounding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig8(io.Discard, []string{"vgg16"}, benchScale()); err != nil {
+		if err := experiments.Fig8(context.Background(), io.Discard, []string{"vgg16"}, benchScale()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -139,7 +139,7 @@ func BenchmarkFig8Rounding(b *testing.B) {
 func BenchmarkAppendixAIntegralityGap(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AppendixA(io.Discard, sc)
+		res, err := experiments.AppendixA(context.Background(), io.Discard, sc)
 		if err != nil {
 			b.Fatal(err)
 		}

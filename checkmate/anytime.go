@@ -54,22 +54,22 @@ const (
 // rungFailure records why one ladder rung did not serve the request.
 type rungFailure struct {
 	method Method
-	code   string // closed vocabulary; see Schedule.DegradedCode
+	code   DegradedCode
 	detail string
 }
 
 // classifyRungErr maps a rung error onto the DegradedCode vocabulary.
-func classifyRungErr(err error) string {
+func classifyRungErr(err error) DegradedCode {
 	var pe *telemetry.PanicError
 	switch {
 	case errors.As(err, &pe):
-		return "panic"
+		return DegradedPanic
 	case errors.Is(err, ErrSolveLimit):
-		return "limit"
+		return DegradedLimit
 	case errors.Is(err, ErrInfeasible):
-		return "infeasible"
+		return DegradedInfeasible
 	default:
-		return "error"
+		return DegradedError
 	}
 }
 
@@ -113,7 +113,7 @@ func (w *Workload) solveAnytimeRequest(ctx context.Context, req Request, em *emi
 			if est := w.EstimateSolveCostFor(rung.method, req.Budget, unclamped); est > anytimeSkipFactor*float64(slice.Milliseconds()+1) {
 				f := rungFailure{
 					method: rung.method,
-					code:   "skipped",
+					code:   DegradedSkipped,
 					detail: fmt.Sprintf("%s: skipped (projected ~%.0fms against a %v slice)", rung.method, est, slice.Round(time.Millisecond)),
 				}
 				failures = append(failures, f)
@@ -193,7 +193,7 @@ func stampDegraded(sched *Schedule, served Method, failures []rungFailure) {
 		}
 		parts = append(parts, serving)
 	} else {
-		sched.DegradedCode = "unproven"
+		sched.DegradedCode = DegradedUnproven
 		parts = append(parts, fmt.Sprintf("served %s incumbent, optimality unproven at deadline", served))
 	}
 	sched.DegradedReason = strings.Join(parts, "; ")
@@ -213,9 +213,9 @@ func anytimeExhausted(failures []rungFailure) error {
 	for _, f := range failures {
 		details = append(details, f.detail)
 		switch f.code {
-		case "infeasible":
+		case DegradedInfeasible:
 			infeasible++
-		case "skipped":
+		case DegradedSkipped:
 		default:
 			transient++
 		}

@@ -424,6 +424,28 @@ type SolveOptions struct {
 	Threads int
 }
 
+// DegradedCode classifies why a schedule was served degraded. The type is a
+// closed vocabulary — every value is one of the constants below — so its
+// cardinality is bounded by construction and it is safe to use directly as
+// a metric label.
+type DegradedCode string
+
+const (
+	// DegradedPanic: an earlier rung's solver panicked and was contained.
+	DegradedPanic DegradedCode = "panic"
+	// DegradedLimit: an earlier rung hit its node or time limit.
+	DegradedLimit DegradedCode = "limit"
+	// DegradedInfeasible: an earlier rung proved its sub-problem infeasible.
+	DegradedInfeasible DegradedCode = "infeasible"
+	// DegradedSkipped: an earlier rung was skipped as hopeless for its slice.
+	DegradedSkipped DegradedCode = "skipped"
+	// DegradedError: an earlier rung failed for any other reason.
+	DegradedError DegradedCode = "error"
+	// DegradedUnproven: the serving rung adopted an incumbent at the
+	// deadline without an optimality proof.
+	DegradedUnproven DegradedCode = "unproven"
+)
+
 // Schedule is a solved rematerialization schedule with its execution plan.
 type Schedule struct {
 	Sched *core.Sched
@@ -439,11 +461,9 @@ type Schedule struct {
 	// optimality proof. Quality may be below what an unconstrained solve
 	// would return; budget feasibility is unaffected.
 	Degraded bool
-	// DegradedCode classifies the first deviation from a full solve with a
-	// small closed vocabulary — "panic", "limit", "infeasible", "skipped",
-	// "error", "unproven" — bounded cardinality by construction, suitable
-	// for metric labels. Empty when Degraded is false.
-	DegradedCode string
+	// DegradedCode classifies the first deviation from a full solve.
+	// Empty when Degraded is false.
+	DegradedCode DegradedCode
 	// DegradedReason is the human-readable account of what the ladder did:
 	// each rung's outcome and which one finally served. Empty when Degraded
 	// is false.

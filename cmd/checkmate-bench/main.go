@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
@@ -51,6 +53,12 @@ func main() {
 	}
 	w := os.Stdout
 
+	// Ctrl-C cancels the in-flight solve instead of leaving it to run the
+	// full time limit; every experiment threads this context down to the
+	// branch-and-bound loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	run := func(name string, f func() error) {
 		fmt.Fprintf(w, "\n==== %s ====\n", name)
 		start := time.Now()
@@ -70,7 +78,7 @@ func main() {
 		run("fig3", func() error { return experiments.Fig3(w, sc) })
 	}
 	if want("fig1") {
-		run("fig1", func() error { return experiments.Fig1(w, sc) })
+		run("fig1", func() error { return experiments.Fig1(ctx, w, sc) })
 	}
 	if want("fig5") {
 		panels := [][2]any{{"vgg16", 8}, {"mobilenet", 16}, {"unet", 2}}
@@ -84,7 +92,7 @@ func main() {
 		for _, p := range panels {
 			m, b := p[0].(string), p[1].(int)
 			run("fig5/"+m, func() error {
-				_, err := experiments.Fig5(w, m, b, sc)
+				_, err := experiments.Fig5(ctx, w, m, b, sc)
 				return err
 			})
 		}
@@ -95,7 +103,7 @@ func main() {
 			if *model != "" {
 				models = strings.Split(*model, ",")
 			}
-			_, err := experiments.Fig6(w, models, sc)
+			_, err := experiments.Fig6(ctx, w, models, sc)
 			return err
 		})
 	}
@@ -105,25 +113,25 @@ func main() {
 			if *model != "" {
 				models = strings.Split(*model, ",")
 			}
-			_, err := experiments.Table2(w, models, sc)
+			_, err := experiments.Table2(ctx, w, models, sc)
 			return err
 		})
 	}
 	if want("fig7") {
-		run("fig7", func() error { return experiments.Fig7(w, sc) })
+		run("fig7", func() error { return experiments.Fig7(ctx, w, sc) })
 	}
 	if want("fig8") {
-		run("fig8", func() error { return experiments.Fig8(w, nil, sc) })
+		run("fig8", func() error { return experiments.Fig8(ctx, w, nil, sc) })
 	}
 	if want("appendixA") {
 		run("appendixA", func() error {
-			_, err := experiments.AppendixA(w, sc)
+			_, err := experiments.AppendixA(ctx, w, sc)
 			return err
 		})
 	}
 	if want("solver") {
 		run("solver", func() error {
-			perf, err := experiments.SolverBench(w, sc, *threads)
+			perf, err := experiments.SolverBench(ctx, w, sc, *threads)
 			if err != nil {
 				return err
 			}

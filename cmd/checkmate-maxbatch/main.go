@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -26,7 +28,9 @@ func main() {
 	)
 	flag.Parse()
 	sc := experiments.Scale{Segments: *segments, TimeLimit: *limit}
-	rows, err := experiments.Fig6(os.Stdout, strings.Split(*models, ","), sc)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rows, err := experiments.Fig6(ctx, os.Stdout, strings.Split(*models, ","), sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "checkmate-maxbatch:", err)
 		os.Exit(1)

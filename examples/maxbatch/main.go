@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -16,7 +17,7 @@ import (
 )
 
 func main() {
-	rows, err := experiments.Fig6(os.Stdout, []string{"mobilenet"}, experiments.Scale{
+	rows, err := experiments.Fig6(context.Background(), os.Stdout, []string{"mobilenet"}, experiments.Scale{
 		Segments: 10,
 	})
 	if err != nil {

@@ -86,6 +86,10 @@ type SearchStats struct {
 }
 
 // Solve runs two-phase rounding once at the configured ε.
+//
+// Deprecated: use SolveCtx. This wrapper cannot be cancelled — it mints its
+// own background context — so a caller with a deadline or a request context
+// gets neither.
 func Solve(inst core.Instance, opt Options) (*Result, error) {
 	return SolveCtx(context.Background(), inst, opt)
 }
@@ -132,6 +136,10 @@ func solveAtEps(ctx context.Context, inst core.Instance, opt Options, eps float6
 
 // SolveWithSearch sweeps ε over [0, 0.5] and returns the cheapest schedule
 // feasible at the true budget (the refinement suggested in Appendix D).
+//
+// Deprecated: use SolveWithSearchCtx. This wrapper cannot be cancelled — it
+// mints its own background context — so a caller with a deadline or a
+// request context gets neither.
 func SolveWithSearch(inst core.Instance, opt Options) (*Result, error) {
 	return SolveWithSearchCtx(context.Background(), inst, opt)
 }
@@ -224,11 +232,11 @@ func bestRandomized(inst core.Instance, fs *core.FractionalSched, lpObj float64,
 // Samples generates sample points for the rounding-comparison experiment
 // (Figure 8): every randomized-rounding sample plus the deterministic
 // rounding, each reported as (cost, peak memory).
-func Samples(inst core.Instance, opt Options) (det *Result, rnd []*Result, err error) {
+func Samples(ctx context.Context, inst core.Instance, opt Options) (det *Result, rnd []*Result, err error) {
 	opt = opt.withDefaults()
 	deflated := inst
 	deflated.Budget = int64(float64(inst.Budget) * (1 - opt.Epsilon))
-	fs, lpObj, err := core.SolveRelaxation(deflated, false)
+	fs, lpObj, err := core.SolveRelaxationCtx(ctx, deflated, false)
 	if err != nil {
 		return nil, nil, err
 	}

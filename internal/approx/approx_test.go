@@ -1,6 +1,7 @@
 package approx
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/autodiff"
@@ -103,7 +104,7 @@ func TestRandomizedRounding(t *testing.T) {
 
 func TestSamplesForFigure8(t *testing.T) {
 	inst := trainInstance(t, 6, 8)
-	det, rnd, err := Samples(inst, Options{Samples: 20, Seed: 7})
+	det, rnd, err := Samples(context.Background(), inst, Options{Samples: 20, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -104,6 +104,10 @@ type Result struct {
 // SolveILP builds and optimizes the complete MILP (9) for the instance,
 // returning the best schedule found. A feasible result is returned even when
 // optimality was not proven within the limits (Status reports which).
+//
+// Deprecated: use SolveILPCtx. This wrapper cannot be cancelled — it mints
+// its own background context — so a caller with a deadline or a request
+// context gets neither.
 func SolveILP(inst Instance, opt SolveOptions) (*Result, error) {
 	return SolveILPCtx(context.Background(), inst, opt)
 }
@@ -253,6 +257,10 @@ func SweepILP(ctx context.Context, inst Instance, budgets []int64, opt SolveOpti
 // SolveRelaxation solves the LP relaxation of problem (9) (Section 5.1),
 // returning the fractional matrices and the relaxation objective in cost
 // units — a lower bound on the optimal integral cost.
+//
+// Deprecated: use SolveRelaxationCtx. This wrapper cannot be cancelled — it
+// mints its own background context — so a caller with a deadline or a
+// request context gets neither.
 func SolveRelaxation(inst Instance, unpartitioned bool) (*FractionalSched, float64, error) {
 	return SolveRelaxationCtx(context.Background(), inst, unpartitioned)
 }

@@ -84,7 +84,7 @@ func gib(b float64) float64 { return b / float64(1<<30) }
 // Fig1 regenerates Figure 1: the memory-over-time profile of a 32-layer
 // network under the retain-all policy versus an optimal rematerialization
 // schedule at roughly one third of the retain-all peak.
-func Fig1(w io.Writer, sc Scale) error {
+func Fig1(ctx context.Context, w io.Writer, sc Scale) error {
 	sc = sc.withDefaults()
 	tg, err := target("linear32", 24, false, Scale{Segments: 16, TimeLimit: sc.TimeLimit, RelGap: sc.RelGap})
 	if err != nil {
@@ -95,7 +95,7 @@ func Fig1(w io.Writer, sc Scale) error {
 	peak := retain.Peak(g, tg.Overhead)
 	minB := core.MinBudgetLowerBound(g, tg.Overhead)
 	budget := int64(math.Max(float64(minB), peak/3))
-	res, err := core.SolveILP(core.Instance{G: g, Budget: budget, Overhead: tg.Overhead},
+	res, err := core.SolveILPCtx(ctx, core.Instance{G: g, Budget: budget, Overhead: tg.Overhead},
 		core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap})
 	if err != nil {
 		return err
@@ -195,7 +195,7 @@ type CurvePoint struct {
 // memory budget for every strategy on the given model. Checkmate rows solve
 // the ILP at each budget; baseline rows report their cheapest schedule that
 // fits the budget.
-func Fig5(w io.Writer, model string, batch int, sc Scale) ([]CurvePoint, error) {
+func Fig5(ctx context.Context, w io.Writer, model string, batch int, sc Scale) ([]CurvePoint, error) {
 	sc = sc.withDefaults()
 	tg, err := target(model, batch, false, sc)
 	if err != nil {
@@ -242,7 +242,7 @@ func Fig5(w io.Writer, model string, batch int, sc Scale) ([]CurvePoint, error) 
 		frac := float64(p) / float64(sc.BudgetPoints-1)
 		budgets[p] = int64(minB + (peak*1.02-minB)*frac)
 	}
-	ilp, err := core.SweepILP(context.Background(), core.Instance{G: g, Overhead: tg.Overhead}, budgets,
+	ilp, err := core.SweepILP(ctx, core.Instance{G: g, Overhead: tg.Overhead}, budgets,
 		core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap, Progress: sc.Progress})
 	if err != nil {
 		return nil, err
@@ -257,7 +257,7 @@ func Fig5(w io.Writer, model string, batch int, sc Scale) ([]CurvePoint, error) 
 		}
 		out = append(out, cp)
 		// Checkmate approximation.
-		if r, err := approx.SolveWithSearch(core.Instance{G: g, Budget: int64(budget), Overhead: tg.Overhead}, approx.Options{}); err == nil {
+		if r, err := approx.SolveWithSearchCtx(ctx, core.Instance{G: g, Budget: int64(budget), Overhead: tg.Overhead}, approx.Options{}); err == nil {
 			out = append(out, CurvePoint{Strategy: "checkmate-approx", BudgetGB: gib(budget), Overhead: r.Cost / ideal, Feasible: true})
 		} else {
 			out = append(out, CurvePoint{Strategy: "checkmate-approx", BudgetGB: gib(budget)})
@@ -315,7 +315,7 @@ type MaxBatchRow struct {
 // (eq. (10)). Costs are measured in FLOPs as in the paper. The paper's
 // quadratic MIP is replaced by an exact binary search over the (monotone)
 // batch size, each probe a linear MILP.
-func Fig6(w io.Writer, models []string, sc Scale) ([]MaxBatchRow, error) {
+func Fig6(ctx context.Context, w io.Writer, models []string, sc Scale) ([]MaxBatchRow, error) {
 	sc = sc.withDefaults()
 	if len(models) == 0 {
 		models = []string{"unet", "fcn8", "segnet", "vgg19", "resnet50", "mobilenet"}
@@ -328,7 +328,7 @@ func Fig6(w io.Writer, models []string, sc Scale) ([]MaxBatchRow, error) {
 		row := MaxBatchRow{Model: model}
 		probe := func(strategy string) int {
 			lo, hi := 0, 1
-			feasible := func(b int) bool { return feasibleAtBatch(model, b, budget, strategy, sc) }
+			feasible := func(b int) bool { return feasibleAtBatch(ctx, model, b, budget, strategy, sc) }
 			if !feasible(1) {
 				return 0
 			}
@@ -362,7 +362,7 @@ func Fig6(w io.Writer, models []string, sc Scale) ([]MaxBatchRow, error) {
 
 // feasibleAtBatch reports whether the strategy can train the model at batch b
 // within the budget and the one-extra-forward-pass cost cap.
-func feasibleAtBatch(model string, b int, budget int64, strategy string, sc Scale) bool {
+func feasibleAtBatch(ctx context.Context, model string, b int, budget int64, strategy string, sc Scale) bool {
 	if b < 1 {
 		return false
 	}
@@ -396,12 +396,12 @@ func feasibleAtBatch(model string, b int, budget int64, strategy string, sc Scal
 			return false
 		}
 		// Try the cheap approximation first; fall back to the ILP.
-		if r, err := approx.SolveWithSearch(core.Instance{G: g, Budget: budget, Overhead: tg.Overhead}, approx.Options{}); err == nil {
+		if r, err := approx.SolveWithSearchCtx(ctx, core.Instance{G: g, Budget: budget, Overhead: tg.Overhead}, approx.Options{}); err == nil {
 			if r.Feasible && r.Cost <= cap {
 				return true
 			}
 		}
-		res, err := core.SolveILP(core.Instance{G: g, Budget: budget, Overhead: tg.Overhead},
+		res, err := core.SolveILPCtx(ctx, core.Instance{G: g, Budget: budget, Overhead: tg.Overhead},
 			core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap, CostCap: cap})
 		if err != nil || res.Sched == nil {
 			return false
@@ -421,7 +421,7 @@ type Table2Row struct {
 // Table2 regenerates Table 2: geometric-mean approximation ratios of the
 // baseline heuristics and two-phase LP rounding relative to the optimal ILP,
 // across the budgets where the ILP is feasible.
-func Table2(w io.Writer, models []string, sc Scale) ([]Table2Row, error) {
+func Table2(ctx context.Context, w io.Writer, models []string, sc Scale) ([]Table2Row, error) {
 	sc = sc.withDefaults()
 	if len(models) == 0 {
 		models = []string{"mobilenet", "vgg16", "vgg19", "unet", "resnet50"}
@@ -450,7 +450,7 @@ func Table2(w io.Writer, models []string, sc Scale) ([]Table2Row, error) {
 			frac := float64(p+1) / float64(sc.BudgetPoints+1)
 			budgets[p] = int64(minB + (peak-minB)*frac)
 		}
-		ilp, err := core.SweepILP(context.Background(), core.Instance{G: g, Overhead: tg.Overhead}, budgets,
+		ilp, err := core.SweepILP(ctx, core.Instance{G: g, Overhead: tg.Overhead}, budgets,
 			core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap, Progress: sc.Progress})
 		if err != nil {
 			return nil, err
@@ -472,7 +472,7 @@ func Table2(w io.Writer, models []string, sc Scale) ([]Table2Row, error) {
 			if c, ok := bestUnder(revolve, budget); ok {
 				rREV = append(rREV, c/opt)
 			}
-			if r, err := approx.SolveWithSearch(core.Instance{G: g, Budget: int64(budget), Overhead: tg.Overhead}, approx.Options{}); err == nil && r.Feasible {
+			if r, err := approx.SolveWithSearchCtx(ctx, core.Instance{G: g, Budget: int64(budget), Overhead: tg.Overhead}, approx.Options{}); err == nil && r.Feasible {
 				rTP = append(rTP, r.Cost/opt)
 			}
 		}
@@ -516,7 +516,7 @@ func ratioStr(x float64) string {
 
 // Fig7 regenerates Figure 7: ASCII visualizations of the R matrix for
 // checkpoint-all, a Chen-style heuristic, and the Checkmate ILP on VGG19.
-func Fig7(w io.Writer, sc Scale) error {
+func Fig7(ctx context.Context, w io.Writer, sc Scale) error {
 	sc = sc.withDefaults()
 	tg, err := target("vgg19", 4, false, sc)
 	if err != nil {
@@ -547,7 +547,7 @@ func Fig7(w io.Writer, sc Scale) error {
 	}
 	render("checkpoint-all (TF2.0 default)", core.CheckpointAll(g))
 	render("linearized greedy (Chen-style)", bestGreedySched(tg, budget))
-	res, err := core.SolveILP(core.Instance{G: g, Budget: int64(budget), Overhead: tg.Overhead},
+	res, err := core.SolveILPCtx(ctx, core.Instance{G: g, Budget: int64(budget), Overhead: tg.Overhead},
 		core.SolveOptions{TimeLimit: sc.TimeLimit, RelGap: sc.RelGap})
 	if err != nil {
 		return err
@@ -575,7 +575,7 @@ func bestGreedySched(tg *baselines.Target, budget float64) *core.Sched {
 
 // Fig8 regenerates Figure 8: deterministic versus randomized two-phase
 // rounding, reporting (memory GB, cost) samples per model.
-func Fig8(w io.Writer, models []string, sc Scale) error {
+func Fig8(ctx context.Context, w io.Writer, models []string, sc Scale) error {
 	sc = sc.withDefaults()
 	if len(models) == 0 {
 		models = []string{"vgg16", "mobilenet"}
@@ -594,7 +594,7 @@ func Fig8(w io.Writer, models []string, sc Scale) error {
 		if float64(budget)*(1-eps) < minB {
 			eps = math.Max(1e-9, 1-minB*1.02/float64(budget)) // >0 so the approx default is not re-applied
 		}
-		det, rnd, err := approx.Samples(core.Instance{G: g, Budget: budget, Overhead: tg.Overhead},
+		det, rnd, err := approx.Samples(ctx, core.Instance{G: g, Budget: budget, Overhead: tg.Overhead},
 			approx.Options{Samples: 50, Seed: 20, Epsilon: eps})
 		if err != nil {
 			return err
@@ -632,7 +632,7 @@ type AppendixAResult struct {
 // budget 4, solved with and without frontier-advancing partitioning. The
 // paper reports gaps of 1.18 (partitioned) versus 21.56 (unpartitioned) and
 // solve times of 0.23 s versus 9.4 h.
-func AppendixA(w io.Writer, sc Scale) (*AppendixAResult, error) {
+func AppendixA(ctx context.Context, w io.Writer, sc Scale) (*AppendixAResult, error) {
 	sc = sc.withDefaults()
 	fwd := graph.New(8)
 	for i := 0; i < 8; i++ {
@@ -651,11 +651,11 @@ func AppendixA(w io.Writer, sc Scale) (*AppendixAResult, error) {
 	out := &AppendixAResult{}
 
 	// Partitioned (frontier-advancing) form.
-	resP, err := core.SolveILP(inst, core.SolveOptions{TimeLimit: sc.TimeLimit})
+	resP, err := core.SolveILPCtx(ctx, inst, core.SolveOptions{TimeLimit: sc.TimeLimit})
 	if err != nil {
 		return nil, err
 	}
-	_, lpP, err := core.SolveRelaxation(inst, false)
+	_, lpP, err := core.SolveRelaxationCtx(ctx, inst, false)
 	if err != nil {
 		return nil, err
 	}
@@ -671,11 +671,11 @@ func AppendixA(w io.Writer, sc Scale) (*AppendixAResult, error) {
 	// frontier-advancing schedule is feasible for the general form). The
 	// paper could not close this form in under 9.4 hours; we bound the time
 	// and report the measured gap against the unpartitioned LP relaxation.
-	_, lpU, err := core.SolveRelaxation(inst, true)
+	_, lpU, err := core.SolveRelaxationCtx(ctx, inst, true)
 	if err != nil {
 		return nil, err
 	}
-	resU, err := core.SolveILP(inst, core.SolveOptions{
+	resU, err := core.SolveILPCtx(ctx, inst, core.SolveOptions{
 		TimeLimit: 2 * sc.TimeLimit, Unpartitioned: true, Seed: resP.Sched,
 	})
 	if err != nil {

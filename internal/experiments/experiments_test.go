@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -46,7 +47,7 @@ func TestFig1ShapeReduction(t *testing.T) {
 		t.Skip("solves an ILP")
 	}
 	var buf bytes.Buffer
-	if err := Fig1(&buf, tinyScale()); err != nil {
+	if err := Fig1(context.Background(), &buf, tinyScale()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -59,7 +60,7 @@ func TestFig5CheckmateDominates(t *testing.T) {
 	if testing.Short() {
 		t.Skip("solves ILPs")
 	}
-	pts, err := Fig5(io.Discard, "mobilenet", 8, tinyScale())
+	pts, err := Fig5(context.Background(), io.Discard, "mobilenet", 8, tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestTable2RatiosAtLeastOne(t *testing.T) {
 	if testing.Short() {
 		t.Skip("solves ILPs")
 	}
-	rows, err := Table2(io.Discard, []string{"mobilenet"}, tinyScale())
+	rows, err := Table2(context.Background(), io.Discard, []string{"mobilenet"}, tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFig6MonotoneInStrategy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("binary searches with ILP probes")
 	}
-	rows, err := Fig6(io.Discard, []string{"mobilenet"}, tinyScale())
+	rows, err := Fig6(context.Background(), io.Discard, []string{"mobilenet"}, tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestFig7RendersThreeSchedules(t *testing.T) {
 		t.Skip("solves an ILP")
 	}
 	var buf bytes.Buffer
-	if err := Fig7(&buf, tinyScale()); err != nil {
+	if err := Fig7(context.Background(), &buf, tinyScale()); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.Count(buf.String(), "-- "); got < 3 {
@@ -139,7 +140,7 @@ func TestFig8Samples(t *testing.T) {
 		t.Skip("solves LP relaxations")
 	}
 	var buf bytes.Buffer
-	if err := Fig8(&buf, []string{"mobilenet"}, tinyScale()); err != nil {
+	if err := Fig8(context.Background(), &buf, []string{"mobilenet"}, tinyScale()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "deterministic:") {

@@ -163,7 +163,7 @@ func solverBenchGraph(layers int) (*graph.Graph, error) {
 // worker count for the parallel measurement (0 = skip it). Every rule
 // combination must prove the same optimal objective — a mismatch is an
 // error, making the benchmark double as the pivot-rule independence check.
-func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
+func SolverBench(ctx context.Context, w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	sc = sc.withDefaults()
 	g, err := solverBenchGraph(10)
 	if err != nil {
@@ -181,7 +181,7 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	perf := &SolverPerf{GraphNodes: g.Len(), Budget: budget}
 
 	t0 := time.Now()
-	cold, err := core.SolveILP(inst, func() core.SolveOptions { o := opt; o.ColdStart = true; return o }())
+	cold, err := core.SolveILPCtx(ctx, inst, func() core.SolveOptions { o := opt; o.ColdStart = true; return o }())
 	if err != nil {
 		return nil, fmt.Errorf("cold solve: %w", err)
 	}
@@ -191,7 +191,7 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	// phase breakdown (root LP vs node work vs probes), not just totals.
 	tr := telemetry.NewTrace()
 	t0 = time.Now()
-	warm, err := core.SolveILPCtx(telemetry.WithTrace(context.Background(), tr), inst, opt)
+	warm, err := core.SolveILPCtx(telemetry.WithTrace(ctx, tr), inst, opt)
 	if err != nil {
 		return nil, fmt.Errorf("warm solve: %w", err)
 	}
@@ -233,11 +233,11 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 
 	// Dual pivot-rule A/B: identical most-fractional branching isolates the
 	// dual-simplex changes; per-node dual pivots are the comparison.
-	mfDSE, err := core.SolveILP(inst, func() core.SolveOptions { o := opt; o.MostFractional = true; return o }())
+	mfDSE, err := core.SolveILPCtx(ctx, inst, func() core.SolveOptions { o := opt; o.MostFractional = true; return o }())
 	if err != nil {
 		return nil, fmt.Errorf("mostfrac+dse solve: %w", err)
 	}
-	mfClassic, err := core.SolveILP(inst, func() core.SolveOptions {
+	mfClassic, err := core.SolveILPCtx(ctx, inst, func() core.SolveOptions {
 		o := opt
 		o.MostFractional = true
 		o.Dantzig = true
@@ -246,7 +246,7 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mostfrac+classic solve: %w", err)
 	}
-	pcClassic, err := core.SolveILP(inst, func() core.SolveOptions { o := opt; o.Dantzig = true; return o }())
+	pcClassic, err := core.SolveILPCtx(ctx, inst, func() core.SolveOptions { o := opt; o.Dantzig = true; return o }())
 	if err != nil {
 		return nil, fmt.Errorf("pseudo+classic solve: %w", err)
 	}
@@ -269,7 +269,7 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	if threads > 1 {
 		perf.ThreadsUsed = threads
 		t0 = time.Now()
-		par, err := core.SolveILP(inst, func() core.SolveOptions { o := opt; o.Threads = threads; return o }())
+		par, err := core.SolveILPCtx(ctx, inst, func() core.SolveOptions { o := opt; o.Threads = threads; return o }())
 		if err != nil {
 			return nil, fmt.Errorf("parallel solve: %w", err)
 		}
@@ -297,13 +297,13 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 		o.ColdStart = true
 		pinst := inst
 		pinst.Budget = b
-		if _, err := core.SolveILP(pinst, o); err != nil {
+		if _, err := core.SolveILPCtx(ctx, pinst, o); err != nil {
 			return nil, fmt.Errorf("cold sweep at %d: %w", b, err)
 		}
 	}
 	perf.SweepColdMS = msSince(t0)
 	t0 = time.Now()
-	if _, err := core.SweepILP(context.Background(), inst, budgets, sweepOpt); err != nil {
+	if _, err := core.SweepILP(ctx, inst, budgets, sweepOpt); err != nil {
 		return nil, fmt.Errorf("warm sweep: %w", err)
 	}
 	perf.SweepWarmMS = msSince(t0)
@@ -317,13 +317,13 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 	// headroom for the (1−ε) deflation to stay feasible).
 	einst := core.Instance{G: g, Budget: minB + (peak-minB)/2}
 	t0 = time.Now()
-	ecold, err := approx.SolveWithSearch(einst, approx.Options{NoWarmStart: true})
+	ecold, err := approx.SolveWithSearchCtx(ctx, einst, approx.Options{NoWarmStart: true})
 	if err != nil {
 		return nil, fmt.Errorf("eps-search cold: %w", err)
 	}
 	perf.EpsColdMS = msSince(t0)
 	t0 = time.Now()
-	ewarm, err := approx.SolveWithSearch(einst, approx.Options{})
+	ewarm, err := approx.SolveWithSearchCtx(ctx, einst, approx.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("eps-search warm: %w", err)
 	}
@@ -371,7 +371,7 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 		perf.EpsSolves, perf.EpsWarmHits, perf.EpsSolves-1, perf.EpsColdIters, perf.EpsWarmIters,
 		perf.EpsIterRatio, perf.EpsColdMS, perf.EpsWarmMS, perf.EpsSpeedup)
 
-	if err := intervalBench(w, sc, perf); err != nil {
+	if err := intervalBench(ctx, w, sc, perf); err != nil {
 		return nil, err
 	}
 	return perf, nil
@@ -382,7 +382,7 @@ func SolverBench(w io.Writer, sc Scale, threads int) (*SolverPerf, error) {
 // gets the full scale time limit to look for any incumbent; the interval
 // method gets at most half of it (capped at 30 s) and must still return
 // a feasible schedule with an admissible bound.
-func intervalBench(w io.Writer, sc Scale, perf *SolverPerf) error {
+func intervalBench(ctx context.Context, w io.Writer, sc Scale, perf *SolverPerf) error {
 	big, err := solverBenchGraph(150)
 	if err != nil {
 		return err
@@ -397,7 +397,7 @@ func intervalBench(w io.Writer, sc Scale, perf *SolverPerf) error {
 	milpLimit := sc.TimeLimit
 	perf.IntervalMILPLimitMS = float64(milpLimit.Milliseconds())
 	t0 := time.Now()
-	mres, err := core.SolveILP(inst, core.SolveOptions{TimeLimit: milpLimit, RelGap: sc.RelGap})
+	mres, err := core.SolveILPCtx(ctx, inst, core.SolveOptions{TimeLimit: milpLimit, RelGap: sc.RelGap})
 	if err != nil {
 		return fmt.Errorf("interval bench: milp attempt: %w", err)
 	}
@@ -410,7 +410,7 @@ func intervalBench(w io.Writer, sc Scale, perf *SolverPerf) error {
 	}
 	perf.IntervalTimeLimitMS = float64(ivLimit.Milliseconds())
 	t0 = time.Now()
-	ires, err := interval.Solve(inst, interval.Options{TimeLimit: ivLimit, RelGap: sc.RelGap})
+	ires, err := interval.SolveCtx(ctx, inst, interval.Options{TimeLimit: ivLimit, RelGap: sc.RelGap})
 	if err != nil {
 		return fmt.Errorf("interval bench: %w", err)
 	}

@@ -38,6 +38,7 @@ type nodeHeap []*node
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
+	//lint:floateq exact tie-break: equal priorities fall through to the deterministic depth key
 	if h[i].prio != h[j].prio {
 		return h[i].prio < h[j].prio
 	}
@@ -49,6 +50,10 @@ func (h *nodeHeap) Pop() any          { old := *h; n := old[len(old)-1]; *h = ol
 func (h nodeHeap) peekBound() float64 { return h[0].prio }
 
 // Solve runs the interval solver without cancellation.
+//
+// Deprecated: use SolveCtx. This wrapper cannot be cancelled — it mints its
+// own background context — so a caller with a deadline or a request context
+// gets neither.
 func Solve(inst core.Instance, opt Options) (*Result, error) {
 	return SolveCtx(context.Background(), inst, opt)
 }

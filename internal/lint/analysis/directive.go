@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives indexes a file's //lint: comments by line. Two spellings are
+// recognized:
+//
+//	//lint:allow <analyzer> <reason>   — suppress that analyzer here
+//	//lint:<directive> <reason>        — analyzer-specific (e.g. //lint:detach)
+//
+// A directive suppresses diagnostics on its own line (trailing comment) and
+// on the line directly below it (standalone comment above the code). The
+// reason is required: an annotation that doesn't say why an invariant is
+// waived at this site is just noise to the next reader.
+type Directives struct {
+	byLine map[int][]directive
+}
+
+type directive struct {
+	text   string // everything after "lint:", e.g. "detach pool flights outlive the request"
+	reason bool   // true when a reason follows the directive word(s)
+}
+
+// ParseDirectives scans f's comments for //lint: directives.
+func ParseDirectives(fset *token.FileSet, f *ast.File) *Directives {
+	d := &Directives{byLine: make(map[int][]directive)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			text = strings.TrimSpace(text)
+			if text == "" {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			d.byLine[line] = append(d.byLine[line], directive{text: text})
+		}
+	}
+	return d
+}
+
+// Allows reports whether a directive matching name (e.g. "detach" or
+// "allow floateq") with a non-empty trailing reason covers the given line.
+func (d *Directives) Allows(line int, name string) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, dir := range d.byLine[l] {
+			if rest, ok := strings.CutPrefix(dir.text, name); ok {
+				// Require a reason: either nothing follows (rejected) or a
+				// space plus at least one word.
+				if strings.TrimSpace(rest) != "" && strings.HasPrefix(rest, " ") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether a declaration's doc comment contains the
+// //lint:<name> directive (with a reason), marking the whole function — e.g.
+// an approved //lint:floateq comparison helper or a //lint:detach seam.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//lint:")
+		if !ok {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(text), name); ok {
+			if strings.TrimSpace(rest) != "" && strings.HasPrefix(rest, " ") {
+				return true
+			}
+		}
+	}
+	return false
+}

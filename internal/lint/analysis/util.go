@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FuncDecls indexes the package's function and method declarations by their
+// type object, so analyzers can resolve a call back to its body.
+func (p *Pass) FuncDecls() map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Syntax {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[obj] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// CalleeFunc resolves a call expression's callee to its declared *types.Func
+// (for direct calls and method calls), or nil for func values, builtins, and
+// type conversions.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes one of the named functions from the
+// package with the given import path (e.g. context.Background).
+func (p *Pass) IsPkgFunc(call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// EnclosingFuncDecl returns the outermost function declaration containing
+// pos, or nil for package-level positions.
+func (p *Pass) EnclosingFuncDecl(pos token.Pos) *ast.FuncDecl {
+	for _, f := range p.Syntax {
+		if !(f.FileStart <= pos && pos < f.FileEnd) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos < fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// CallsRecoverDirectly reports whether body calls the recover builtin at its
+// own function depth — nested function literals don't count, because a
+// recover() there would not stop this function's panic.
+func (p *Pass) CallsRecoverDirectly(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, ok := p.TypesInfo.Uses[id].(*types.Builtin); ok && id.Name == "recover" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

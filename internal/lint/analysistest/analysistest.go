@@ -1,0 +1,110 @@
+// Package analysistest runs one analyzer over fixture packages and checks
+// its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	bad() // want `regexp matching the diagnostic`
+//
+// Multiple want patterns on one line expect multiple diagnostics. A fixture
+// line with no want comment expects no diagnostic, so clean packages are
+// just packages without wants. Fixture packages live under
+// testdata/src/... inside each analyzer's directory; they are full
+// compilable packages (the loader typechecks them), which `go build ./...`
+// ignores because of the testdata path element.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+var wantRE = regexp.MustCompile("(?:\"(?:[^\"\\\\]|\\\\.)*\")|(?:`[^`]*`)")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture dir (relative to the test's working directory,
+// e.g. "testdata/src/a"), applies the analyzer, and reports any mismatch
+// between diagnostics and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = "./" + d
+	}
+	prog, err := load.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", dirs, err)
+	}
+	findings, err := lint.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*want
+	for _, pkg := range prog.Targets() {
+		for _, f := range pkg.Syntax {
+			wants = append(wants, collectWants(t, prog, f)...)
+		}
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f.Pos.Filename, f.Pos.Line, f.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches, reporting whether one was found.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses `// want "p1" "p2"` comments out of one file.
+func collectWants(t *testing.T, prog *load.Program, f *ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := prog.Fset.Position(c.Pos())
+			for _, lit := range wantRE.FindAllString(text, -1) {
+				pat, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}

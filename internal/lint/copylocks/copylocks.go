@@ -1,0 +1,91 @@
+// Package copylocks is the suite's stand-in for the x/tools copylocks pass
+// (unavailable offline), scoped to the shapes that bite this codebase:
+// function parameters and method receivers that take a lock-bearing type by
+// value. Copying a sync.Mutex (or a struct containing one, or a sync/atomic
+// value type) forks its state — two goroutines each locking their own copy
+// is no mutual exclusion at all, and the race detector only catches it when
+// the schedule cooperates.
+package copylocks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags by-value parameters and receivers of lock-bearing types.
+var Analyzer = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "no lock-bearing types (sync.Mutex etc., or structs containing them) passed by value",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	check := func(ft *ast.FuncType, recv *ast.FieldList, name string) {
+		fields := []*ast.FieldList{recv, ft.Params}
+		for _, fl := range fields {
+			if fl == nil {
+				continue
+			}
+			for _, field := range fl.List {
+				t := pass.TypesInfo.Types[field.Type].Type
+				if t == nil {
+					continue
+				}
+				if lock := lockPath(t, nil); lock != "" {
+					pass.Reportf(field.Pos(),
+						"%s passes %s by value, copying its %s; pass a pointer", name, t.String(), lock)
+				}
+			}
+		}
+	}
+	for _, file := range pass.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				check(d.Type, d.Recv, d.Name.Name)
+			case *ast.FuncLit:
+				check(d.Type, nil, "function literal")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+var lockTypes = map[string]map[string]bool{
+	"sync":        {"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true, "Map": true, "Pool": true},
+	"sync/atomic": {"Bool": true, "Int32": true, "Int64": true, "Uint32": true, "Uint64": true, "Uintptr": true, "Pointer": true, "Value": true},
+}
+
+// lockPath returns a description of the lock t carries by value ("" when
+// none): the lock type itself, or the field path leading to one.
+func lockPath(t types.Type, seen []*types.Named) string {
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil {
+			if names, ok := lockTypes[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+		for _, s := range seen {
+			if s == t {
+				return ""
+			}
+		}
+		return lockPath(t.Underlying(), append(seen, t))
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if lock := lockPath(f.Type(), seen); lock != "" {
+				return fmt.Sprintf("%s (field %s)", lock, f.Name())
+			}
+		}
+	case *types.Array:
+		return lockPath(t.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package copylocks_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/copylocks"
+)
+
+func TestCopyLocks(t *testing.T) {
+	analysistest.Run(t, copylocks.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,53 @@
+// Package a is a copylocks fixture: lock-bearing types must not be passed by
+// value.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type counter struct {
+	hits atomic.Int64
+}
+
+type plain struct {
+	n int
+}
+
+func mutexParam(mu sync.Mutex) { // want `mutexParam passes sync\.Mutex by value, copying its sync\.Mutex`
+	mu.Lock()
+}
+
+func byValue(g guarded) int { // want `byValue passes .*\.guarded by value, copying its sync\.Mutex \(field mu\)`
+	return g.n
+}
+
+func (g guarded) method() int { // want `method passes .*\.guarded by value, copying its sync\.Mutex \(field mu\)`
+	return g.n
+}
+
+func atomicStruct(c counter) int64 { // want `atomicStruct passes .*\.counter by value, copying its atomic\.Int64 \(field hits\)`
+	return c.hits.Load()
+}
+
+func lockArray(a [2]sync.Mutex) { // want `lockArray passes \[2\]sync\.Mutex by value, copying its sync\.Mutex`
+	a[0].Lock()
+}
+
+var fn = func(wg sync.WaitGroup) { // want `function literal passes sync\.WaitGroup by value, copying its sync\.WaitGroup`
+	wg.Wait()
+}
+
+func byPointer(g *guarded) int { return g.n }
+
+func (g *guarded) ptrMethod() int { return g.n }
+
+func plainValue(p plain) int { return p.n }
+
+var _ = []any{mutexParam, byValue, atomicStruct, lockArray, fn, byPointer, plainValue}

@@ -1,0 +1,15 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctxpropagate"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	analysistest.Run(t, ctxpropagate.Analyzer,
+		"testdata/src/internal/solverlib",
+		"testdata/src/mainpkg",
+	)
+}

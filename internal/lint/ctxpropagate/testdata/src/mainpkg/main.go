@@ -1,0 +1,12 @@
+// Command mainpkg is a ctxpropagate fixture: package main may mint context
+// roots — it is the process edge where they belong.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,86 @@
+// Package floateq guards the numerics core: ==/!= on floating-point values
+// in internal/lp, internal/milp, and internal/interval is almost always a
+// bug — simplex arithmetic, pseudo-cost scores, and LP bounds all carry
+// rounding error and must be compared within a tolerance.
+//
+// Two comparisons are legitimate and stay allowed:
+//
+//   - comparison against an exact zero constant: the sparse-matrix code
+//     skips exactly-zero entries, where bitwise equality is the intent;
+//   - comparisons inside approved helpers — functions whose doc comment
+//     carries //lint:floateq <reason> (e.g. a fixed-variable check comparing
+//     bounds that were *set*, not computed) — or single lines annotated
+//     //lint:floateq <reason> (e.g. exact tie-breaks in heap comparators,
+//     where falling through to a deterministic secondary key is the point).
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags float equality comparisons in the solver numerics packages.
+var Analyzer = &analysis.Analyzer{
+	Name:       "floateq",
+	Doc:        "no ==/!= on floats in internal/{lp,milp,interval} outside approved //lint:floateq helpers",
+	Directives: []string{"floateq"},
+	Run:        run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.PathHasSegments(path, "internal", "lp") &&
+		!analysis.PathHasSegments(path, "internal", "milp") &&
+		!analysis.PathHasSegments(path, "internal", "interval") {
+		return nil
+	}
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && analysis.HasDirective(fd.Doc, "floateq") {
+				continue // approved comparison helper
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass, b.X) || !isFloat(pass, b.Y) {
+					return true
+				}
+				if isExactZero(pass, b.X) || isExactZero(pass, b.Y) {
+					return true
+				}
+				pass.Reportf(b.OpPos,
+					"%s on floating-point values; compare within a tolerance, or annotate an exact comparison with //lint:floateq <reason>", b.Op)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isExactZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

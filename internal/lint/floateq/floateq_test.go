@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "testdata/src/internal/lp")
+}

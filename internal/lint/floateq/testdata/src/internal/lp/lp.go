@@ -1,0 +1,47 @@
+// Package lp is a floateq fixture: equality on floats is banned outside
+// approved helpers and annotated lines.
+package lp
+
+type simplex struct {
+	lower, upper []float64
+}
+
+func bad(a, b float64) bool {
+	return a == b // want "== on floating-point values"
+}
+
+func badNeq(a, b float64) bool {
+	return a != b // want "!= on floating-point values"
+}
+
+func badExpr(a, b, c float64) bool {
+	return a*b == c+1 // want "== on floating-point values"
+}
+
+type score float64
+
+func badNamed(a, b score) bool {
+	return a == b // want "== on floating-point values"
+}
+
+func zeroSkip(a float64) bool {
+	return a == 0 // exact-zero sparsity checks are the intent
+}
+
+func intsFine(i, j int) bool {
+	return i == j
+}
+
+// fixed is an approved comparison helper.
+//
+//lint:floateq fixture: the bounds are assigned, never computed
+func fixed(s *simplex, j int) bool {
+	return s.lower[j] == s.upper[j]
+}
+
+func tieBreak(a, b float64) bool {
+	//lint:floateq fixture: exact tie-break falls through to a secondary key
+	return a == b
+}
+
+var _ = []any{bad, badNeq, badExpr, badNamed, zeroSkip, intsFine, fixed, tieBreak}

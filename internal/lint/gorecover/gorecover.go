@@ -1,0 +1,132 @@
+// Package gorecover enforces the PR-8 panic-containment invariant: in the
+// packages that keep the service alive (internal/service and its
+// subpackages, internal/milp, internal/interval), every goroutine must be
+// panic-contained — an unrecovered panic on any goroutine kills the whole
+// process, which the robustness contract (docs/robustness.md) forbids.
+//
+// A `go` statement complies when the launched function contains a top-level
+// `defer` whose deferred function calls recover() directly (the
+// telemetry.Recovered pattern). Thin wrappers are followed: a goroutine body
+// whose only non-defer statement calls a same-package function is judged by
+// that function's body, so `go func() { defer wg.Done(); s.runWorker(id) }()`
+// is compliant when runWorker carries the recover.
+package gorecover
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags goroutines in the service and solver-search packages whose
+// panics would escape containment.
+var Analyzer = &analysis.Analyzer{
+	Name: "gorecover",
+	Doc:  "every goroutine in internal/{service,milp,interval} must defer a recover (telemetry.Recovered pattern)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.PathHasSegments(path, "internal", "service") &&
+		!analysis.PathHasSegments(path, "internal", "milp") &&
+		!analysis.PathHasSegments(path, "internal", "interval") {
+		return nil
+	}
+	c := &checker{pass: pass, decls: pass.FuncDecls()}
+	for _, file := range pass.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				c.checkGo(g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+func (c *checker) checkGo(g *ast.GoStmt) {
+	body, name := c.launchedBody(g.Call)
+	if body == nil {
+		c.pass.Reportf(g.Pos(),
+			"goroutine calls %s, whose panic containment cannot be verified; launch a func literal that defers a telemetry recover", name)
+		return
+	}
+	if !c.contained(body, 0) {
+		c.pass.Reportf(g.Pos(),
+			"goroutine is not panic-contained: defer a recover (telemetry.Recovered) at the top of the launched function, or it can kill the process")
+	}
+}
+
+// launchedBody resolves the body of the function a go statement launches:
+// a literal's own body, or the declaration of a same-package function or
+// method. The name return is for diagnostics when resolution fails.
+func (c *checker) launchedBody(call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, "(func literal)"
+	}
+	if fn := c.pass.CalleeFunc(call); fn != nil {
+		if decl, ok := c.decls[fn]; ok && decl.Body != nil {
+			return decl.Body, fn.Name()
+		}
+		return nil, fn.FullName()
+	}
+	return nil, "a dynamic function value"
+}
+
+// contained reports whether body recovers its own panics: a top-level defer
+// whose function calls recover() directly, or (following one thin-wrapper
+// hop per level, up to 3) a sole same-package call that does.
+func (c *checker) contained(body *ast.BlockStmt, depth int) bool {
+	var nonDefer []ast.Stmt
+	for _, stmt := range body.List {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			nonDefer = append(nonDefer, stmt)
+			continue
+		}
+		if c.deferRecovers(d) {
+			return true
+		}
+	}
+	if depth >= 3 || len(nonDefer) != 1 {
+		return false
+	}
+	expr, ok := nonDefer[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn := c.pass.CalleeFunc(call); fn != nil {
+		if decl, ok := c.decls[fn]; ok && decl.Body != nil {
+			return c.contained(decl.Body, depth+1)
+		}
+	}
+	return false
+}
+
+// deferRecovers reports whether the deferred function calls recover()
+// directly — only a direct call stops the unwind (spec: "recover ... called
+// directly by a deferred function").
+func (c *checker) deferRecovers(d *ast.DeferStmt) bool {
+	switch fun := ast.Unparen(d.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return c.pass.CallsRecoverDirectly(fun.Body)
+	}
+	if fn := c.pass.CalleeFunc(d.Call); fn != nil {
+		if decl, ok := c.decls[fn]; ok && decl.Body != nil {
+			return c.pass.CallsRecoverDirectly(decl.Body)
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package gorecover_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/gorecover"
+)
+
+func TestGoRecover(t *testing.T) {
+	analysistest.Run(t, gorecover.Analyzer, "testdata/src/internal/service")
+}

@@ -1,0 +1,56 @@
+// Package service is a gorecover fixture: goroutines here must be
+// panic-contained.
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+func work() {}
+
+// recovered is the telemetry.Recovered pattern: a deferred func literal that
+// calls recover directly.
+func (s *server) worker() {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = r
+		}
+	}()
+	work()
+}
+
+func (s *server) launches() {
+	go func() { // want "goroutine is not panic-contained"
+		work()
+	}()
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+
+	go s.worker()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.worker()
+	}()
+
+	go fmt.Println("x") // want "goroutine calls fmt.Println, whose panic containment cannot be verified"
+
+	fns := []func(){work}
+	go fns[0]() // want "goroutine calls a dynamic function value, whose panic containment cannot be verified"
+
+	//lint:allow gorecover fixture: proving suppression works
+	go work()
+}

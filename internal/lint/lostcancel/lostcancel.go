@@ -1,0 +1,100 @@
+// Package lostcancel is the suite's stand-in for the x/tools lostcancel
+// pass (unavailable offline): a context.CancelFunc returned by
+// context.WithCancel/WithTimeout/WithDeadline that is discarded or never
+// used leaks the context's resources (a timer, a goroutine) until the
+// parent context ends. The vet pass proves "not called on all paths" with
+// SSA; this version flags the two unambiguous shapes — cancel assigned to
+// the blank identifier, and cancel never referenced again — which cover the
+// leaks that matter without false positives.
+package lostcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags discarded or unused context cancel functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  "the CancelFunc from context.WithCancel/WithTimeout/WithDeadline must be used",
+	Run:  run,
+}
+
+var withFuncs = []string{"WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause", "WithTimeoutCause", "WithDeadlineCause"}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 2 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !pass.IsPkgFunc(call, "context", withFuncs...) {
+			return true
+		}
+		cancel, ok := assign.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cancel.Name == "_" {
+			pass.Reportf(cancel.Pos(),
+				"the cancel function from %s is discarded; it must be called to release the context's resources", callName(call))
+			return true
+		}
+		obj := pass.TypesInfo.Defs[cancel]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[cancel]
+		}
+		if obj == nil {
+			return true
+		}
+		if !usedElsewhere(pass, fd, obj, cancel) {
+			pass.Reportf(cancel.Pos(),
+				"the cancel function from %s is never used; call it (usually deferred) to release the context's resources", callName(call))
+		}
+		return true
+	})
+}
+
+// usedElsewhere reports whether obj is referenced anywhere in fd's body
+// other than the defining identifier itself.
+func usedElsewhere(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object, def *ast.Ident) bool {
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return "context." + sel.Sel.Name
+	}
+	return "context.WithCancel"
+}

@@ -1,0 +1,12 @@
+package lostcancel_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lostcancel"
+)
+
+func TestLostCancel(t *testing.T) {
+	analysistest.Run(t, lostcancel.Analyzer, "testdata/src/a")
+}

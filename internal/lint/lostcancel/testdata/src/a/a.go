@@ -1,0 +1,39 @@
+// Package a is a lostcancel fixture: cancel functions from the context
+// constructors must be used.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func discarded(ctx context.Context) context.Context {
+	ctx, _ = context.WithTimeout(ctx, time.Second) // want `the cancel function from context\.WithTimeout is discarded`
+	return ctx
+}
+
+var pkgCancel context.CancelFunc
+
+func neverUsed(ctx context.Context) context.Context {
+	ctx, pkgCancel = context.WithCancel(ctx) // want `the cancel function from context\.WithCancel is never used`
+	return ctx
+}
+
+func used(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return ctx.Err()
+}
+
+func usedLater(ctx context.Context) error {
+	ctx, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second))
+	err := ctx.Err()
+	cancel()
+	return err
+}
+
+func suppressed(ctx context.Context) context.Context {
+	//lint:allow lostcancel fixture: proving suppression works
+	ctx, _ = context.WithCancel(ctx)
+	return ctx
+}

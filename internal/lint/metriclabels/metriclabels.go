@@ -1,0 +1,243 @@
+// Package metriclabels guards the closed metric-label vocabularies (PR 6/8):
+// every value passed to a telemetry metric-vec With(...) call must be
+// provably low-cardinality, or one raw string from a request can explode a
+// Prometheus series set.
+//
+// A label value is accepted when it is:
+//
+//   - a constant (literal or named);
+//   - a value of a closed vocabulary type — a named string type whose
+//     declaring package also declares constants of that type (e.g.
+//     checkmate.Method, checkmate.DegradedCode), including via a string(...)
+//     conversion;
+//   - a local variable or parameter all of whose assignments (or, for
+//     parameters, all same-package call-site arguments) are themselves
+//     accepted.
+//
+// Anything else — request fields, formatted strings, map lookups — is
+// flagged at compile time instead of on the dashboard.
+package metriclabels
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags metric-vec label values that are not constants or members
+// of a closed vocabulary.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclabels",
+	Doc:  "metric-vec label values must be constants or closed-vocabulary named types (cardinality safety)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, decls: pass.FuncDecls(), params: paramIndex(pass)}
+	for _, file := range pass.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !c.isVecWith(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if !c.closed(arg, make(map[types.Object]bool)) {
+					c.pass.Reportf(arg.Pos(),
+						"metric label value is not a constant or closed-vocabulary type; unbounded label values explode metric cardinality")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	decls  map[*types.Func]*ast.FuncDecl
+	params map[types.Object]paramRef
+}
+
+// paramRef locates one function parameter: the function object and the
+// parameter's flat index.
+type paramRef struct {
+	fn    *types.Func
+	index int
+}
+
+// paramIndex maps every parameter object of the package's declared functions
+// to its position, so label values that arrive via a parameter can be
+// checked at the call sites.
+func paramIndex(pass *analysis.Pass) map[types.Object]paramRef {
+	m := make(map[types.Object]paramRef)
+	for fn := range pass.FuncDecls() {
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			m[sig.Params().At(i)] = paramRef{fn: fn, index: i}
+		}
+	}
+	return m
+}
+
+// isVecWith reports whether call is <telemetry vec>.With(...).
+func (c *checker) isVecWith(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "With" {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil &&
+		analysis.PathHasSegments(obj.Pkg().Path(), "internal", "telemetry") &&
+		strings.HasSuffix(obj.Name(), "Vec")
+}
+
+// closed reports whether expr is an accepted label value. visited breaks
+// cycles through mutually-assigned variables.
+func (c *checker) closed(expr ast.Expr, visited map[types.Object]bool) bool {
+	expr = ast.Unparen(expr)
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return true
+	}
+	if ok && c.vocabType(tv.Type) {
+		return true
+	}
+	switch e := expr.(type) {
+	case *ast.CallExpr:
+		// A conversion like string(m) is closed when the converted value is.
+		if ftv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && ftv.IsType() && len(e.Args) == 1 {
+			return c.closed(e.Args[0], visited)
+		}
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil || visited[obj] {
+			return false
+		}
+		visited[obj] = true
+		if ref, ok := c.params[obj]; ok {
+			return c.paramClosed(ref, visited)
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return c.varClosed(v, visited)
+		}
+	}
+	return false
+}
+
+// vocabType reports whether t is a closed vocabulary: a named string type
+// whose package declares at least one constant of that type.
+func (c *checker) vocabType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.String {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if cst, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(cst.Type(), t) {
+			return true
+		}
+	}
+	return false
+}
+
+// paramClosed checks every same-package call of the parameter's function:
+// the label is closed when each call site passes a closed value. A function
+// with no visible call sites fails closed.
+func (c *checker) paramClosed(ref paramRef, visited map[types.Object]bool) bool {
+	found := false
+	for _, file := range c.pass.Syntax {
+		ok := true
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, okc := n.(*ast.CallExpr)
+			if !okc {
+				return true
+			}
+			if c.pass.CalleeFunc(call) != ref.fn || ref.index >= len(call.Args) {
+				return true
+			}
+			found = true
+			if !c.closed(call.Args[ref.index], visited) {
+				ok = false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return found
+}
+
+// varClosed checks every assignment to a local variable inside its enclosing
+// function; the label is closed when all of them assign closed values.
+func (c *checker) varClosed(v *types.Var, visited map[types.Object]bool) bool {
+	fd := c.pass.EnclosingFuncDecl(v.Pos())
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	found, ok := false, true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, isID := lhs.(*ast.Ident)
+				if !isID {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if obj != v {
+					continue
+				}
+				found = true
+				if i >= len(n.Rhs) || !c.closed(n.Rhs[i], visited) {
+					ok = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if c.pass.TypesInfo.Defs[name] != v {
+					continue
+				}
+				found = true
+				if i >= len(n.Values) || !c.closed(n.Values[i], visited) {
+					ok = false
+				}
+			}
+		}
+		return true
+	})
+	return found && ok
+}

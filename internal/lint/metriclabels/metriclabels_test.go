@@ -1,0 +1,12 @@
+package metriclabels_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/metriclabels"
+)
+
+func TestMetricLabels(t *testing.T) {
+	analysistest.Run(t, metriclabels.Analyzer, "testdata/src/app")
+}

@@ -1,0 +1,81 @@
+// Package app is a metriclabels fixture: label values handed to a telemetry
+// vec must be constants or closed vocabularies.
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/lint/metriclabels/testdata/src/internal/telemetry"
+)
+
+// Method is a closed vocabulary: a named string type with package constants.
+type Method string
+
+// The closed vocabulary of Method.
+const (
+	MethodOptimal Method = "optimal"
+	MethodApprox  Method = "approx"
+)
+
+const statusOK = "ok"
+
+var vec = &telemetry.CounterVec{}
+
+func constants(m Method) {
+	vec.With("literal").Inc()
+	vec.With(statusOK).Inc()
+	vec.With(string(m)).Inc()
+	vec.With(string(MethodOptimal)).Inc()
+}
+
+func open(user string) {
+	vec.With(user).Inc() // want "metric label value is not a constant or closed-vocabulary type"
+}
+
+func formatted(n int) {
+	vec.With(fmt.Sprintf("n=%d", n)).Inc() // want "metric label value is not a constant or closed-vocabulary type"
+}
+
+// report's code parameter is closed because every call site passes a closed
+// value.
+func report(code string) {
+	vec.With(code).Inc()
+}
+
+func callers() {
+	report("fast")
+	report(statusOK)
+}
+
+// reportOpen's code parameter is open: badCaller forwards its own unclosed
+// parameter.
+func reportOpen(code string) {
+	vec.With(code).Inc() // want "metric label value is not a constant or closed-vocabulary type"
+}
+
+func badCaller(raw string) {
+	reportOpen(raw)
+}
+
+func varFlow(pick bool) {
+	label := "a"
+	if pick {
+		label = "b"
+	}
+	vec.With(label).Inc()
+}
+
+func varOpen(input string) {
+	label := "a"
+	if input != "" {
+		label = input
+	}
+	vec.With(label).Inc() // want "metric label value is not a constant or closed-vocabulary type"
+}
+
+func suppressed(raw string) {
+	//lint:allow metriclabels fixture: proving suppression works
+	vec.With(raw).Inc()
+}
+
+var _ = []any{constants, open, formatted, callers, badCaller, varFlow, varOpen, suppressed}

@@ -1,0 +1,15 @@
+// Package telemetry is a metriclabels fixture standing in for the real
+// repro/internal/telemetry metric vecs: a named *Vec type with a With method.
+package telemetry
+
+// Counter is one labelled child of a CounterVec.
+type Counter struct{ n int64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// CounterVec is a fixture counter family keyed by label values.
+type CounterVec struct{}
+
+// With returns the child for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }

@@ -1,0 +1,133 @@
+// Package nilcheck is a conservative, syntax-local slice of the x/tools
+// nilness pass (unavailable offline; the full pass needs SSA): inside the
+// body of `if x == nil { ... }`, a field access through pointer x, a
+// dereference *x, a call of func-typed x, or a write into map-typed x is a
+// guaranteed panic. Only the then-branch of the nil test is examined, and
+// any reassignment of x inside the branch disables the check for that
+// branch, so every report is a definite dereference of a definitely-nil
+// value.
+package nilcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags uses of a value inside the branch that proved it nil.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilcheck",
+	Doc:  "no dereference of a value inside the if-branch that proved it nil",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj := nilTested(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			checkBranch(pass, ifs.Body, obj)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilTested returns the object proven nil by cond (`x == nil` or `nil == x`),
+// or nil when cond has another shape.
+func nilTested(pass *analysis.Pass, cond ast.Expr) types.Object {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.EQL {
+		return nil
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNil(pass, x) {
+		x, y = y, x
+	}
+	if !isNil(pass, y) {
+		return nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// checkBranch reports definite nil dereferences of obj in body, bailing out
+// entirely if obj is ever reassigned there.
+func checkBranch(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) {
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if assign, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range assign.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj {
+						reassigned = true
+					}
+				}
+			}
+		}
+		return !reassigned
+	})
+	if reassigned {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if refersTo(pass, e.X, obj) && isStructPointer(obj.Type()) {
+				if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+					pass.Reportf(e.Pos(), "field access on %s, which is nil on this branch", obj.Name())
+				}
+			}
+		case *ast.StarExpr:
+			if refersTo(pass, e.X, obj) {
+				pass.Reportf(e.Pos(), "dereference of %s, which is nil on this branch", obj.Name())
+			}
+		case *ast.CallExpr:
+			if refersTo(pass, e.Fun, obj) {
+				pass.Reportf(e.Pos(), "call of %s, which is nil on this branch", obj.Name())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && refersTo(pass, idx.X, obj) {
+					if _, isMap := obj.Type().Underlying().(*types.Map); isMap {
+						pass.Reportf(idx.Pos(), "write into %s, which is a nil map on this branch", obj.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func refersTo(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+func isStructPointer(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	_, ok = p.Elem().Underlying().(*types.Struct)
+	return ok
+}

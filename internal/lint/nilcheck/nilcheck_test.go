@@ -1,0 +1,12 @@
+package nilcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nilcheck"
+)
+
+func TestNilCheck(t *testing.T) {
+	analysistest.Run(t, nilcheck.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,58 @@
+// Package a is a nilcheck fixture: using a value inside the branch that
+// proved it nil is a guaranteed panic.
+package a
+
+type node struct {
+	next *node
+	val  int
+}
+
+func fieldAccess(n *node) int {
+	if n == nil {
+		return n.val // want "field access on n, which is nil on this branch"
+	}
+	return n.val
+}
+
+func deref(p *int) int {
+	if nil == p {
+		return *p // want "dereference of p, which is nil on this branch"
+	}
+	return *p
+}
+
+func call(f func() int) int {
+	if f == nil {
+		return f() // want "call of f, which is nil on this branch"
+	}
+	return f()
+}
+
+func mapWrite(m map[string]int) {
+	if m == nil {
+		m["k"] = 1 // want "write into m, which is a nil map on this branch"
+	}
+}
+
+func reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+func notNilBranch(n *node) int {
+	if n != nil {
+		return n.val
+	}
+	return 0
+}
+
+func suppressed(n *node) *node {
+	if n == nil {
+		//lint:allow nilcheck fixture: proving suppression works
+		return n.next
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+package nodeprecated_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nodeprecated"
+)
+
+func TestNoDeprecated(t *testing.T) {
+	analysistest.Run(t, nodeprecated.Analyzer, "testdata/src/cmd/app")
+}

@@ -1,0 +1,16 @@
+// Command app is a nodeprecated fixture consumer living under a cmd/ path,
+// where deprecated entry points are banned.
+package main
+
+import "repro/internal/lint/nodeprecated/testdata/src/oldlib"
+
+func main() {
+	_ = oldlib.Solve()
+	_ = oldlib.OldSolve() // want `OldSolve is deprecated: use Solve\.`
+	_ = oldlib.ModeFast
+	_ = oldlib.LegacyFast    // want "LegacyFast is deprecated: use the Mode constants"
+	_ = oldlib.DefaultBudget // want "DefaultBudget is deprecated: set Budget explicitly"
+
+	//lint:allow nodeprecated fixture: proving suppression works
+	_ = oldlib.LegacySlow
+}

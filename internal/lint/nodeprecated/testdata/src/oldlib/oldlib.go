@@ -1,0 +1,27 @@
+// Package oldlib is a nodeprecated fixture: a library exposing deprecated
+// and current entry points.
+package oldlib
+
+// Solve is the current entry point.
+func Solve() int { return 1 }
+
+// OldSolve is the original entry point.
+//
+// Deprecated: use Solve.
+func OldSolve() int { return Solve() }
+
+// ModeFast is the current mode constant.
+const ModeFast = "fast"
+
+// The legacy mode vocabulary.
+//
+// Deprecated: use the Mode constants.
+const (
+	LegacyFast = "fast"
+	LegacySlow = "slow"
+)
+
+// DefaultBudget is the original default.
+//
+// Deprecated: set Budget explicitly.
+var DefaultBudget = 512

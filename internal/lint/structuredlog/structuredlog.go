@@ -1,0 +1,59 @@
+// Package structuredlog keeps the service on log/slog: the planning service
+// logs through a configured slog.Logger with structured attributes
+// (component, key, shard, request_id), so printf-style logging there loses
+// the handler configuration, the attributes, and the JSON output mode.
+// This replaces the old CI grep guard with an AST-level check covering the
+// log package's print family, fmt's stdout printers, and fmt.Fprint* aimed
+// at os.Stdout/os.Stderr.
+package structuredlog
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags printf-style logging in internal/service.
+var Analyzer = &analysis.Analyzer{
+	Name: "structuredlog",
+	Doc:  "no fmt/log printf-style logging in internal/service; use the configured slog.Logger",
+	Run:  run,
+}
+
+var logFuncs = []string{"Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln"}
+var fmtPrinters = []string{"Print", "Printf", "Println"}
+var fmtWriters = []string{"Fprint", "Fprintf", "Fprintln"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasSegments(pass.Pkg.Path(), "internal", "service") {
+		return nil
+	}
+	for _, file := range pass.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pass.IsPkgFunc(call, "log", logFuncs...):
+				pass.Reportf(call.Pos(), "package log call in internal/service; log through the configured slog.Logger")
+			case pass.IsPkgFunc(call, "fmt", fmtPrinters...):
+				pass.Reportf(call.Pos(), "fmt printing to stdout in internal/service; log through the configured slog.Logger")
+			case pass.IsPkgFunc(call, "fmt", fmtWriters...) && len(call.Args) > 0 && isStdStream(pass, call.Args[0]):
+				pass.Reportf(call.Pos(), "fmt.Fprint* to os.Stdout/os.Stderr in internal/service; log through the configured slog.Logger")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isStdStream(pass *analysis.Pass, arg ast.Expr) bool {
+	sel, ok := ast.Unparen(arg).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}

@@ -1,0 +1,12 @@
+package structuredlog_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/structuredlog"
+)
+
+func TestStructuredLog(t *testing.T) {
+	analysistest.Run(t, structuredlog.Analyzer, "testdata/src/internal/service")
+}

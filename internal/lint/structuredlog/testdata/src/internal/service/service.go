@@ -1,0 +1,34 @@
+// Package service is a structuredlog fixture: printf-style logging is banned
+// here in favour of the configured slog.Logger.
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+func bad() {
+	log.Printf("solved in %d ms", 3)          // want "package log call in internal/service"
+	log.Println("ready")                      // want "package log call in internal/service"
+	fmt.Printf("solved in %d ms\n", 3)        // want "fmt printing to stdout in internal/service"
+	fmt.Println("ready")                      // want "fmt printing to stdout in internal/service"
+	fmt.Fprintf(os.Stderr, "boom: %v\n", nil) // want `fmt\.Fprint\* to os\.Stdout/os\.Stderr in internal/service`
+	fmt.Fprintln(os.Stdout, "ready")          // want `fmt\.Fprint\* to os\.Stdout/os\.Stderr in internal/service`
+}
+
+func good(logger *slog.Logger) string {
+	logger.Info("solved", "millis", 3)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "solved in %d ms", 3)
+	return fmt.Sprintf("%d", buf.Len())
+}
+
+func suppressed() {
+	//lint:allow structuredlog fixture: proving suppression works
+	fmt.Println("startup banner")
+}
+
+var _ = []any{bad, good, suppressed}

@@ -335,6 +335,7 @@ func (f *factor) refactorize(col func(slot int, scatter []float64) []int32) erro
 			if best < 0 {
 				// Fall back to the largest entry.
 				for _, r := range touched {
+					//lint:floateq maxAbs was copied from one of these entries; exact match re-finds it
 					if f.rowPos[r] < 0 && math.Abs(w[r]) == maxAbs {
 						best = r
 						break

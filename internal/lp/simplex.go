@@ -191,6 +191,13 @@ func (s *simplex) load(p *Problem, opt Options) {
 }
 
 // resetDevex rebuilds the devex reference framework.
+// fixed reports whether column j is a fixed variable (equal stored bounds).
+// Bounds are *assigned*, never computed, so exact equality is the intended
+// test — a tolerance here would wrongly freeze near-degenerate columns.
+//
+//lint:floateq comparing assigned (not computed) bounds; exact equality defines "fixed"
+func (s *simplex) fixed(j int) bool { return s.lower[j] == s.upper[j] }
+
 func (s *simplex) resetDevex() {
 	for j := range s.devex {
 		s.devex[j] = 1
@@ -539,7 +546,7 @@ func (s *simplex) dualFeasible(tol float64) bool {
 	}
 	s.f.btran(y)
 	for j := 0; j < s.total; j++ {
-		if s.stat[j] == statBasic || s.lower[j] == s.upper[j] {
+		if s.stat[j] == statBasic || s.fixed(j) {
 			continue
 		}
 		d := s.cost[j] - s.colDot(j, y)
@@ -668,7 +675,7 @@ func (s *simplex) dualIterate() Status {
 		cands := s.cands[:0]
 		for j := 0; j < s.total; j++ {
 			st := s.stat[j]
-			if st == statBasic || s.lower[j] == s.upper[j] {
+			if st == statBasic || s.fixed(j) {
 				continue
 			}
 			alpha := s.colDot(j, rho)
@@ -895,6 +902,7 @@ type byRatio []dualCand
 func (b byRatio) Len() int      { return len(b) }
 func (b byRatio) Swap(i, j int) { b[i], b[j] = b[j], b[i] }
 func (b byRatio) Less(i, j int) bool {
+	//lint:floateq exact tie-break: equal ratios fall through to the deterministic column-index key
 	if b[i].ratio != b[j].ratio {
 		return b[i].ratio < b[j].ratio
 	}
@@ -956,6 +964,7 @@ func (s *simplex) setupPhase1() bool {
 		// was clamped to.
 		s.basis[i] = int32(a)
 		s.stat[a] = statBasic
+		//lint:floateq clamped was assigned one of the two bounds; exact match identifies which
 		if clamped == s.lower[sl] {
 			s.stat[sl] = statAtLower
 		} else {
@@ -1017,7 +1026,7 @@ func (s *simplex) iterate() Status {
 		bland := s.blandLeft > 0
 		for j := 0; j < s.total; j++ {
 			st := s.stat[j]
-			if st == statBasic || s.lower[j] == s.upper[j] {
+			if st == statBasic || s.fixed(j) {
 				continue
 			}
 			d := s.pcost[j] - s.colDot(j, y)
@@ -1160,7 +1169,7 @@ func (s *simplex) iterate() Status {
 			gq := s.devex[q]
 			maxW := 1.0
 			for j := 0; j < s.total; j++ {
-				if s.stat[j] == statBasic || s.lower[j] == s.upper[j] || j == q {
+				if s.stat[j] == statBasic || s.fixed(j) || j == q {
 					continue
 				}
 				alpha := s.colDot(j, rho)

@@ -306,6 +306,7 @@ type nodeHeap []*node
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
+	//lint:floateq exact tie-break: equal bounds fall through to the deterministic depth key
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound // best-bound first
 	}
@@ -413,6 +414,7 @@ func Solve(prob *Problem, opt Options) *Solution {
 	if opt.TimeLimit > 0 {
 		base := opt.Context
 		if base == nil {
+			//lint:detach Options.Context is the optional caller ctx; nil means solve unbounded
 			base = context.Background()
 		}
 		ctx, cancel := context.WithTimeout(base, opt.TimeLimit)
@@ -425,6 +427,7 @@ func Solve(prob *Problem, opt Options) *Solution {
 
 	tctx := opt.Context
 	if tctx == nil {
+		//lint:detach Options.Context is the optional caller ctx; nil means solve unbounded
 		tctx = context.Background()
 	}
 	s := &search{
@@ -868,6 +871,7 @@ func (s *search) selectBranch(ws *workerState, nd *node, sol *lp.Solution, cands
 	sort.Slice(cands, func(a, b int) bool {
 		da := math.Min(cands[a].frac, 1-cands[a].frac)
 		db := math.Min(cands[b].frac, 1-cands[b].frac)
+		//lint:floateq exact tie-break: equal scores fall through to the deterministic index key
 		if da != db {
 			return da > db
 		}

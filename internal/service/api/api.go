@@ -450,7 +450,10 @@ type StatsResponse struct {
 	InFlight   int64 `json:"in_flight"`
 	QueueDepth int   `json:"queue_depth"`
 	Workers    int   `json:"workers"`
-	UptimeMS   int64 `json:"uptime_ms"`
+	// WorkerPanics counts pool workers lost to a contained panic (each was
+	// respawned, so Workers still holds).
+	WorkerPanics int64 `json:"worker_panics"`
+	UptimeMS     int64 `json:"uptime_ms"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -123,6 +123,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.GaugeFunc("checkmate_pool_workers", "Pool worker count.", func() float64 {
 		return float64(s.pool.workers)
 	})
+	r.CounterFunc("checkmate_pool_worker_panics_total", "Pool workers lost to a contained panic and respawned.", func() float64 {
+		return float64(s.pool.panics.Load())
+	})
 	r.CounterFunc("checkmate_solves_cancelled_total", "Solves cancelled because every waiter left.", func() float64 {
 		return float64(s.pool.cancelled.Load())
 	})
@@ -286,6 +289,7 @@ func (s *Server) count(name string, h http.HandlerFunc) http.HandlerFunc {
 				code = http.StatusOK
 			}
 			s.metrics.httpLatency.With(name).Observe(time.Since(start).Seconds())
+			//lint:allow metriclabels HTTP status codes the handlers emit form a small fixed set
 			s.metrics.httpResponses.With(name, strconv.Itoa(code)).Inc()
 		}()
 		if err := faultinject.Fire(faultinject.Handler); err != nil {

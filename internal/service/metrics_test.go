@@ -234,13 +234,14 @@ var statsMetricFor = map[string]string{
 	"solver.nodes_per_sec":        "checkmate_solver_nodes_per_sec",
 	"solver.threads":              "checkmate_solver_threads",
 
-	"deduped":     "checkmate_solves_deduped_total",
-	"cancelled":   "checkmate_solves_cancelled_total",
-	"errors":      "checkmate_solve_errors_total",
-	"in_flight":   "checkmate_pool_inflight",
-	"queue_depth": "checkmate_pool_queue_depth",
-	"workers":     "checkmate_pool_workers",
-	"uptime_ms":   "checkmate_uptime_seconds",
+	"deduped":       "checkmate_solves_deduped_total",
+	"cancelled":     "checkmate_solves_cancelled_total",
+	"errors":        "checkmate_solve_errors_total",
+	"in_flight":     "checkmate_pool_inflight",
+	"queue_depth":   "checkmate_pool_queue_depth",
+	"workers":       "checkmate_pool_workers",
+	"worker_panics": "checkmate_pool_worker_panics_total",
+	"uptime_ms":     "checkmate_uptime_seconds",
 }
 
 // walkJSONFields visits every leaf JSON field path of a struct type,

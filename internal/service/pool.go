@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 
@@ -64,7 +65,12 @@ type pool struct {
 	active    atomic.Int64
 	cancelled atomic.Int64
 	rejected  atomic.Int64 // admission rejections (cost, not queue-full)
+	panics    atomic.Int64 // workers lost to a panic and respawned
 	wg        sync.WaitGroup
+
+	// log is optional (nil in unit tests); the server wires its structured
+	// logger in so worker-level panics are never silent.
+	log *slog.Logger
 }
 
 func newPool(workers, queueCap int, maxOutstanding float64) *pool {
@@ -89,6 +95,23 @@ func newPool(workers, queueCap int, maxOutstanding float64) *pool {
 
 func (p *pool) worker() {
 	defer p.wg.Done()
+	// runFlight contains solver panics per-flight; this recover is the
+	// backstop for a panic in the pool machinery itself. Losing a worker
+	// silently would shrink the pool for the life of the process, so the
+	// dying worker replaces itself — the wg.Add lands before the deferred
+	// wg.Done above runs, keeping close()'s Wait correct.
+	defer func() {
+		if r := recover(); r != nil {
+			perr := telemetry.Recovered("pool.worker", r)
+			p.panics.Add(1)
+			if p.log != nil {
+				p.log.Error("pool worker panic contained, respawning worker",
+					"err", perr, "stack", string(perr.Stack))
+			}
+			p.wg.Add(1)
+			go p.worker()
+		}
+	}()
 	for f := range p.tasks {
 		if f.ctx.Err() != nil {
 			// Every waiter left while the flight was queued; skip the solve.
@@ -163,6 +186,9 @@ func (p *pool) submit(ctx context.Context, key string, cost float64, fn func(ctx
 		p.rejected.Add(1)
 		return nil, false, fmt.Errorf("%w (projected %.4g > limit %.4g cost units)", errOverloaded, projected, p.maxOutstanding)
 	}
+	// A flight deliberately detaches from the submitting request's context:
+	// it is shared by every waiter and must outlive any single one of them.
+	//lint:detach flight lifetime is the union of its waiters, not one request
 	fctx, cancel := context.WithCancel(context.Background())
 	f = &flight{key: key, cost: cost, run: fn, ctx: fctx, cancel: cancel, refs: 1, done: make(chan struct{})}
 	select {

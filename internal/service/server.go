@@ -205,6 +205,7 @@ func New(cfg Config) (*Server, error) {
 		wlMemo:  make(map[string]*checkmate.Workload),
 		streams: make(map[string]*streamHub),
 	}
+	s.pool.log = cfg.Logger.With("component", "pool")
 	if cfg.CacheDir != "" {
 		st, err := store.OpenDisk(store.DiskOptions{
 			Dir:      cfg.CacheDir,
@@ -247,8 +248,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	done := make(chan struct{})
 	go func() {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				perr := telemetry.Recovered("service.shutdown", r)
+				s.log.Error("pool drain panic contained", "err", perr, "stack", string(perr.Stack))
+			}
+		}()
 		s.pool.close()
-		close(done)
 	}()
 	var err error
 	select {
@@ -407,14 +414,15 @@ func (s *Server) Stats() api.StatsResponse {
 			NodesPerSec:        nps,
 			Threads:            s.cfg.SolveThreads,
 		},
-		Degraded:   api.DegradedStats{Solves: m.degraded.Value(), ByCode: degradedByCode},
-		Deduped:    m.deduped.Value(),
-		Cancelled:  s.pool.cancelled.Load(),
-		Errors:     m.errs.Value(),
-		InFlight:   s.pool.active.Load(),
-		QueueDepth: s.pool.queueDepth(),
-		Workers:    s.pool.workers,
-		UptimeMS:   time.Since(s.start).Milliseconds(),
+		Degraded:     api.DegradedStats{Solves: m.degraded.Value(), ByCode: degradedByCode},
+		Deduped:      m.deduped.Value(),
+		Cancelled:    s.pool.cancelled.Load(),
+		Errors:       m.errs.Value(),
+		InFlight:     s.pool.active.Load(),
+		QueueDepth:   s.pool.queueDepth(),
+		Workers:      s.pool.workers,
+		WorkerPanics: s.pool.panics.Load(),
+		UptimeMS:     time.Since(s.start).Milliseconds(),
 	}
 	if s.store != nil {
 		st := s.store.Stats()
@@ -676,10 +684,10 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 	if sched.Degraded {
 		code := sched.DegradedCode
 		if code == "" {
-			code = "unknown"
+			code = checkmate.DegradedError
 		}
 		s.metrics.degraded.Inc()
-		s.metrics.degradedBy.With(code, string(sched.Method)).Inc()
+		s.metrics.degradedBy.With(string(code), string(sched.Method)).Inc()
 		s.log.Warn("schedule served degraded", "key", key.Short(),
 			"method", sched.Method, "code", code, "reason", sched.DegradedReason)
 	}
@@ -700,7 +708,7 @@ func (s *Server) runSolve(ctx context.Context, wl *checkmate.Workload, p solvePa
 		GraphNodes:     wl.Graph.Len(),
 		SolveMS:        float64(time.Since(start).Microseconds()) / 1e3,
 		Degraded:       sched.Degraded,
-		DegradedCode:   sched.DegradedCode,
+		DegradedCode:   string(sched.DegradedCode),
 		DegradedReason: sched.DegradedReason,
 		Plan:           json.RawMessage(bytes.TrimSpace(planBuf.Bytes())),
 	}, nil
@@ -868,6 +876,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, p solveParams) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					perr := telemetry.Recovered("service.sweep", rec)
+					s.metrics.handlerPanics.Inc()
+					s.log.Error("sweep point panic contained", "budget", p.budget,
+						"err", perr, "stack", string(perr.Stack))
+					resp.Points[i] = api.SweepPoint{Budget: p.budget, Error: perr.Error()}
+				}
+			}()
 			pt := api.SweepPoint{Budget: p.budget}
 			select {
 			case sem <- struct{}{}:

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // BreakerOptions configure NewBreaker. The zero value selects the
@@ -162,6 +163,15 @@ func (b *Breaker) trip(failures int64) {
 // succeeds, then re-closes the breaker.
 func (b *Breaker) heal() {
 	defer b.wg.Done()
+	// A panicking healer would otherwise leave the breaker open forever with
+	// nothing probing the disk — contain it and log loudly instead.
+	defer func() {
+		if r := recover(); r != nil {
+			perr := telemetry.Recovered("store.heal", r)
+			b.log.Error("breaker heal panic contained; breaker stays open",
+				"err", perr, "stack", string(perr.Stack))
+		}
+	}()
 	wait := b.backoff
 	for attempt := 1; ; attempt++ {
 		t := time.NewTimer(jitter(wait))

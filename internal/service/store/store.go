@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // Store is a durable key→payload map over solve fingerprints. Payloads are
@@ -191,6 +192,13 @@ func OpenDisk(opts DiskOptions) (*Disk, error) {
 // traffic, until Close.
 func (d *Disk) sweepLoop(interval time.Duration) {
 	defer d.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			perr := telemetry.Recovered("store.sweepLoop", r)
+			d.log.Error("sweep loop panic contained; periodic sweeping stopped",
+				"err", perr, "stack", string(perr.Stack))
+		}
+	}()
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -374,6 +382,12 @@ func (d *Disk) maybeSweep() {
 	d.closeMu.Unlock()
 	go func() {
 		defer d.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				perr := telemetry.Recovered("store.sweep", r)
+				d.log.Error("background sweep panic contained", "err", perr, "stack", string(perr.Stack))
+			}
+		}()
 		if _, err := d.Sweep(); err != nil {
 			d.log.Warn("background sweep failed", "err", err)
 		}

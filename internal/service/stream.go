@@ -180,10 +180,31 @@ func (s *Server) attachStream(key string, start func(ctx context.Context, h *str
 	s.streamMu.Lock()
 	h, ok := s.streams[key]
 	if !ok {
+		// The solve outlives any single watcher: it is cancelled by the
+		// *last* watcher leaving (detachStream), not by the request context
+		// of whichever watcher happened to start it.
+		//lint:detach stream solve lifetime is the union of its watchers, not one request
 		ctx, cancel := context.WithCancel(context.Background())
 		h = newStreamHub(key, cancel)
 		s.streams[key] = h
-		go start(ctx, h)
+		go func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					perr := telemetry.Recovered("service.stream", rec)
+					s.metrics.handlerPanics.Inc()
+					s.log.Error("stream solve panic contained", "key", key,
+						"err", perr, "stack", string(perr.Stack))
+					// Watchers must still get a terminal frame, and the dead
+					// hub must not capture future attaches for this key.
+					h.publish(api.StreamEventDone, api.StreamDone{
+						Error:  perr.Error(),
+						Status: http.StatusInternalServerError,
+					})
+					s.removeStream(h)
+				}
+			}()
+			start(ctx, h)
+		}()
 	}
 	h.mu.Lock()
 	h.refs++

@@ -444,6 +444,12 @@ const (
 	// DegradedUnproven: the serving rung adopted an incumbent at the
 	// deadline without an optimality proof.
 	DegradedUnproven DegradedCode = "unproven"
+	// DegradedFleetLocal: in fleet mode, the key's rendezvous owner was
+	// unreachable, so a non-owner solved locally. The schedule itself may be
+	// optimal — the degradation is that fleet-wide single-flight dedup and
+	// the owner's warm caches were bypassed, so the answer cost more than it
+	// should have and a duplicate may exist on the owner.
+	DegradedFleetLocal DegradedCode = "fleet_local"
 )
 
 // Schedule is a solved rematerialization schedule with its execution plan.

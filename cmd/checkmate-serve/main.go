@@ -21,6 +21,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +50,16 @@ func main() {
 		heartbeat   = flag.Duration("stream-heartbeat", 15*time.Second, "SSE keepalive interval for /v1/solve/stream")
 		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		logDebug    = flag.Bool("log-debug", false, "log at debug level")
+
+		// Fleet mode (docs/fleet.md): -self + -peers turn a set of planners
+		// into one logical service with rendezvous-hashed solve ownership.
+		fleetSelf    = flag.String("self", "", "fleet mode: this process's advertised base URL, e.g. http://10.0.0.1:8780 (empty = standalone)")
+		fleetPeers   = flag.String("peers", "", "fleet mode: comma-separated base URLs of all fleet members (self included or not)")
+		probeIval    = flag.Duration("fleet-probe-interval", 0, "peer health-probe period while healthy (0 = default 2s)")
+		probeTO      = flag.Duration("fleet-probe-timeout", 0, "one peer health probe's timeout (0 = default 1s)")
+		probeThresh  = flag.Int("fleet-failure-threshold", 0, "consecutive probe/forward failures that mark a peer down (0 = default 3)")
+		storeAddr    = flag.String("store-addr", "", "base URL of a peer's admin listener serving the shared schedule corpus (/v1/store endpoints); requires -cache-dir")
+		storeTimeout = flag.Duration("store-timeout", 0, "remote corpus transfer timeout (0 = default 2s)")
 	)
 	flag.Parse()
 
@@ -80,6 +91,13 @@ func main() {
 		DefaultTimeLimit:       *defTL,
 		MaxTimeLimit:           *maxTL,
 		StreamHeartbeat:        *heartbeat,
+		FleetSelf:              *fleetSelf,
+		FleetPeers:             splitPeers(*fleetPeers),
+		FleetProbeInterval:     *probeIval,
+		FleetProbeTimeout:      *probeTO,
+		FleetFailureThreshold:  *probeThresh,
+		RemoteStoreURL:         *storeAddr,
+		RemoteStoreTimeout:     *storeTimeout,
 		Logger:                 logger,
 	})
 	if err != nil {
@@ -105,6 +123,12 @@ func main() {
 		adminMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		adminMux.Handle("/metrics", handlerMux)
 		adminMux.Handle("/healthz", handlerMux)
+		// The shared-corpus endpoints live on the admin listener: peers with
+		// -store-addr pointed here read and write schedules; the public
+		// interface never accepts arbitrary payload writes.
+		storeHandler := srv.StoreHandler()
+		adminMux.Handle("/v1/store/get", storeHandler)
+		adminMux.Handle("/v1/store/put", storeHandler)
 		adminSrv = &http.Server{Addr: *adminAddr, Handler: adminMux}
 		go func() {
 			logger.Info("admin server listening", "addr", *adminAddr)
@@ -145,4 +169,15 @@ func main() {
 	}
 	<-done
 	srv.Close()
+}
+
+// splitPeers parses the -peers flag: comma-separated URLs, blanks dropped.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }

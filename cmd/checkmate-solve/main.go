@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +28,8 @@ import (
 
 	"repro/checkmate"
 	"repro/internal/nets"
+	"repro/internal/service/api"
+	"repro/internal/service/client"
 	"repro/internal/telemetry"
 )
 
@@ -47,6 +50,12 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress live solver progress on stderr")
 		res      = flag.String("input", "", "override input resolution as CxHxW, e.g. 3x416x608")
 		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON of the solve to this file (open in chrome://tracing or Perfetto)")
+
+		// Remote sweep mode: stream a budget sweep from a planning service,
+		// rendering each point as it completes.
+		server  = flag.String("server", "", "planning service base URL(s), comma-separated for failover across a fleet; enables -sweep/-budgets")
+		sweepN  = flag.Int("sweep", 0, "sweep N evenly spaced budgets on the service at -server instead of solving one budget locally")
+		budgets = flag.String("budgets", "", "sweep these explicit budgets (comma-separated, same formats as -budget) on the service at -server")
 	)
 	flag.Parse()
 
@@ -78,6 +87,26 @@ func main() {
 	}
 	if !checkmate.ValidMethod(method) {
 		fatal(fmt.Errorf("unknown method %q (valid: %s)", method, strings.Join(checkmate.MethodNames(), ", ")))
+	}
+
+	if *server != "" || *sweepN > 0 || *budgets != "" {
+		if *server == "" {
+			fatal(errors.New("-sweep/-budgets stream from a planning service; set -server"))
+		}
+		if *sweepN <= 0 && *budgets == "" {
+			fatal(errors.New("-server is for sweeps; set -sweep N or -budgets (single solves run locally)"))
+		}
+		budgetList, err := parseBudgetList(*budgets, minB, peak)
+		if err != nil {
+			fatal(err)
+		}
+		runRemoteSweep(*server, api.SweepRequest{
+			Model: *model, Batch: *batch, Device: *device,
+			CoarseSegments: *segments, Method: string(method),
+			Budgets: budgetList, Points: *sweepN,
+			TimeLimitMS: limit.Milliseconds(), RelGap: *gap,
+		}, *quiet)
+		return
 	}
 	req := checkmate.Request{
 		Workload: wl, Method: method, Budget: bud,
@@ -194,6 +223,112 @@ func progressObserver() checkmate.Observer {
 			fmt.Fprintf(os.Stderr, "  [%7.2fs] bound     %.6g\n", e.Elapsed.Seconds(), e.Bound)
 		}
 	})
+}
+
+// runRemoteSweep streams a budget sweep from the planning service at
+// server(s), rendering each point on stderr the moment it completes —
+// completion order, not budget order — then printing the budget-ascending
+// summary the blocking /v1/sweep endpoint would have returned. Retries and
+// multi-endpoint failover come from the client; Ctrl-C detaches cleanly
+// (the service abandons the sweep when its last watcher leaves).
+func runRemoteSweep(servers string, req api.SweepRequest, quiet bool) {
+	c, err := client.NewMulti(strings.Split(servers, ","), nil,
+		client.WithRetry(client.RetryPolicy{}))
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	completed := 0
+	render := func(ev api.StreamEvent) {
+		switch ev.Event {
+		case api.StreamEventSweepPoint:
+			var sp api.StreamSweepPoint
+			if json.Unmarshal(ev.Data, &sp) != nil {
+				return
+			}
+			completed++
+			pt := sp.Point
+			switch {
+			case pt.Error != "":
+				fmt.Fprintf(os.Stderr, "  [%2d/%d] budget %10s  error: %s\n",
+					completed, sp.Total, fmtBytes(pt.Budget), pt.Error)
+			default:
+				fmt.Fprintf(os.Stderr, "  [%2d/%d] budget %10s  overhead %.3fx  peak %s%s\n",
+					completed, sp.Total, fmtBytes(pt.Budget), pt.Overhead,
+					fmtBytes(pt.PeakBytes), pointFlags(pt))
+			}
+		case api.StreamEventDegraded:
+			var d api.StreamDegraded
+			if json.Unmarshal(ev.Data, &d) != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "  degraded: %s -> %s (%s)\n", d.From, d.To, d.Reason)
+		}
+	}
+	if quiet {
+		render = nil
+	}
+	resp, err := c.SweepStream(ctx, req, 0, render)
+	if err != nil {
+		fatal(err)
+	}
+
+	feasible := 0
+	for _, pt := range resp.Points {
+		if pt.Feasible {
+			feasible++
+		}
+	}
+	fmt.Printf("sweep: %d points, %d feasible (min budget %s, checkpoint-all peak %s)\n",
+		len(resp.Points), feasible, fmtBytes(resp.MinBudget), fmtBytes(resp.CheckpointAllPeak))
+	for _, pt := range resp.Points {
+		if pt.Error != "" {
+			fmt.Printf("  %10s  error: %s\n", fmtBytes(pt.Budget), pt.Error)
+			continue
+		}
+		fmt.Printf("  %10s  overhead %.3fx  peak %10s%s\n",
+			fmtBytes(pt.Budget), pt.Overhead, fmtBytes(pt.PeakBytes), pointFlags(pt))
+	}
+}
+
+// pointFlags renders a sweep point's boolean outcomes as a trailing tag list.
+func pointFlags(pt api.SweepPoint) string {
+	var flags []string
+	if pt.Optimal {
+		flags = append(flags, "optimal")
+	}
+	if pt.Degraded {
+		flags = append(flags, "degraded")
+	}
+	if pt.Cached {
+		flags = append(flags, "cached")
+	}
+	if len(flags) == 0 {
+		return ""
+	}
+	return "  [" + strings.Join(flags, ", ") + "]"
+}
+
+// parseBudgetList parses the -budgets flag: comma-separated budgets in any
+// form -budget accepts, fractions included.
+func parseBudgetList(s string, minB, peak int64) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		b, err := parseBudget(part, minB, peak)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
 }
 
 func parseShape(s string) (nets.Shape, error) {

@@ -8,5 +8,7 @@ import (
 )
 
 func TestGoRecover(t *testing.T) {
-	analysistest.Run(t, gorecover.Analyzer, "testdata/src/internal/service")
+	analysistest.Run(t, gorecover.Analyzer,
+		"testdata/src/internal/service",
+		"testdata/src/internal/service/fleet")
 }

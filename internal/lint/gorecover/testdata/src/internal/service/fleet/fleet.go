@@ -1,0 +1,56 @@
+// Package fleet is a gorecover fixture mirroring the fleet layer's goroutine
+// shapes: per-peer probe loops, hedged forward attempts, and relay pumps.
+// All of them outlive any request, so an escaped panic kills the whole
+// planner — exactly what the analyzer exists to forbid.
+package fleet
+
+import "sync"
+
+type peer struct{ url string }
+
+type fleet struct {
+	wg    sync.WaitGroup
+	peers []*peer
+}
+
+func (f *fleet) probeOnce(p *peer) {}
+
+// probeLoop is the compliant shape: the recover defer sits above the loop,
+// so a panicking probe freezes one peer's health state instead of the
+// process.
+func (f *fleet) probeLoop(p *peer) {
+	defer f.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			_ = r
+		}
+	}()
+	f.probeOnce(p)
+}
+
+func (f *fleet) start() {
+	for _, p := range f.peers {
+		f.wg.Add(1)
+		go f.probeLoop(p)
+	}
+}
+
+// hedge launches the second attempt bare: flagged. The hedged goroutine
+// races the primary and survives it — an uncontained panic here takes the
+// fleet down long after the request that started it completed.
+func (f *fleet) hedge(p *peer, result chan<- error) {
+	go func() { // want "goroutine is not panic-contained"
+		f.probeOnce(p)
+		result <- nil
+	}()
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		f.probeOnce(p)
+		result <- nil
+	}()
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/service/fleet"
 	"repro/internal/service/store"
 )
 
@@ -236,6 +237,9 @@ const (
 	StreamEventBound     = "bound"
 	StreamEventDegraded  = "degraded"
 	StreamEventDone      = "done"
+	// StreamEventSweepPoint appears only on GET /v1/sweep/stream: one frame
+	// per completed budget point, in completion (not budget) order.
+	StreamEventSweepPoint = "sweep_point"
 )
 
 // StreamEvent is one decoded SSE frame of a streaming solve. ID is the
@@ -297,14 +301,27 @@ type StreamDegraded struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
+// StreamSweepPoint is the payload of the "sweep_point" event: one budget of
+// a streaming sweep finished. Index is the point's position in the final
+// (budget-ascending) Points slice; frames arrive in completion order, so a
+// renderer should place — not append — points by Index.
+type StreamSweepPoint struct {
+	Index int        `json:"index"`
+	Total int        `json:"total"`
+	Point SweepPoint `json:"point"`
+}
+
 // StreamDone is the terminal payload: the final schedule (identical to the
 // blocking /v1/solve response for the same request), or the error that
 // ended the solve with Status carrying the HTTP status /v1/solve would have
-// returned.
+// returned. Sweep streams carry Sweep instead of Result.
 type StreamDone struct {
 	Error  string         `json:"error,omitempty"`
 	Status int            `json:"status,omitempty"`
 	Result *SolveResponse `json:"result,omitempty"`
+	// Sweep is the terminal payload of GET /v1/sweep/stream: the complete
+	// SweepResponse the blocking /v1/sweep endpoint would have returned.
+	Sweep *SweepResponse `json:"sweep,omitempty"`
 	// RequestID echoes the X-Request-ID of the stream request so a dropped
 	// or failed stream can be correlated with server logs.
 	RequestID string `json:"request_id,omitempty"`
@@ -349,6 +366,11 @@ type CacheShardStats struct {
 // aliased rather than mirrored so a new store counter cannot silently go
 // missing from the wire format.
 type StoreStats = store.Stats
+
+// FleetStats describes fleet mode (membership, peer health, forwarding),
+// when enabled (-self/-peers). Aliased from the fleet package for the same
+// no-silent-drift reason as StoreStats.
+type FleetStats = fleet.Stats
 
 // AdmissionStats describes cost-aware admission control: solves are admitted
 // while the summed cost estimate of unfinished work stays under the limit.
@@ -432,6 +454,9 @@ type StatsResponse struct {
 	CacheShards []CacheShardStats `json:"cache_shards,omitempty"`
 	// Store describes the persistent tier; nil when none is configured.
 	Store *StoreStats `json:"store,omitempty"`
+	// Fleet describes fleet-mode membership, peer health, and forwarding;
+	// nil for a standalone server.
+	Fleet *FleetStats `json:"fleet,omitempty"`
 	// Admission describes cost-aware admission control.
 	Admission AdmissionStats `json:"admission"`
 	// Solver aggregates MILP performance counters across solves.

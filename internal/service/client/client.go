@@ -11,15 +11,41 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/schedule"
 	"repro/internal/service/api"
 )
+
+// sharedTransport backs every Client constructed without an explicit
+// *http.Client. One transport per process — not per Client — so a fleet of
+// clients pools connections instead of leaking idle sockets per instance.
+// Every stage of a request that can hang silently has its own bound (dial,
+// TLS, response headers); only the solve itself is open-ended, and that is
+// the caller's context's job. ResponseHeaderTimeout must exceed the
+// server's -max-timelimit: a blocking /v1/solve sends no bytes until the
+// solve finishes.
+var sharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	TLSHandshakeTimeout:   5 * time.Second,
+	ResponseHeaderTimeout: 15 * time.Minute,
+	ExpectContinueTimeout: time.Second,
+	MaxIdleConns:          64,
+	MaxIdleConnsPerHost:   16,
+	IdleConnTimeout:       90 * time.Second,
+}
+
+var defaultHTTPClient = &http.Client{Transport: sharedTransport}
 
 // APIError is a non-2xx reply from the service, carrying the HTTP status
 // and the server's error message. All client methods return it (wrapped)
@@ -104,25 +130,71 @@ func WithRetry(policy RetryPolicy) Option {
 	}
 }
 
-// Client talks to one planning server.
+// Client talks to a planning service: one server, or — via NewMulti — a
+// fleet of equivalent endpoints with automatic failover between them.
 type Client struct {
-	base  string
+	bases []string
 	http  *http.Client
 	retry *RetryPolicy // nil = no retries
+
+	mu  sync.Mutex
+	cur int // index into bases of the currently preferred endpoint
 }
 
 // New returns a client for the server at base (e.g. "http://localhost:8780").
-// httpClient may be nil to use http.DefaultClient; pass one with a Timeout
-// when the server's solve limits exceed your patience.
+// httpClient may be nil to use the package's shared pooled transport (sane
+// per-host connection limits, explicit dial/TLS/response-header timeouts);
+// pass your own when you need different bounds.
 func New(base string, httpClient *http.Client, opts ...Option) *Client {
+	c, _ := NewMulti([]string{base}, httpClient, opts...)
+	return c
+}
+
+// NewMulti returns a client over several equivalent endpoints — a fleet of
+// planners fronted by nothing. Requests go to one preferred endpoint; a
+// transient failure there (transport error, or 503 from a draining or
+// overloaded peer) rotates the preference to the next base before the next
+// retry, so a dead or draining peer costs one backoff, not the whole retry
+// budget. Combine with WithRetry, or the first failure is simply returned.
+func NewMulti(bases []string, httpClient *http.Client, opts ...Option) (*Client, error) {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = defaultHTTPClient
 	}
-	c := &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	c := &Client{http: httpClient}
+	for _, b := range bases {
+		if b = strings.TrimRight(strings.TrimSpace(b), "/"); b != "" {
+			c.bases = append(c.bases, b)
+		}
+	}
+	if len(c.bases) == 0 {
+		return nil, errors.New("client: no base URLs")
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
-	return c
+	return c, nil
+}
+
+// base returns the currently preferred endpoint.
+func (c *Client) base() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.cur]
+}
+
+// failover rotates the preferred endpoint off from. The check-then-advance
+// keeps concurrent failures of one endpoint from skipping past healthy ones.
+// Returns true when the next request will target a different endpoint.
+func (c *Client) failover(from string) bool {
+	if len(c.bases) < 2 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bases[c.cur] == from {
+		c.cur = (c.cur + 1) % len(c.bases)
+	}
+	return true
 }
 
 // retryAfter parses a Retry-After header's delay-seconds form (the form the
@@ -177,7 +249,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		payload = b
 	}
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(ctx, method, path, payload, in != nil, out)
+		base := c.base()
+		err := c.doOnce(ctx, method, base, path, payload, in != nil, out)
 		if err == nil || c.retry == nil || attempt+1 >= c.retry.MaxAttempts || !transient(err) {
 			return err
 		}
@@ -185,6 +258,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		var ae *APIError
 		if errors.As(err, &ae) {
 			hint = ae.RetryAfter
+		}
+		// A draining peer's Retry-After describes *its* backlog. Once the
+		// retry fails over to a different endpoint the hint is noise, and
+		// honoring it would stall exactly the failover it was meant to speed.
+		if c.failover(base) {
+			hint = 0
 		}
 		t := time.NewTimer(c.retry.backoffWait(attempt, hint))
 		select {
@@ -196,8 +275,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(payload))
+func (c *Client) doOnce(ctx context.Context, method, base, path string, payload []byte, hasBody bool, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
@@ -250,21 +329,102 @@ func (c *Client) Solve(ctx context.Context, req api.SolveRequest) (*api.SolveRes
 // in-flight solve without replaying frames already seen (pass the ID of
 // the last frame received).
 //
+// With WithRetry, a dropped connection reconnects automatically: same
+// endpoint, resuming from the last frame seen. A reconnect that lands on a
+// different endpoint (multi-base failover) or follows a transient done-frame
+// failure starts the stream over, so fn can see frames again — handlers must
+// tolerate replays. The backoff between reconnect attempts honors ctx.
+//
 // Cancelling ctx mid-stream closes the connection; when this client is the
 // solve's only watcher, the server abandons the solve.
 func (c *Client) SolveStream(ctx context.Context, req api.SolveRequest, lastEventID int, fn func(api.StreamEvent)) (*api.SolveResponse, error) {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/solve/stream?"+streamQuery(req).Encode(), nil)
+	done, err := c.stream(ctx, "/v1/solve/stream", streamQuery(req), lastEventID, fn)
+	if err != nil {
+		return nil, err
+	}
+	return done.Result, nil
+}
+
+// SweepStream runs one sweep over GET /v1/sweep/stream, invoking fn for
+// every SSE frame — one "sweep_point" per completed budget, in completion
+// order — and returns the final SweepResponse from the terminal done frame,
+// identical to what Sweep would have returned. Reconnect and resume
+// semantics match SolveStream.
+func (c *Client) SweepStream(ctx context.Context, req api.SweepRequest, lastEventID int, fn func(api.StreamEvent)) (*api.SweepResponse, error) {
+	done, err := c.stream(ctx, "/v1/sweep/stream", sweepStreamQuery(req), lastEventID, fn)
+	if err != nil {
+		return nil, err
+	}
+	if done.Sweep == nil {
+		return nil, fmt.Errorf("client: sweep stream done frame carried no sweep result")
+	}
+	return done.Sweep, nil
+}
+
+// stream drives one SSE request to completion, redialing transient failures
+// under the retry policy. The cursor tracks the last frame delivered to fn:
+// a same-endpoint reconnect resumes behind it via Last-Event-ID, while a
+// failover or a failed (transiently, e.g. 503 queue-full) stream resets it —
+// the next attempt is a different instance or a fresh solve, whose event IDs
+// share nothing with the old stream's.
+func (c *Client) stream(ctx context.Context, path string, q url.Values, lastEventID int, fn func(api.StreamEvent)) (*api.StreamDone, error) {
+	cursor := lastEventID
+	for attempt := 0; ; attempt++ {
+		base := c.base()
+		done, err := c.streamOnce(ctx, base, path, q, &cursor, fn)
+		fromDone := false
+		if err == nil {
+			if done.Error == "" {
+				return done, nil
+			}
+			status := done.Status
+			if status == 0 {
+				status = http.StatusInternalServerError
+			}
+			err = fmt.Errorf("client: streamed %s failed: %w", path,
+				&APIError{StatusCode: status, Message: done.Error, RequestID: done.RequestID})
+			fromDone = true
+		}
+		if c.retry == nil || attempt+1 >= c.retry.MaxAttempts || !transient(err) {
+			return nil, err
+		}
+		var hint time.Duration
+		var ae *APIError
+		if errors.As(err, &ae) {
+			hint = ae.RetryAfter
+		}
+		if c.failover(base) {
+			hint = 0
+			cursor = 0
+		}
+		if fromDone {
+			cursor = 0
+		}
+		t := time.NewTimer(c.retry.backoffWait(attempt, hint))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("client: GET %s: %w (after %v)", path, ctx.Err(), err)
+		}
+	}
+}
+
+// streamOnce opens one SSE connection and reads it to the terminal done
+// frame, advancing *cursor as frames are delivered so the caller can resume
+// after a drop.
+func (c *Client) streamOnce(ctx context.Context, base, path string, q url.Values, cursor *int, fn func(api.StreamEvent)) (*api.StreamDone, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path+"?"+q.Encode(), nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	httpReq.Header.Set("Accept", "text/event-stream")
-	if lastEventID > 0 {
-		httpReq.Header.Set("Last-Event-ID", strconv.Itoa(lastEventID))
+	if *cursor > 0 {
+		httpReq.Header.Set("Last-Event-ID", strconv.Itoa(*cursor))
 	}
 	resp, err := c.http.Do(httpReq)
 	if err != nil {
-		return nil, fmt.Errorf("client: GET /v1/solve/stream: %w", err)
+		return nil, fmt.Errorf("client: GET %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -274,7 +434,7 @@ func (c *Client) SolveStream(ctx context.Context, req api.SolveRequest, lastEven
 		if rid == "" {
 			rid = resp.Header.Get("X-Request-ID")
 		}
-		return nil, fmt.Errorf("client: GET /v1/solve/stream: %w", &APIError{StatusCode: resp.StatusCode, Message: e.Error, RequestID: rid, RetryAfter: retryAfter(resp.Header)})
+		return nil, fmt.Errorf("client: GET %s: %w", path, &APIError{StatusCode: resp.StatusCode, Message: e.Error, RequestID: rid, RetryAfter: retryAfter(resp.Header)})
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -289,6 +449,9 @@ func (c *Client) SolveStream(ctx context.Context, req api.SolveRequest, lastEven
 			}
 			frame := ev
 			ev = api.StreamEvent{}
+			if frame.ID > 0 {
+				*cursor = frame.ID
+			}
 			if fn != nil {
 				fn(frame)
 			}
@@ -299,14 +462,7 @@ func (c *Client) SolveStream(ctx context.Context, req api.SolveRequest, lastEven
 			if err := json.Unmarshal(frame.Data, &done); err != nil {
 				return nil, fmt.Errorf("client: decoding done frame: %w", err)
 			}
-			if done.Error != "" {
-				status := done.Status
-				if status == 0 {
-					status = http.StatusInternalServerError
-				}
-				return nil, fmt.Errorf("client: streamed solve failed: %w", &APIError{StatusCode: status, Message: done.Error, RequestID: done.RequestID})
-			}
-			return done.Result, nil
+			return &done, nil
 		case strings.HasPrefix(line, ":"): // comment / heartbeat
 		case strings.HasPrefix(line, "id:"):
 			ev.ID, _ = strconv.Atoi(strings.TrimSpace(line[3:]))
@@ -343,6 +499,41 @@ func streamQuery(req api.SolveRequest) url.Values {
 	}
 	if req.NoCache {
 		q.Set("no_cache", "true")
+	}
+	if req.Graph != nil {
+		if spec, err := json.Marshal(req.Graph); err == nil {
+			q.Set("graph", string(spec))
+		}
+	}
+	return q
+}
+
+// sweepStreamQuery encodes a SweepRequest as /v1/sweep/stream query
+// parameters (budgets as a comma-separated list).
+func sweepStreamQuery(req api.SweepRequest) url.Values {
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" && v != "0" {
+			q.Set(k, v)
+		}
+	}
+	set("model", req.Model)
+	set("batch", strconv.Itoa(req.Batch))
+	set("device", req.Device)
+	set("coarse_segments", strconv.Itoa(req.CoarseSegments))
+	set("method", req.Method)
+	set("solver", req.Solver)
+	set("points", strconv.Itoa(req.Points))
+	set("time_limit_ms", strconv.FormatInt(req.TimeLimitMS, 10))
+	if req.RelGap != 0 {
+		q.Set("rel_gap", strconv.FormatFloat(req.RelGap, 'g', -1, 64))
+	}
+	if len(req.Budgets) > 0 {
+		parts := make([]string, len(req.Budgets))
+		for i, b := range req.Budgets {
+			parts[i] = strconv.FormatInt(b, 10)
+		}
+		q.Set("budgets", strings.Join(parts, ","))
 	}
 	if req.Graph != nil {
 		if spec, err := json.Marshal(req.Graph); err == nil {

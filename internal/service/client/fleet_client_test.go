@@ -1,0 +1,158 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service/api"
+)
+
+// TestNewMultiFailsOverOn503: a draining fleet member answers 503 with
+// Retry-After; the client must rotate to the next base URL instead of
+// waiting out a backlog hint that describes the wrong server.
+func TestNewMultiFailsOverOn503(t *testing.T) {
+	var drainingHits, healthyHits atomic.Int64
+	draining := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		drainingHits.Add(1)
+		w.Header().Set("Retry-After", "30") // a hint the client must NOT sleep on after failover
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: "server is shutting down"})
+	}))
+	defer draining.Close()
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		healthyHits.Add(1)
+		json.NewEncoder(w).Encode(api.SolveResponse{Fingerprint: "deadbeef"})
+	}))
+	defer healthy.Close()
+
+	c, err := NewMulti([]string{draining.URL, healthy.URL}, nil,
+		WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := c.Solve(context.Background(), api.SolveRequest{Graph: chainSpec(4), Budget: 4})
+	if err != nil {
+		t.Fatalf("solve did not fail over: %v", err)
+	}
+	if resp.Fingerprint != "deadbeef" {
+		t.Fatalf("response came from the wrong server: %+v", resp)
+	}
+	if drainingHits.Load() == 0 || healthyHits.Load() != 1 {
+		t.Fatalf("hits: draining=%d healthy=%d, want both tried and healthy hit once",
+			drainingHits.Load(), healthyHits.Load())
+	}
+	// The 30s Retry-After belonged to the drained server; the failed-over
+	// retry must not have honored it.
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("failover took %v; the dead server's Retry-After leaked into the backoff", took)
+	}
+	// Once rotated, subsequent requests go straight to the healthy base.
+	if _, err := c.Solve(context.Background(), api.SolveRequest{Graph: chainSpec(4), Budget: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if healthyHits.Load() != 2 || drainingHits.Load() != 1 {
+		t.Fatalf("post-failover request revisited the drained server: draining=%d healthy=%d",
+			drainingHits.Load(), healthyHits.Load())
+	}
+}
+
+// TestNewMultiRejectsEmpty: a client with no usable endpoint is a
+// construction-time error, not a runtime surprise.
+func TestNewMultiRejectsEmpty(t *testing.T) {
+	if _, err := NewMulti(nil, nil); err == nil {
+		t.Fatal("NewMulti(nil) succeeded")
+	}
+	if _, err := NewMulti([]string{"", "   "}, nil); err == nil {
+		t.Fatal("NewMulti with only blank URLs succeeded")
+	}
+}
+
+// TestStreamReconnectBackoffHonorsContext: a reconnect wait must end the
+// moment the caller's context does — an hour-long backoff with a cancelled
+// context returns now, not at the timer.
+func TestStreamReconnectBackoffHonorsContext(t *testing.T) {
+	// The server accepts the SSE request and immediately ends the stream
+	// without a done frame: a transient failure that triggers a reconnect.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour}))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.SolveStream(ctx, api.SolveRequest{Graph: chainSpec(4), Budget: 4}, 0, nil)
+	took := time.Since(start)
+	if err == nil {
+		t.Fatal("stream against a frameless server succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error is %v, want context.Canceled", err)
+	}
+	if took > 5*time.Second {
+		t.Fatalf("stream returned after %v; the reconnect backoff ignored the context", took)
+	}
+}
+
+// TestClientSweepStream: the live-sweep path end to end against a real
+// service — sweep_point frames for every budget, and a final SweepResponse
+// identical in shape to the blocking endpoint's.
+func TestClientSweepStream(t *testing.T) {
+	c := testClient(t)
+	ctx := context.Background()
+
+	var points []api.StreamSweepPoint
+	sweep, err := c.SweepStream(ctx, api.SweepRequest{Graph: chainSpec(10), Budgets: []int64{6, 8, 10}}, 0,
+		func(ev api.StreamEvent) {
+			if ev.Event != api.StreamEventSweepPoint {
+				return
+			}
+			var sp api.StreamSweepPoint
+			if err := json.Unmarshal(ev.Data, &sp); err != nil {
+				t.Errorf("sweep_point payload: %v", err)
+				return
+			}
+			points = append(points, sp)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 3 {
+		t.Fatalf("sweep returned %d points, want 3", len(sweep.Points))
+	}
+	if len(points) != 3 {
+		t.Fatalf("saw %d sweep_point frames, want 3", len(points))
+	}
+	for _, sp := range points {
+		if sp.Total != 3 || sp.Index < 0 || sp.Index >= 3 {
+			t.Fatalf("bad frame coordinates: %+v", sp)
+		}
+		if sp.Point.Budget != sweep.Points[sp.Index].Budget {
+			t.Fatalf("frame index %d budget %d disagrees with final slice (%d)",
+				sp.Index, sp.Point.Budget, sweep.Points[sp.Index].Budget)
+		}
+	}
+
+	// The blocking form of the same sweep is pure cache.
+	blocking, err := c.Sweep(ctx, api.SweepRequest{Graph: chainSpec(10), Budgets: []int64{6, 8, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocking.Points {
+		if !blocking.Points[i].Cached {
+			t.Fatalf("blocking point %d missed the cache after the streamed sweep", i)
+		}
+	}
+}

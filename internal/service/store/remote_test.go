@@ -1,0 +1,271 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// corpusServer is a minimal in-memory implementation of the
+// /v1/store/{get,put} wire protocol (the real one is Server.StoreHandler;
+// the integration tests in internal/service cover that side).
+type corpusServer struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	fail    bool // force 500s
+	mangle  bool // serve bodies that contradict the checksum header
+}
+
+func (c *corpusServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/store/get", func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.fail {
+			http.Error(w, "corpus down", http.StatusInternalServerError)
+			return
+		}
+		payload, ok := c.entries[r.URL.Query().Get("key")]
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		sum := sha256.Sum256(payload)
+		w.Header().Set(sumHeader, hex.EncodeToString(sum[:]))
+		if c.mangle {
+			payload = append([]byte("garbage"), payload...)
+		}
+		w.Write(payload)
+	})
+	mux.HandleFunc("/v1/store/put", func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.fail {
+			http.Error(w, "corpus down", http.StatusInternalServerError)
+			return
+		}
+		payload, _ := io.ReadAll(r.Body)
+		if c.entries == nil {
+			c.entries = make(map[string][]byte)
+		}
+		c.entries[r.URL.Query().Get("key")] = payload
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func remoteKey(s string) graph.Fingerprint {
+	d := graph.NewDigest()
+	d.String(s)
+	return d.Sum()
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	corpus := &corpusServer{}
+	ts := httptest.NewServer(corpus.handler())
+	defer ts.Close()
+
+	r, err := NewRemote(RemoteOptions{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := remoteKey("roundtrip")
+	if _, ok := r.Get(key); ok {
+		t.Fatal("hit on empty corpus")
+	}
+	payload := []byte(`{"plan":"x"}`)
+	if err := r.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get(key)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := r.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Dir != ts.URL {
+		t.Fatalf("stats.Dir = %q, want endpoint URL", st.Dir)
+	}
+}
+
+func TestRemoteFailuresAreMisses(t *testing.T) {
+	corpus := &corpusServer{fail: true}
+	ts := httptest.NewServer(corpus.handler())
+	defer ts.Close()
+
+	r, err := NewRemote(RemoteOptions{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(remoteKey("k")); ok {
+		t.Fatal("hit from a failing corpus")
+	}
+	if err := r.Put(remoteKey("k"), []byte("v")); err == nil {
+		t.Fatal("Put against failing corpus must error")
+	}
+	st := r.Stats()
+	if st.Corrupt != 1 || st.PutErrors != 1 {
+		t.Fatalf("stats = %+v, want get_errors=1 put_errors=1", st)
+	}
+
+	// Dead endpoint (connection refused): also a miss, never a panic.
+	ts.Close()
+	if _, ok := r.Get(remoteKey("k")); ok {
+		t.Fatal("hit from a dead corpus")
+	}
+}
+
+func TestRemoteChecksumVerification(t *testing.T) {
+	corpus := &corpusServer{}
+	ts := httptest.NewServer(corpus.handler())
+	defer ts.Close()
+
+	r, err := NewRemote(RemoteOptions{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := remoteKey("sum")
+	if err := r.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	corpus.mu.Lock()
+	corpus.mangle = true
+	corpus.mu.Unlock()
+	if _, ok := r.Get(key); ok {
+		t.Fatal("served a payload that failed checksum verification")
+	}
+	if r.Stats().Corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", r.Stats().Corrupt)
+	}
+}
+
+func TestRemoteProbe(t *testing.T) {
+	corpus := &corpusServer{}
+	ts := httptest.NewServer(corpus.handler())
+	defer ts.Close()
+
+	r, err := NewRemote(RemoteOptions{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Probe(); err != nil {
+		t.Fatalf("probe against healthy corpus: %v", err)
+	}
+	// Probe traffic must not pollute cache-quality stats.
+	if st := r.Stats(); st.Hits != 0 || st.Misses != 0 || st.Puts != 0 {
+		t.Fatalf("probe leaked into stats: %+v", st)
+	}
+	corpus.mu.Lock()
+	corpus.fail = true
+	corpus.mu.Unlock()
+	if err := r.Probe(); err == nil {
+		t.Fatal("probe against failing corpus must error")
+	}
+}
+
+func TestNewRemoteValidation(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "host:1"} {
+		if _, err := NewRemote(RemoteOptions{URL: bad}); err == nil {
+			t.Errorf("NewRemote(%q) accepted", bad)
+		}
+	}
+}
+
+// Remote must satisfy Store and expose Probe for the breaker's healer.
+var (
+	_ Store                      = (*Remote)(nil)
+	_ interface{ Probe() error } = (*Remote)(nil)
+	_ Store                      = (*Tiered)(nil)
+)
+
+func TestTiered(t *testing.T) {
+	corpus := &corpusServer{}
+	ts := httptest.NewServer(corpus.handler())
+	defer ts.Close()
+
+	local, err := OpenDisk(DiskOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := NewRemote(RemoteOptions{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(local, remote)
+	defer tiered.Close()
+
+	key := remoteKey("tiered")
+	payload := []byte(`{"v":1}`)
+
+	// Put writes through both tiers.
+	if err := tiered.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("put skipped the local tier")
+	}
+	if _, ok := remote.Get(key); !ok {
+		t.Fatal("put skipped the remote tier")
+	}
+
+	// A remote-only entry is served and written back to disk.
+	key2 := remoteKey("remote-only")
+	if err := remote.Put(key2, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tiered.Get(key2)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("tiered Get = %q, %v", got, ok)
+	}
+	if _, ok := local.Get(key2); !ok {
+		t.Fatal("remote hit was not written back to the local tier")
+	}
+
+	st := tiered.Stats()
+	if st.Remote == nil {
+		t.Fatal("tiered stats missing Remote block")
+	}
+	if st.Remote.URL != ts.URL || st.Remote.Hits == 0 {
+		t.Fatalf("remote stats = %+v", st.Remote)
+	}
+
+	// Total miss misses both tiers.
+	if _, ok := tiered.Get(remoteKey("absent")); ok {
+		t.Fatal("hit for absent key")
+	}
+}
+
+func TestTieredRemoteDownDegradesToLocal(t *testing.T) {
+	corpus := &corpusServer{fail: true}
+	ts := httptest.NewServer(corpus.handler())
+	defer ts.Close()
+
+	local, err := OpenDisk(DiskOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := NewRemote(RemoteOptions{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(local, remote)
+	defer tiered.Close()
+
+	key := remoteKey("degraded")
+	// Put reports the remote failure but the local write landed. (Payloads
+	// must be valid JSON — the disk tier's envelope embeds them raw.)
+	if err := tiered.Put(key, []byte(`"v"`)); err == nil {
+		t.Fatal("want remote put error surfaced")
+	}
+	if got, ok := tiered.Get(key); !ok || string(got) != `"v"` {
+		t.Fatalf("local tier did not serve: %q, %v", got, ok)
+	}
+}

@@ -66,6 +66,26 @@ type Stats struct {
 	// Breaker is the circuit-breaker snapshot when the store is wrapped in
 	// one (see NewBreaker); nil for a bare store.
 	Breaker *BreakerStats `json:"breaker,omitempty"`
+	// Remote is the shared-corpus tier's snapshot when the store is tiered
+	// over a Remote (see NewTiered); nil for a single-tier store.
+	Remote *RemoteStats `json:"remote,omitempty"`
+}
+
+// RemoteStats summarizes the remote tier inside a Tiered store's Stats. It
+// is a distinct flat type rather than a nested Stats so the shape stays
+// non-recursive (the service's stats↔metrics drift guard walks the type).
+type RemoteStats struct {
+	URL    string `json:"url"`
+	Hits   int64  `json:"hits"`
+	Misses int64  `json:"misses"`
+	// GetErrors counts fetches that failed for any reason other than a
+	// clean 404 miss: transport errors, bad statuses, checksum mismatches.
+	GetErrors int64 `json:"get_errors"`
+	Puts      int64 `json:"puts"`
+	PutErrors int64 `json:"put_errors"`
+	// Breaker is the remote tier's own circuit-breaker snapshot when it is
+	// wrapped in one; nil otherwise.
+	Breaker *BreakerStats `json:"breaker,omitempty"`
 }
 
 // envelope is the on-disk file format. The embedded key and payload checksum

@@ -1,0 +1,74 @@
+package store
+
+import "repro/internal/graph"
+
+// Tiered layers a local store in front of a remote one: the fleet topology
+// where every planner keeps its own disk tier and all of them share one
+// corpus server. Reads check local first and write remote hits back to disk
+// (so a schedule crosses the network once per process lifetime); writes go
+// to both tiers best-effort. Either tier may be breaker-wrapped — Tiered is
+// oblivious to it.
+type Tiered struct {
+	local  Store
+	remote Store
+}
+
+// NewTiered combines a local and a remote tier. Both must be non-nil; use
+// the bare store when only one tier exists.
+func NewTiered(local, remote Store) *Tiered {
+	return &Tiered{local: local, remote: remote}
+}
+
+// Get serves from local when possible, falling back to remote with a
+// write-back. A failed write-back is invisible: the payload is already in
+// hand, and the local tier counts its own put error.
+func (t *Tiered) Get(key graph.Fingerprint) ([]byte, bool) {
+	if payload, ok := t.local.Get(key); ok {
+		return payload, true
+	}
+	payload, ok := t.remote.Get(key)
+	if !ok {
+		return nil, false
+	}
+	t.local.Put(key, payload) //nolint:errcheck // best-effort write-back; local tier counts the failure
+	return payload, true
+}
+
+// Put writes through both tiers. The local error wins when both fail (it is
+// the one the operator can act on); a remote-only failure still surfaces so
+// the caller's persistence logging sees it.
+func (t *Tiered) Put(key graph.Fingerprint, payload []byte) error {
+	lerr := t.local.Put(key, payload)
+	rerr := t.remote.Put(key, payload)
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}
+
+// Stats reports the local tier's snapshot with the remote tier attached
+// under Remote, so existing consumers (metrics, /v1/stats) keep their shape.
+func (t *Tiered) Stats() Stats {
+	st := t.local.Stats()
+	r := t.remote.Stats()
+	st.Remote = &RemoteStats{
+		URL:       r.Dir,
+		Hits:      r.Hits,
+		Misses:    r.Misses,
+		GetErrors: r.Corrupt,
+		Puts:      r.Puts,
+		PutErrors: r.PutErrors,
+		Breaker:   r.Breaker,
+	}
+	return st
+}
+
+// Close closes both tiers, preferring the local error.
+func (t *Tiered) Close() error {
+	lerr := t.local.Close()
+	rerr := t.remote.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}

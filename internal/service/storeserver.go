@@ -1,0 +1,104 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+
+	"repro/internal/graph"
+)
+
+// storeSumHeader mirrors store/remote.go's sumHeader: sha256(payload) hex
+// rides next to every transfer so either side can reject corruption.
+const storeSumHeader = "X-Checkmate-Sum"
+
+// maxStorePut bounds an uploaded schedule payload.
+const maxStorePut = 64 << 20
+
+// StoreHandler exposes this server's store as the fleet's shared corpus:
+// GET /v1/store/get and POST /v1/store/put, the server side of store.Remote.
+// Mount it on the ADMIN listener, not the public one — the corpus accepts
+// arbitrary payload writes and belongs on the operator network, next to
+// pprof. A planner whose own Config.RemoteStoreURL points at a peer must not
+// also serve that peer's corpus from the same store, or write-backs would
+// ping-pong; docs/fleet.md describes the supported topology.
+func (s *Server) StoreHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/store/get", s.count("store_get", s.handleStoreGet))
+	mux.HandleFunc("/v1/store/put", s.count("store_put", s.handleStorePut))
+	return mux
+}
+
+func (s *Server) storeKey(w http.ResponseWriter, r *http.Request) (graph.Fingerprint, bool) {
+	key, err := graph.ParseFingerprint(r.URL.Query().Get("key"))
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, "invalid key: %v", err)
+		return key, false
+	}
+	return key, true
+}
+
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, r, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	key, ok := s.storeKey(w, r)
+	if !ok {
+		return
+	}
+	// No store configured is indistinguishable from a miss to the caller —
+	// but 503 (not 404) lets the remote tier's breaker open instead of
+	// counting clean misses forever against a corpus that cannot answer.
+	if s.store == nil {
+		writeErr(w, r, http.StatusServiceUnavailable, "no store configured")
+		return
+	}
+	payload, ok := s.store.Get(key)
+	if !ok {
+		writeErr(w, r, http.StatusNotFound, "not found")
+		return
+	}
+	sum := sha256.Sum256(payload)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(storeSumHeader, hex.EncodeToString(sum[:]))
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, r, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	key, ok := s.storeKey(w, r)
+	if !ok {
+		return
+	}
+	if s.store == nil {
+		writeErr(w, r, http.StatusServiceUnavailable, "no store configured")
+		return
+	}
+	payload, err := io.ReadAll(io.LimitReader(r.Body, maxStorePut+1))
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(payload) > maxStorePut {
+		writeErr(w, r, http.StatusRequestEntityTooLarge, "payload exceeds %d bytes", maxStorePut)
+		return
+	}
+	if want := r.Header.Get(storeSumHeader); want != "" {
+		sum := sha256.Sum256(payload)
+		if hex.EncodeToString(sum[:]) != want {
+			writeErr(w, r, http.StatusBadRequest, "checksum mismatch")
+			return
+		}
+	}
+	if err := s.store.Put(key, payload); err != nil {
+		writeErr(w, r, http.StatusInternalServerError, "store put: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -282,6 +282,26 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 	}
 	key := wl.SolveKeyFor(p.method, p.budget, p.opt)
 
+	// Fleet routing: relay the owner's stream byte-for-byte when the key is
+	// someone else's. Relay failure falls through to a local solve whose
+	// stream opens with a degraded frame and whose done result carries the
+	// fleet_local stamp — the same story the blocking endpoint tells.
+	var fleetOwner string
+	if owner, ok := s.forwardTarget(r, key.String()); ok {
+		cachedLocally := false
+		if !req.NoCache {
+			// Cached locally: stream the local (instant) solve rather than
+			// relaying; solveOne below hits the same cache.
+			_, cachedLocally = s.cachedResponse(key)
+		}
+		if !cachedLocally {
+			if s.relayStream(w, r, flusher, owner) {
+				return
+			}
+			fleetOwner = owner
+		}
+	}
+
 	// The hub's solve goroutine runs on a detached context (watchers come and
 	// go); carry the initiating request's ID into it so the solve — and the
 	// done frame every watcher receives — stays correlated with this request.
@@ -290,7 +310,17 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 		if rid != "" {
 			ctx = telemetry.WithRequestID(ctx, rid)
 		}
+		if fleetOwner != "" {
+			h.publish(api.StreamEventDegraded, api.StreamDegraded{
+				From:   "fleet:" + fleetOwner,
+				To:     "local",
+				Reason: "fleet owner unreachable; solving locally",
+			})
+		}
 		resp, err := s.solveOne(ctx, wl, p, req.NoCache)
+		if err == nil && fleetOwner != "" {
+			s.stampFleetLocal(resp, fleetOwner)
+		}
 		done := api.StreamDone{Result: resp, RequestID: rid}
 		if err != nil {
 			done.Error = err.Error()
@@ -301,6 +331,14 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request) {
 	})
 	defer release()
 
+	s.serveSSE(w, r, flusher, hub)
+}
+
+// serveSSE drains hub to one SSE watcher: replay from the request's
+// Last-Event-ID cursor, then follow live with heartbeats until the terminal
+// frame (or the client leaves). Shared by the solve and sweep streams —
+// a hub is a hub; only what gets published into it differs.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, flusher http.Flusher, hub *streamHub) {
 	cursor := 0
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
 		if id, err := strconv.Atoi(v); err == nil && id > 0 {

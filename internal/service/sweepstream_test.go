@@ -1,0 +1,218 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/service/api"
+)
+
+// sweepStreamURL builds the SSE sweep endpoint URL for a chain-graph sweep
+// over an explicit comma-separated budget list.
+func sweepStreamURL(ts *httptest.Server, spec *api.GraphSpec, budgets, extra string) string {
+	raw, _ := json.Marshal(spec)
+	u := fmt.Sprintf("%s/v1/sweep/stream?budgets=%s&graph=%s", ts.URL, budgets, urlQueryEscape(string(raw)))
+	if extra != "" {
+		u += "&" + extra
+	}
+	return u
+}
+
+// TestSweepStreamDelivery is the sweep-stream acceptance flow: one
+// sweep_point frame per budget (in completion order, each indexed into the
+// final ascending Points slice), sequential IDs, and a terminal done frame
+// whose Sweep payload matches what the blocking endpoint returns for the
+// same request.
+func TestSweepStreamDelivery(t *testing.T) {
+	srv, ts := testServer(t)
+	spec := chainSpec(12)
+
+	resp, err := http.Get(sweepStreamURL(ts, spec, "6,8,10", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	frames, _ := readSSE(t, resp.Body)
+	if len(frames) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := frames[len(frames)-1]
+	if last.Event != api.StreamEventDone {
+		t.Fatalf("last frame %q, want done", last.Event)
+	}
+	var done api.StreamDone
+	if err := json.Unmarshal(last.Data, &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Error != "" || done.Sweep == nil {
+		t.Fatalf("done frame: %s", last.Data)
+	}
+	if got := len(done.Sweep.Points); got != 3 {
+		t.Fatalf("done.Sweep has %d points, want 3", got)
+	}
+	for i, want := range []int64{6, 8, 10} {
+		pt := done.Sweep.Points[i]
+		if pt.Budget != want || !pt.Feasible {
+			t.Fatalf("point %d: budget %d feasible %v, want budget %d feasible", i, pt.Budget, pt.Feasible, want)
+		}
+	}
+
+	// Every budget produced exactly one sweep_point frame; frames arrive in
+	// completion order, so placement goes by Index, not arrival position.
+	seen := map[int]bool{}
+	for i, fr := range frames {
+		if fr.ID != i+1 {
+			t.Fatalf("frame %d has id %d, want %d", i, fr.ID, i+1)
+		}
+		if fr.Event != api.StreamEventSweepPoint {
+			continue
+		}
+		var sp api.StreamSweepPoint
+		if err := json.Unmarshal(fr.Data, &sp); err != nil {
+			t.Fatal(err)
+		}
+		if sp.Total != 3 || sp.Index < 0 || sp.Index >= 3 {
+			t.Fatalf("sweep_point index %d total %d", sp.Index, sp.Total)
+		}
+		if seen[sp.Index] {
+			t.Fatalf("index %d delivered twice", sp.Index)
+		}
+		seen[sp.Index] = true
+		if sp.Point.Budget != done.Sweep.Points[sp.Index].Budget {
+			t.Fatalf("frame index %d carries budget %d, done slice has %d",
+				sp.Index, sp.Point.Budget, done.Sweep.Points[sp.Index].Budget)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("%d distinct sweep_point frames, want 3", len(seen))
+	}
+
+	// The blocking endpoint for the same request must agree point for point,
+	// and serve entirely from cache — the stream already paid for the solves.
+	body, _ := json.Marshal(api.SweepRequest{Graph: spec, Budgets: []int64{6, 8, 10}})
+	br, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Body.Close()
+	var blocking api.SweepResponse
+	if err := json.NewDecoder(br.Body).Decode(&blocking); err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocking.Points {
+		if blocking.Points[i].Fingerprint != done.Sweep.Points[i].Fingerprint {
+			t.Fatalf("point %d fingerprint differs between stream and blocking sweep", i)
+		}
+		if !blocking.Points[i].Cached {
+			t.Fatalf("blocking point %d missed the cache after the streamed sweep", i)
+		}
+	}
+	if st := srv.Stats(); st.Solves != 3 {
+		t.Fatalf("stream + blocking sweep ran the solver %d times, want 3", st.Solves)
+	}
+}
+
+// TestSweepStreamSharedFlight: two concurrent identical sweep streams share
+// one hub and one run — each budget is solved once, both watchers get the
+// full result.
+func TestSweepStreamSharedFlight(t *testing.T) {
+	srv, ts := testServer(t)
+	spec := chainSpec(12)
+	u := sweepStreamURL(ts, spec, "6,8,10", "")
+
+	var wg sync.WaitGroup
+	dones := make([]api.StreamDone, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(u)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			frames, _ := readSSE(t, resp.Body)
+			if len(frames) == 0 {
+				errs[i] = fmt.Errorf("watcher %d: empty stream", i)
+				return
+			}
+			errs[i] = json.Unmarshal(frames[len(frames)-1].Data, &dones[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("watcher %d: %v", i, err)
+		}
+		if dones[i].Sweep == nil || len(dones[i].Sweep.Points) != 3 {
+			t.Fatalf("watcher %d done: %+v", i, dones[i])
+		}
+	}
+	// Two watchers, three budgets, one run. (Both connections may not overlap
+	// in time — then the second run is all cache hits, still no extra solve.)
+	if st := srv.Stats(); st.Solves != 3 {
+		t.Fatalf("two identical sweep streams ran the solver %d times, want 3", st.Solves)
+	}
+}
+
+// TestSweepStreamStaleLastEventID: a cursor from a longer, long-gone sweep
+// stream can overshoot a fresh hub's entire history (the points are cached,
+// so the new hub holds only a few frames) — the terminal done frame must
+// still be delivered, never an empty stream.
+func TestSweepStreamStaleLastEventID(t *testing.T) {
+	_, ts := testServer(t)
+	spec := chainSpec(12)
+	// Warm every point so the replayed sweep is pure cache hits.
+	body, _ := json.Marshal(api.SweepRequest{Graph: spec, Budgets: []int64{6, 8, 10}})
+	wr, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr.Body.Close()
+
+	req, err := http.NewRequest(http.MethodGet, sweepStreamURL(ts, spec, "6,8,10", ""), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "999")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames, _ := readSSE(t, resp.Body)
+	if len(frames) != 1 || frames[0].Event != api.StreamEventDone {
+		t.Fatalf("stale-cursor sweep stream frames: %+v, want only the terminal done", frames)
+	}
+	var done api.StreamDone
+	if err := json.Unmarshal(frames[0].Data, &done); err != nil || done.Sweep == nil {
+		t.Fatalf("done payload %s (err %v)", frames[0].Data, err)
+	}
+}
+
+// TestSweepStreamRejectsBadRequest: validation happens before the stream
+// opens, so a bad budget is an HTTP error, not a degraded SSE session.
+func TestSweepStreamRejectsBadRequest(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(sweepStreamURL(ts, chainSpec(10), "8,0", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400 for a non-positive budget", resp.StatusCode)
+	}
+}
